@@ -1,0 +1,182 @@
+// Command divsched solves offline scheduling problems on instances given as
+// JSON documents (see internal/model for the format):
+//
+//	divsched -in instance.json -objective mwf -model divisible -gantt
+//
+// Objectives:
+//
+//	mwf       minimize the maximum weighted flow (Theorem 2 / Section 4.4)
+//	makespan  minimize the makespan (Theorem 1)
+//	deadline  decide feasibility of per-job deadlines (Lemma 1); deadlines
+//	          are read from -deadlines as comma-separated rationals ("" = none)
+//
+// With -stretch, job weights are replaced by 1/Size so the mwf objective
+// becomes the max-stretch of the paper.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/big"
+	"os"
+	"strings"
+
+	"divflow/internal/core"
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("divsched: ")
+	var (
+		inPath    = flag.String("in", "-", "instance JSON file ('-' for stdin)")
+		objective = flag.String("objective", "mwf", "mwf | makespan | deadline")
+		execModel = flag.String("model", "divisible", "divisible | preemptive")
+		stretch   = flag.Bool("stretch", false, "use stretch weights (w_j = 1/W_j)")
+		deadlines = flag.String("deadlines", "", "comma-separated deadlines for -objective deadline")
+		gantt     = flag.Bool("gantt", false, "print the schedule")
+		chart     = flag.Int("chart", 0, "print an ASCII Gantt chart this many cells wide")
+	)
+	flag.Parse()
+
+	inst, err := readInstance(*inPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stretch {
+		inst.WeightsForStretch()
+	}
+	mode := schedule.Divisible
+	switch *execModel {
+	case "divisible":
+	case "preemptive":
+		mode = schedule.Preemptive
+	default:
+		log.Fatalf("unknown -model %q", *execModel)
+	}
+
+	show := func(s *schedule.Schedule) {
+		if *gantt {
+			fmt.Print(s)
+		}
+		if *chart > 0 {
+			fmt.Print(s.Gantt(*chart))
+		}
+	}
+	switch *objective {
+	case "mwf":
+		runMWF(inst, mode, show)
+	case "makespan":
+		runMakespan(inst, mode, show)
+	case "deadline":
+		runDeadline(inst, mode, *deadlines, show)
+	default:
+		log.Fatalf("unknown -objective %q", *objective)
+	}
+}
+
+func readInstance(path string) (*model.Instance, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var inst model.Instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &inst, nil
+}
+
+func runMWF(inst *model.Instance, mode schedule.Model, show func(*schedule.Schedule)) {
+	var res *core.Result
+	var err error
+	if mode == schedule.Preemptive {
+		res, err = core.MinMaxWeightedFlowPreemptive(inst)
+	} else {
+		res, err = core.MinMaxWeightedFlow(inst)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal max weighted flow: %s (~%.6g)\n", res.Objective.RatString(), ratF(res.Objective))
+	fmt.Printf("milestones: %d, LP solves: %d, optimum in range %s\n",
+		res.NumMilestones, res.LPSolves, res.Range)
+	printMetrics(inst, res.Schedule)
+	show(res.Schedule)
+}
+
+func runMakespan(inst *model.Instance, mode schedule.Model, show func(*schedule.Schedule)) {
+	var res *core.MakespanResult
+	var err error
+	if mode == schedule.Preemptive {
+		res, err = core.MinMakespanPreemptive(inst)
+	} else {
+		res, err = core.MinMakespan(inst)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal makespan: %s (~%.6g)\n", res.Makespan.RatString(), ratF(res.Makespan))
+	printMetrics(inst, res.Schedule)
+	show(res.Schedule)
+}
+
+func runDeadline(inst *model.Instance, mode schedule.Model, spec string, show func(*schedule.Schedule)) {
+	dls := make([]*big.Rat, inst.N())
+	if spec != "" {
+		parts := strings.Split(spec, ",")
+		if len(parts) != inst.N() {
+			log.Fatalf("-deadlines has %d entries for %d jobs", len(parts), inst.N())
+		}
+		for j, p := range parts {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			d, ok := new(big.Rat).SetString(p)
+			if !ok {
+				log.Fatalf("bad deadline %q", p)
+			}
+			dls[j] = d
+		}
+	}
+	ok, s, err := core.DeadlineFeasible(inst, dls, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		fmt.Println("infeasible")
+		os.Exit(1)
+	}
+	fmt.Println("feasible")
+	printMetrics(inst, s)
+	show(s)
+}
+
+func printMetrics(inst *model.Instance, s *schedule.Schedule) {
+	flows, err := s.Flows(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := s.Completions(inst.N())
+	for j := range inst.Jobs {
+		wf := new(big.Rat).Mul(inst.Jobs[j].Weight, flows[j])
+		fmt.Printf("  %-12s C=%-10s flow=%-10s w*flow=%s\n",
+			inst.Jobs[j].Name, cs[j].RatString(), flows[j].RatString(), wf.RatString())
+	}
+}
+
+func ratF(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}

@@ -1,0 +1,73 @@
+// Command grippsfig regenerates the divisibility studies of Figure 1 of
+// RR-5386: block execution time as a function of the sequence block size
+// (Figure 1a, small fixed overhead) and of the motif set size (Figure 1b,
+// large fixed overhead), on a synthetic GriPPS workload with a cost model
+// calibrated to the paper's published anchors (1.1 s / 10.5 s / 110 s).
+//
+//	grippsfig -part both -scale default
+//	grippsfig -part seq -scale paper        # full 38,000-sequence protocol
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"divflow/internal/gripps"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("grippsfig: ")
+	var (
+		part  = flag.String("part", "both", "seq | motif | both")
+		scale = flag.String("scale", "default", "default | paper")
+		seqs  = flag.Int("sequences", 0, "override databank size")
+		mots  = flag.Int("motifs", 0, "override motif count")
+		steps = flag.Int("steps", 0, "override partition steps")
+		reps  = flag.Int("reps", 0, "override repetitions per step")
+		seed  = flag.Int64("seed", 0, "override seed")
+	)
+	flag.Parse()
+
+	cfg := gripps.DefaultConfig()
+	if *scale == "paper" {
+		cfg = gripps.PaperConfig()
+	} else if *scale != "default" {
+		log.Fatalf("unknown -scale %q", *scale)
+	}
+	if *seqs > 0 {
+		cfg.NumSequences = *seqs
+	}
+	if *mots > 0 {
+		cfg.NumMotifs = *mots
+	}
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	if *part == "seq" || *part == "both" {
+		res, err := gripps.Figure1a(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Table())
+		fmt.Println()
+	}
+	if *part == "motif" || *part == "both" {
+		res, err := gripps.Figure1b(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if *part != "seq" && *part != "motif" && *part != "both" {
+		log.Fatalf("unknown -part %q", *part)
+	}
+}

@@ -1,0 +1,121 @@
+// Command onlinesim reproduces the comparison sketched in the conclusion of
+// RR-5386: on randomly generated databank workloads, the online adaptation
+// of the offline max-weighted-flow algorithm is compared against classical
+// heuristics (Minimum Completion Time, FCFS, SRPT, greedy weighted flow).
+// Every run is also compared to the clairvoyant offline optimum, which is a
+// lower bound for any online policy.
+//
+//	onlinesim -seeds 10 -jobs 6 -machines 3 -loads 2,4,8 -stretch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+
+	"divflow/internal/core"
+	"divflow/internal/sim"
+	"divflow/internal/stats"
+	"divflow/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("onlinesim: ")
+	var (
+		seeds       = flag.Int("seeds", 10, "number of random workloads")
+		jobs        = flag.Int("jobs", 6, "jobs per workload")
+		machines    = flag.Int("machines", 3, "machines")
+		banks       = flag.Int("databanks", 3, "databanks")
+		replication = flag.Int("replication", 2, "replicas per databank")
+		loads       = flag.String("loads", "3", "comma-separated mean interarrival times (s); several values sweep the load")
+		stretch     = flag.Bool("stretch", false, "optimize and report max-stretch instead of max weighted flow")
+		preemptive  = flag.Bool("preemptive-adaptation", false, "also run the preemptive-model online adaptation")
+		verbose     = flag.Bool("v", false, "print per-seed results")
+	)
+	flag.Parse()
+
+	var interarrivals []float64
+	for _, part := range strings.Split(*loads, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			log.Fatalf("bad -loads entry %q", part)
+		}
+		interarrivals = append(interarrivals, v)
+	}
+	objective := "max weighted flow"
+	if *stretch {
+		objective = "max stretch"
+	}
+
+	for _, interarrival := range interarrivals {
+		policies := []sim.Policy{
+			sim.NewOnlineMWF(),
+			sim.NewMCT(),
+			sim.NewFCFS(),
+			sim.NewSRPT(),
+			sim.NewGreedyWeightedFlow(),
+		}
+		if *preemptive {
+			policies = append(policies, sim.NewOnlineMWFPreemptive())
+		}
+		ratios := make(map[string][]float64)
+
+		for seed := 0; seed < *seeds; seed++ {
+			cfg := workload.Default()
+			cfg.Seed = int64(seed)
+			cfg.Jobs = *jobs
+			cfg.Machines = *machines
+			cfg.Databanks = *banks
+			cfg.Replication = *replication
+			cfg.MeanInterarrival = interarrival
+			inst, err := workload.Generate(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *stretch {
+				inst.WeightsForStretch()
+			}
+			opt, err := core.MinMaxWeightedFlow(inst)
+			if err != nil {
+				log.Fatal(err)
+			}
+			optF, _ := opt.Objective.Float64()
+			if *verbose {
+				fmt.Printf("seed %d: offline optimum %.4f\n", seed, optF)
+			}
+			for _, p := range policies {
+				res, err := sim.Run(inst, p)
+				if err != nil {
+					log.Fatalf("seed %d, policy %s: %v", seed, p.Name(), err)
+				}
+				val, _ := res.MaxWeightedFlow.Float64()
+				ratio := val / optF
+				ratios[p.Name()] = append(ratios[p.Name()], ratio)
+				if *verbose {
+					fmt.Printf("  %-18s %.4f  (ratio %.3f, %d preemptions)\n",
+						p.Name(), val, ratio, res.Preemptions)
+				}
+			}
+		}
+
+		fmt.Printf("\n# online policies vs clairvoyant offline optimum (%s)\n", objective)
+		fmt.Printf("# %d workloads: %d jobs, %d machines, %d databanks (replication %d), mean interarrival %.3gs\n",
+			*seeds, *jobs, *machines, *banks, *replication, interarrival)
+		fmt.Printf("%-18s %10s %10s %10s\n", "policy", "geo-mean", "mean", "worst")
+		names := make([]string, 0, len(ratios))
+		for name := range ratios {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(a, b int) bool {
+			return stats.GeoMean(ratios[names[a]]) < stats.GeoMean(ratios[names[b]])
+		})
+		for _, name := range names {
+			rs := ratios[name]
+			fmt.Printf("%-18s %10.4f %10.4f %10.4f\n", name, stats.GeoMean(rs), stats.Mean(rs), stats.Max(rs))
+		}
+	}
+}

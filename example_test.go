@@ -1,0 +1,109 @@
+package divflow_test
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"divflow"
+)
+
+// twoJobInstance builds the instance used by the examples: two requests
+// against a replicated databank platform.
+func twoJobInstance() *divflow.Instance {
+	jobs := []divflow.Job{
+		{
+			Name:      "urgent",
+			Release:   big.NewRat(0, 1),
+			Weight:    big.NewRat(2, 1),
+			Size:      big.NewRat(4, 1),
+			Databanks: []string{"swissprot"},
+		},
+		{
+			Name:    "batch",
+			Release: big.NewRat(1, 1),
+			Weight:  big.NewRat(1, 1),
+			Size:    big.NewRat(6, 1),
+		},
+	}
+	machines := []divflow.Machine{
+		{Name: "fast", InverseSpeed: big.NewRat(1, 2), Databanks: []string{"swissprot"}},
+		{Name: "slow", InverseSpeed: big.NewRat(1, 1)},
+	}
+	inst, err := divflow.NewInstance(jobs, machines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return inst
+}
+
+// ExampleMinMaxWeightedFlow solves Theorem 2's problem exactly.
+func ExampleMinMaxWeightedFlow() {
+	res, err := divflow.MinMaxWeightedFlow(twoJobInstance())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimal max weighted flow:", res.Objective.RatString())
+	fmt.Println("milestones considered:", res.NumMilestones)
+	// Output:
+	// optimal max weighted flow: 4
+	// milestones considered: 1
+}
+
+// ExampleMinMakespan solves Theorem 1's problem exactly.
+func ExampleMinMakespan() {
+	res, err := divflow.MinMakespan(twoJobInstance())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimal makespan:", res.Makespan.RatString())
+	// Output:
+	// optimal makespan: 11/3
+}
+
+// ExampleDeadlineFeasible decides Lemma 1's feasibility question.
+func ExampleDeadlineFeasible() {
+	inst := twoJobInstance()
+	tight := []*big.Rat{big.NewRat(2, 1), big.NewRat(5, 1)}
+	ok, _, err := divflow.DeadlineFeasible(inst, tight, divflow.Divisible)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deadlines (2, 5) feasible:", ok)
+	impossible := []*big.Rat{big.NewRat(1, 1), big.NewRat(2, 1)}
+	ok, _, err = divflow.DeadlineFeasible(inst, impossible, divflow.Divisible)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deadlines (1, 2) feasible:", ok)
+	// Output:
+	// deadlines (2, 5) feasible: true
+	// deadlines (1, 2) feasible: false
+}
+
+// ExampleSimulateOnline replays an instance through the online adaptation
+// of the offline algorithm (jobs are revealed at their release dates).
+func ExampleSimulateOnline() {
+	inst := twoJobInstance()
+	res, err := divflow.SimulateOnline(inst, divflow.NewOnlineMWF())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("policy:", res.Policy)
+	fmt.Println("max weighted flow:", res.MaxWeightedFlow.RatString())
+	// Output:
+	// policy: online-mwf
+	// max weighted flow: 4
+}
+
+// ExampleMinMaxWeightedFlowPreemptive solves the Section 4.4 variant, in
+// which a job may be interrupted but never runs on two machines at once.
+func ExampleMinMaxWeightedFlowPreemptive() {
+	res, err := divflow.MinMaxWeightedFlowPreemptive(twoJobInstance())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("preemptive optimum:", res.Objective.RatString())
+	// Output:
+	// preemptive optimum: 4
+}

@@ -1,0 +1,57 @@
+// Online scheduling: jobs arrive over time and the scheduler does not know
+// the future. This example replays one workload through several online
+// policies — including the paper's online adaptation of the offline
+// algorithm — and compares them to the clairvoyant offline optimum.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"divflow"
+	"divflow/internal/workload"
+)
+
+func main() {
+	cfg := workload.Default()
+	cfg.Jobs = 6
+	cfg.Machines = 3
+	cfg.Databanks = 3
+	cfg.Replication = 2
+	cfg.MeanInterarrival = 3
+	cfg.Seed = 7
+	inst, err := workload.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(inst)
+
+	offline, err := divflow.MinMaxWeightedFlow(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optF, _ := offline.Objective.Float64()
+	fmt.Printf("\nclairvoyant offline optimum (lower bound): %.4f\n\n", optF)
+
+	policies := []divflow.OnlinePolicy{
+		divflow.NewOnlineMWF(),
+		divflow.NewMCT(),
+		divflow.NewFCFS(),
+		divflow.NewSRPT(),
+		divflow.NewGreedyWeightedFlow(),
+	}
+	fmt.Printf("%-18s %12s %8s %12s\n", "policy", "max w-flow", "ratio", "preemptions")
+	for _, p := range policies {
+		res, err := divflow.SimulateOnline(inst, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, _ := res.MaxWeightedFlow.Float64()
+		fmt.Printf("%-18s %12.4f %8.3f %12d\n", res.Policy, v, v/optF, res.Preemptions)
+	}
+	fmt.Println("\nThe online adaptation re-solves the exact offline problem at every")
+	fmt.Println("event (release/completion), measuring each job's flow from its true")
+	fmt.Println("submission date — the strategy sketched in the paper's conclusion.")
+}

@@ -1,0 +1,63 @@
+// Preemptive vs divisible: Section 4.4 of the paper solves max weighted
+// flow when jobs may be interrupted but never run on two machines at once.
+// This example solves the same instance under both execution models,
+// verifies both schedules with the exact validator, and shows the price of
+// forbidding divisibility.
+//
+//	go run ./examples/preemptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"divflow"
+)
+
+func main() {
+	// One large urgent job and two small ones, two machines. Under the
+	// divisible model the large job can use both machines at once; under
+	// the preemptive model it cannot, which hurts its flow.
+	jobs := []divflow.Job{
+		{Name: "huge", Release: big.NewRat(0, 1), Weight: big.NewRat(4, 1), Size: big.NewRat(8, 1)},
+		{Name: "mid", Release: big.NewRat(1, 1), Weight: big.NewRat(1, 1), Size: big.NewRat(3, 1)},
+		{Name: "tiny", Release: big.NewRat(2, 1), Weight: big.NewRat(1, 1), Size: big.NewRat(1, 1)},
+	}
+	machines := []divflow.Machine{
+		{Name: "m0", InverseSpeed: big.NewRat(1, 1)},
+		{Name: "m1", InverseSpeed: big.NewRat(1, 1)},
+	}
+	inst, err := divflow.NewInstance(jobs, machines)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	div, err := divflow.MinMaxWeightedFlow(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pre, err := divflow.MinMaxWeightedFlowPreemptive(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := div.Schedule.Validate(inst, divflow.Divisible, nil); err != nil {
+		log.Fatalf("divisible schedule invalid: %v", err)
+	}
+	if err := pre.Schedule.Validate(inst, divflow.Preemptive, nil); err != nil {
+		log.Fatalf("preemptive schedule invalid: %v", err)
+	}
+
+	fmt.Printf("divisible  optimum: %s\n", div.Objective.RatString())
+	fmt.Printf("preemptive optimum: %s\n", pre.Objective.RatString())
+	gap := new(big.Rat).Sub(pre.Objective, div.Objective)
+	fmt.Printf("price of non-divisibility: %s\n\n", gap.RatString())
+
+	fmt.Println("divisible schedule (jobs may share machines in time):")
+	fmt.Print(div.Schedule)
+	fmt.Println("\npreemptive schedule (one machine per job at any instant):")
+	fmt.Print(pre.Schedule)
+	fmt.Println("\nBoth validated exactly against their execution model;")
+	fmt.Println("the preemptive one was rebuilt with the Lawler–Labetoulle scheme.")
+}

@@ -1,0 +1,78 @@
+// Quickstart: build a small databank platform, solve the max-weighted-flow
+// problem exactly, and print the optimal schedule.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"divflow"
+)
+
+func main() {
+	// Three motif-comparison requests against two databanks.
+	jobs := []divflow.Job{
+		{
+			Name:      "urgent-query",
+			Release:   big.NewRat(0, 1),
+			Weight:    big.NewRat(3, 1), // high priority
+			Size:      big.NewRat(6, 1), // Mflop
+			Databanks: []string{"swissprot"},
+		},
+		{
+			Name:      "batch-query",
+			Release:   big.NewRat(0, 1),
+			Weight:    big.NewRat(1, 1),
+			Size:      big.NewRat(12, 1),
+			Databanks: []string{"swissprot"},
+		},
+		{
+			Name:      "pdb-scan",
+			Release:   big.NewRat(4, 1),
+			Weight:    big.NewRat(2, 1),
+			Size:      big.NewRat(8, 1),
+			Databanks: []string{"pdb"},
+		},
+	}
+	// Two heterogeneous servers; only cluster-a hosts the PDB databank.
+	machines := []divflow.Machine{
+		{
+			Name:         "cluster-a",
+			InverseSpeed: big.NewRat(1, 2), // 2 Mflop/s
+			Databanks:    []string{"swissprot", "pdb"},
+		},
+		{
+			Name:         "cluster-b",
+			InverseSpeed: big.NewRat(1, 1), // 1 Mflop/s
+			Databanks:    []string{"swissprot"},
+		},
+	}
+
+	inst, err := divflow.NewInstance(jobs, machines)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := divflow.MinMaxWeightedFlow(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal max weighted flow: %s\n", res.Objective.RatString())
+	fmt.Printf("(found among %d milestones with %d exact LP solves)\n\n",
+		res.NumMilestones, res.LPSolves)
+
+	flows, err := res.Schedule.Flows(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for j := range inst.Jobs {
+		wf := new(big.Rat).Mul(inst.Jobs[j].Weight, flows[j])
+		fmt.Printf("%-14s flow %-8s weighted flow %s\n",
+			inst.Jobs[j].Name, flows[j].RatString(), wf.RatString())
+	}
+	fmt.Println("\nschedule (per machine):")
+	fmt.Print(res.Schedule)
+}

@@ -1,0 +1,59 @@
+package divflow
+
+import (
+	"encoding/json"
+	"math/big"
+	"os"
+	"testing"
+)
+
+// TestGoldenGripps3x2 pins the exact optimal values of the checked-in
+// testdata instance end to end (JSON decoding -> solvers -> metrics). Any
+// change to these values is a behavioural regression of the whole stack.
+func TestGoldenGripps3x2(t *testing.T) {
+	data, err := os.ReadFile("testdata/gripps3x2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inst Instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		t.Fatal(err)
+	}
+
+	mwf, err := MinMaxWeightedFlow(&inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := big.NewRat(6, 1); mwf.Objective.Cmp(want) != 0 {
+		t.Errorf("divisible MWF = %v, want 6", mwf.Objective)
+	}
+	if mwf.NumMilestones != 3 {
+		t.Errorf("milestones = %d, want 3", mwf.NumMilestones)
+	}
+
+	mk, err := MinMakespan(&inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := big.NewRat(26, 3); mk.Makespan.Cmp(want) != 0 {
+		t.Errorf("makespan = %v, want 26/3", mk.Makespan)
+	}
+
+	pre, err := MinMakespanPreemptive(&inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := big.NewRat(28, 3); pre.Makespan.Cmp(want) != 0 {
+		t.Errorf("preemptive makespan = %v, want 28/3", pre.Makespan)
+	}
+
+	stretchInst := inst.Clone()
+	stretchInst.WeightsForStretch()
+	st, err := MinMaxWeightedFlowPreemptive(stretchInst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := big.NewRat(25, 32); st.Objective.Cmp(want) != 0 {
+		t.Errorf("preemptive max stretch = %v, want 25/32", st.Objective)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"divflow/internal/affine"
+	"divflow/internal/intervals"
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+)
+
+// DeadlineFeasible decides, exactly, whether every job can be completed
+// inside its executable window [r_j, d̄_j] (Lemma 1 / System (2)), in the
+// given execution model (System (5) adds the per-job interval bound when
+// mode is Preemptive). On success it also returns a schedule meeting all
+// deadlines, reconstructed per Section 4.2 (divisible) or Section 4.4
+// (preemptive, via Lawler–Labetoulle).
+//
+// deadlines must have one entry per job; nil entries mean "no deadline".
+func DeadlineFeasible(inst *model.Instance, deadlines []*big.Rat, mode schedule.Model) (bool, *schedule.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return false, nil, err
+	}
+	if len(deadlines) != inst.N() {
+		return false, nil, fmt.Errorf("core: %d deadlines for %d jobs", len(deadlines), inst.N())
+	}
+	// Reject trivially-impossible windows up front: with strictly positive
+	// costs a job cannot finish at or before its release date.
+	for j, d := range deadlines {
+		if d != nil && d.Cmp(inst.Jobs[j].Release) <= 0 {
+			return false, nil, nil
+		}
+	}
+	// Epochal times: all release dates and all (finite) deadlines, plus a
+	// horizon H large enough that jobs *without* a deadline always fit
+	// after the last release (H = r_max + Σ_j min_i c_{i,j} covers running
+	// them back to back on their fastest machines). The extra epochal time
+	// only refines the interval decomposition; it never changes
+	// feasibility of System (2).
+	var times []affine.Form
+	horizon := new(big.Rat)
+	for j := range inst.Jobs {
+		times = append(times, affine.Const(inst.Jobs[j].Release))
+		if inst.Jobs[j].Release.Cmp(horizon) > 0 {
+			horizon.Set(inst.Jobs[j].Release)
+		}
+	}
+	span := new(big.Rat)
+	for j := range inst.Jobs {
+		var best *big.Rat
+		for _, i := range inst.EligibleMachines(j) {
+			c, _ := inst.Cost(i, j)
+			if best == nil || c.Cmp(best) < 0 {
+				best = c
+			}
+		}
+		span.Add(span, best)
+	}
+	horizon.Add(horizon, span)
+	for _, d := range deadlines {
+		if d != nil {
+			times = append(times, affine.Const(d))
+			if d.Cmp(horizon) > 0 {
+				horizon.Set(d)
+			}
+		}
+	}
+	times = append(times, affine.Const(horizon))
+	ivs := intervals.Build(times, new(big.Rat))
+
+	rl := newRangeLP(inst, mode, ivs, constDeadlines(deadlines), affine.Range{Lo: new(big.Rat), Hi: new(big.Rat)})
+	sol, err := rl.solve()
+	if err != nil {
+		return false, nil, err
+	}
+	if sol == nil {
+		return false, nil, nil
+	}
+	s, err := rl.extract(sol)
+	if err != nil {
+		return false, nil, err
+	}
+	return true, s, nil
+}

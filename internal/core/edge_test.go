@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+)
+
+// TestEqualWeightsParallelDeadlines: with all weights equal, deadline forms
+// are parallel and never cross each other; milestones come only from
+// deadline-release crossings.
+func TestEqualWeightsParallelDeadlines(t *testing.T) {
+	inst := oneMachine(t, []model.Job{
+		{Name: "a", Release: r(0, 1), Weight: r(1, 1), Size: r(1, 1)},
+		{Name: "b", Release: r(4, 1), Weight: r(1, 1), Size: r(1, 1)},
+		{Name: "c", Release: r(9, 1), Weight: r(1, 1), Size: r(1, 1)},
+	})
+	ms := Milestones(inst)
+	// d_a crosses r_b (F=4) and r_c (F=9); d_b crosses r_c (F=5);
+	// no deadline-deadline crossings. Also negative crossings discarded.
+	want := []*big.Rat{r(4, 1), r(5, 1), r(9, 1)}
+	if len(ms) != len(want) {
+		t.Fatalf("milestones = %v, want %v", ms, want)
+	}
+	for i := range want {
+		if ms[i].Cmp(want[i]) != 0 {
+			t.Errorf("milestone %d = %v, want %v", i, ms[i], want[i])
+		}
+	}
+	res, err := MinMaxWeightedFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs don't overlap in time (gaps >= sizes): each flows exactly its
+	// processing time 1.
+	if res.Objective.Cmp(r(1, 1)) != 0 {
+		t.Errorf("objective = %v, want 1", res.Objective)
+	}
+}
+
+// TestSingleEligibleMachineContention: two jobs forced onto the same
+// machine by databank placement while a faster machine idles.
+func TestSingleEligibleMachineContention(t *testing.T) {
+	jobs := []model.Job{
+		{Name: "a", Release: r(0, 1), Weight: r(1, 1), Size: r(2, 1), Databanks: []string{"x"}},
+		{Name: "b", Release: r(0, 1), Weight: r(1, 1), Size: r(2, 1), Databanks: []string{"x"}},
+	}
+	machines := []model.Machine{
+		{Name: "holder", InverseSpeed: r(1, 1), Databanks: []string{"x"}},
+		{Name: "idle-fast", InverseSpeed: r(1, 10)},
+	}
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinMaxWeightedFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both compete for "holder": last completion at 4, best is to finish
+	// one at 2: optimum max flow = 4 (divisibility cannot help a single
+	// machine).
+	if res.Objective.Cmp(r(4, 1)) != 0 {
+		t.Errorf("objective = %v, want 4", res.Objective)
+	}
+	for _, p := range res.Schedule.Pieces {
+		if p.Machine == 1 {
+			t.Fatal("idle-fast must stay idle (no databank)")
+		}
+	}
+}
+
+// TestExtremeWeights exercises very skewed rational weights (tiny and huge
+// denominators) through the milestone machinery.
+func TestExtremeWeights(t *testing.T) {
+	inst := oneMachine(t, []model.Job{
+		{Name: "vip", Release: r(0, 1), Weight: big.NewRat(1000000, 1), Size: r(1, 1)},
+		{Name: "besteffort", Release: r(0, 1), Weight: big.NewRat(1, 1000000), Size: r(1, 1)},
+	})
+	res, err := MinMaxWeightedFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(inst, schedule.Divisible, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The VIP job must be served first: its completion dominates the
+	// objective. C_vip = 1 -> objective 1e6; best-effort then ends at 2
+	// with weighted flow 2e-6.
+	if res.Objective.Cmp(big.NewRat(1000000, 1)) != 0 {
+		t.Errorf("objective = %v, want 1000000", res.Objective)
+	}
+	cs := res.Schedule.Completions(inst.N())
+	if cs[0].Cmp(r(1, 1)) != 0 {
+		t.Errorf("vip completes at %v, want 1", cs[0])
+	}
+}
+
+// TestFractionalData exercises non-integer releases, sizes and speeds.
+func TestFractionalData(t *testing.T) {
+	jobs := []model.Job{
+		{Name: "a", Release: big.NewRat(1, 3), Weight: big.NewRat(2, 7), Size: big.NewRat(5, 4)},
+		{Name: "b", Release: big.NewRat(1, 2), Weight: big.NewRat(3, 5), Size: big.NewRat(7, 6)},
+	}
+	machines := []model.Machine{
+		{Name: "m0", InverseSpeed: big.NewRat(3, 2)},
+		{Name: "m1", InverseSpeed: big.NewRat(5, 7)},
+	}
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinMaxWeightedFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(inst, schedule.Divisible, nil); err != nil {
+		t.Fatal(err)
+	}
+	optimalityProbe(t, inst, res.Objective, schedule.Divisible, -2)
+}
+
+// TestManyMachinesSingleJob: a divisible job on many machines runs at the
+// aggregate rate Σ 1/c_i.
+func TestManyMachinesSingleJob(t *testing.T) {
+	job := []model.Job{{Name: "J", Release: r(0, 1), Weight: r(1, 1), Size: r(60, 1)}}
+	var machines []model.Machine
+	for i := 1; i <= 5; i++ {
+		machines = append(machines, model.Machine{
+			Name:         "m",
+			InverseSpeed: big.NewRat(int64(i), 1),
+		})
+	}
+	inst, err := model.NewInstance(job, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinMakespan(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate speed = (1 + 1/2 + 1/3 + 1/4 + 1/5)/60 per sec of the
+	// job; T = 60 / (137/60) = 3600/137.
+	want := big.NewRat(3600, 137)
+	if res.Makespan.Cmp(want) != 0 {
+		t.Errorf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+// TestIdenticalJobs: symmetric jobs must still produce a valid exact
+// solution (degenerate LPs, duplicate milestones).
+func TestIdenticalJobs(t *testing.T) {
+	var jobs []model.Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, model.Job{Name: "same", Release: r(1, 1), Weight: r(2, 1), Size: r(3, 1)})
+	}
+	machines := []model.Machine{
+		{Name: "m0", InverseSpeed: r(1, 1)},
+		{Name: "m1", InverseSpeed: r(1, 1)},
+	}
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinMaxWeightedFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(inst, schedule.Divisible, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 12 units of work, 2 unit machines, all jobs equal: the optimum
+	// equalizes completions at t=7 -> flow 6, weighted 12.
+	if res.Objective.Cmp(r(12, 1)) != 0 {
+		t.Errorf("objective = %v, want 12", res.Objective)
+	}
+}
+
+// TestPreemptiveTwoJobsTwoMachinesSymmetric is a case where the preemptive
+// and divisible optima coincide (enough machines for everyone).
+func TestPreemptiveTwoJobsTwoMachinesSymmetric(t *testing.T) {
+	jobs := []model.Job{
+		{Name: "a", Release: r(0, 1), Weight: r(1, 1), Size: r(2, 1)},
+		{Name: "b", Release: r(0, 1), Weight: r(1, 1), Size: r(2, 1)},
+	}
+	machines := []model.Machine{
+		{Name: "m0", InverseSpeed: r(1, 1)},
+		{Name: "m1", InverseSpeed: r(1, 1)},
+	}
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := MinMaxWeightedFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := MinMaxWeightedFlowPreemptive(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div.Objective.Cmp(r(2, 1)) != 0 || pre.Objective.Cmp(r(2, 1)) != 0 {
+		t.Errorf("optima = %v / %v, want 2 / 2", div.Objective, pre.Objective)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+	"divflow/internal/workload"
+)
+
+func TestPreemptiveMakespanSingleBigJob(t *testing.T) {
+	// One job of size 4 on two unit machines: divisible halves it (C=2),
+	// preemptive cannot run it on both at once (C=4).
+	jobs := []model.Job{{Name: "J", Release: r(0, 1), Weight: r(1, 1), Size: r(4, 1)}}
+	machines := []model.Machine{
+		{Name: "m0", InverseSpeed: r(1, 1)},
+		{Name: "m1", InverseSpeed: r(1, 1)},
+	}
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := MinMakespan(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := MinMakespanPreemptive(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div.Makespan.Cmp(r(2, 1)) != 0 {
+		t.Errorf("divisible makespan = %v, want 2", div.Makespan)
+	}
+	if pre.Makespan.Cmp(r(4, 1)) != 0 {
+		t.Errorf("preemptive makespan = %v, want 4", pre.Makespan)
+	}
+	if err := pre.Schedule.Validate(inst, schedule.Preemptive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreemptiveMakespanGonzalezSahni(t *testing.T) {
+	// Three size-3 jobs on two unit machines, all at t=0: the classical
+	// P|pmtn|Cmax optimum is max(total/m, max job) = max(9/2, 3) = 9/2
+	// (McNaughton's wrap-around rule); System (4) must find it and the
+	// Lawler–Labetoulle reconstruction must realize it.
+	jobs := []model.Job{
+		{Name: "a", Release: r(0, 1), Weight: r(1, 1), Size: r(3, 1)},
+		{Name: "b", Release: r(0, 1), Weight: r(1, 1), Size: r(3, 1)},
+		{Name: "c", Release: r(0, 1), Weight: r(1, 1), Size: r(3, 1)},
+	}
+	machines := []model.Machine{
+		{Name: "m0", InverseSpeed: r(1, 1)},
+		{Name: "m1", InverseSpeed: r(1, 1)},
+	}
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := MinMakespanPreemptive(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Makespan.Cmp(r(9, 2)) != 0 {
+		t.Errorf("preemptive makespan = %v, want 9/2", pre.Makespan)
+	}
+	if err := pre.Schedule.Validate(inst, schedule.Preemptive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreemptiveMakespanIsExactOptimum(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := workload.Default()
+		cfg.Seed = seed
+		cfg.Jobs = 4
+		cfg.Machines = 3
+		inst := workload.MustGenerate(cfg)
+		res, err := MinMakespanPreemptive(inst)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := res.Schedule.Validate(inst, schedule.Preemptive, nil); err != nil {
+			t.Fatalf("seed %d: invalid schedule: %v", seed, err)
+		}
+		same := func(f *big.Rat) []*big.Rat {
+			out := make([]*big.Rat, inst.N())
+			for j := range out {
+				out[j] = f
+			}
+			return out
+		}
+		ok, _, err := DeadlineFeasible(inst, same(res.Makespan), schedule.Preemptive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: M* = %v not feasible", seed, res.Makespan)
+		}
+		below := new(big.Rat).Mul(res.Makespan, r(999999, 1000000))
+		ok, _, err = DeadlineFeasible(inst, same(below), schedule.Preemptive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("seed %d: M* = %v not optimal", seed, res.Makespan)
+		}
+		// And the divisible relaxation is a lower bound.
+		div, err := MinMakespan(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan.Cmp(div.Makespan) < 0 {
+			t.Fatalf("seed %d: preemptive %v below divisible %v", seed, res.Makespan, div.Makespan)
+		}
+	}
+}
+
+func TestPreemptiveMakespanWithReleases(t *testing.T) {
+	// Releases split the horizon into intervals; the preemptive variant
+	// must still decompose every interval without overlap.
+	jobs := []model.Job{
+		{Name: "early", Release: r(0, 1), Weight: r(1, 1), Size: r(4, 1)},
+		{Name: "late", Release: r(3, 1), Weight: r(1, 1), Size: r(4, 1)},
+	}
+	machines := []model.Machine{
+		{Name: "m0", InverseSpeed: r(1, 1)},
+		{Name: "m1", InverseSpeed: r(2, 1)},
+	}
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinMakespanPreemptive(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(inst, schedule.Preemptive, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.Makespan(); got.Cmp(res.Makespan) > 0 {
+		t.Errorf("schedule ends at %v after reported %v", got, res.Makespan)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"divflow/internal/affine"
+	"divflow/internal/intervals"
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+)
+
+// Result is the outcome of max-weighted-flow minimization.
+type Result struct {
+	// Objective is the exact optimal value of max_j w_j (C_j − r_j).
+	Objective *big.Rat
+	// Schedule achieves the optimum in the requested execution model.
+	Schedule *schedule.Schedule
+	// Range is the milestone range the optimum lies in.
+	Range affine.Range
+	// NumMilestones is the number of distinct milestones of the instance.
+	NumMilestones int
+	// LPSolves counts exact LP solves performed (O(log NumMilestones)).
+	LPSolves int
+}
+
+// MinMaxWeightedFlow computes the exact optimal maximum weighted flow in the
+// divisible-load model (Theorem 2): milestones are enumerated, a binary
+// search locates the first milestone range on which LP (3) is feasible, and
+// the LP's minimal F on that range is the global optimum.
+func MinMaxWeightedFlow(inst *model.Instance) (*Result, error) {
+	return minMaxWeightedFlow(inst, nil, schedule.Divisible)
+}
+
+// MinMaxWeightedFlowPreemptive computes the exact optimal maximum weighted
+// flow when jobs are preemptible but not divisible (Section 4.4): the range
+// LP gains the per-job per-interval bound (5b), and the schedule is rebuilt
+// with the Lawler–Labetoulle decomposition.
+func MinMaxWeightedFlowPreemptive(inst *model.Instance) (*Result, error) {
+	return minMaxWeightedFlow(inst, nil, schedule.Preemptive)
+}
+
+// MinMaxWeightedFlowWithOrigins solves the same problem with each job's
+// flow measured from origins[j] instead of its release date: the objective
+// is max_j w_j (C_j − o_j), with o_j <= r_j. This is the primitive behind
+// the online adaptation sketched in the paper's conclusion: at every event
+// the scheduler re-solves the offline problem on the residual work, with
+// origins remembering how long each job has already been in the system.
+func MinMaxWeightedFlowWithOrigins(inst *model.Instance, origins []*big.Rat, mode schedule.Model) (*Result, error) {
+	if len(origins) != inst.N() {
+		return nil, fmt.Errorf("core: %d origins for %d jobs", len(origins), inst.N())
+	}
+	for j, o := range origins {
+		if o == nil || o.Cmp(inst.Jobs[j].Release) > 0 {
+			return nil, fmt.Errorf("core: origin of job %d must exist and precede its release", j)
+		}
+	}
+	return minMaxWeightedFlow(inst, origins, mode)
+}
+
+func minMaxWeightedFlow(inst *model.Instance, origins []*big.Rat, mode schedule.Model) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if origins == nil {
+		origins = releaseOrigins(inst)
+	}
+	ms := milestonesWithOrigins(inst, origins)
+	ranges := ObjectiveRanges(ms)
+	dls := flowDeadlines(inst, origins)
+
+	solveOne := func(k int) (*rangeLP, *rangeSolution, error) {
+		rg := ranges[k]
+		var times []affine.Form
+		for j := range inst.Jobs {
+			times = append(times, affine.Const(inst.Jobs[j].Release))
+			times = append(times, *dls[j])
+		}
+		ivs := intervals.Build(times, rg.Interior())
+		rl := newRangeLP(inst, mode, ivs, dls, rg)
+		sol, err := rl.solve()
+		return rl, sol, err
+	}
+
+	// Feasibility of a range is monotone in its index: if some F is
+	// feasible then every F' >= F is (deadlines only loosen). Binary
+	// search for the leftmost feasible range; the last range is always
+	// feasible because every job can run somewhere.
+	lo, hi := 0, len(ranges)-1
+	solves := 0
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		_, sol, err := solveOne(mid)
+		solves++
+		if err != nil {
+			return nil, err
+		}
+		if sol != nil {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	rl, sol, err := solveOne(lo)
+	solves++
+	if err != nil {
+		return nil, err
+	}
+	if sol == nil {
+		return nil, errors.New("core: final milestone range unexpectedly infeasible")
+	}
+	s, err := rl.extract(sol)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Objective:     sol.F,
+		Schedule:      s,
+		Range:         ranges[lo],
+		NumMilestones: len(ms),
+		LPSolves:      solves,
+	}, nil
+}
+
+// ApproxResult is the outcome of the ε-precision binary search baseline.
+type ApproxResult struct {
+	// Lo is an infeasible objective value (or 0) and Hi a feasible one,
+	// with Hi − Lo <= Eps. The true optimum lies in (Lo, Hi].
+	Lo, Hi *big.Rat
+	// Schedule achieves max weighted flow at most Hi.
+	Schedule *schedule.Schedule
+	// FeasibilityChecks counts System (2) solves performed.
+	FeasibilityChecks int
+}
+
+// ApproxMinMaxWeightedFlow is the "naive" alternative the paper argues
+// against in Section 4.3.1: a plain binary search on the objective value
+// using deadline-feasibility tests, stopped when the bracket is smaller
+// than eps. It cannot return the exact optimum (the search may never attain
+// an arbitrary rational), but brackets it; the milestone algorithm is both
+// exact and asymptotically cheaper. Kept as an ablation baseline and as an
+// independent cross-check of MinMaxWeightedFlow.
+func ApproxMinMaxWeightedFlow(inst *model.Instance, mode schedule.Model, eps *big.Rat) (*ApproxResult, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if eps == nil || eps.Sign() <= 0 {
+		return nil, fmt.Errorf("core: eps must be positive")
+	}
+	feasible := func(f *big.Rat) (bool, *schedule.Schedule, error) {
+		dls := make([]*big.Rat, inst.N())
+		for j := range dls {
+			d := new(big.Rat).Quo(f, inst.Jobs[j].Weight)
+			dls[j] = d.Add(d, inst.Jobs[j].Release)
+		}
+		return DeadlineFeasible(inst, dls, mode)
+	}
+	checks := 0
+	lo := new(big.Rat)
+	hi := big.NewRat(1, 1)
+	var hiSched *schedule.Schedule
+	for {
+		ok, s, err := feasible(hi)
+		checks++
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hiSched = s
+			break
+		}
+		lo.Set(hi)
+		hi = new(big.Rat).Mul(hi, big.NewRat(2, 1))
+	}
+	for {
+		gap := new(big.Rat).Sub(hi, lo)
+		if gap.Cmp(eps) <= 0 {
+			break
+		}
+		mid := new(big.Rat).Add(lo, hi)
+		mid.Quo(mid, big.NewRat(2, 1))
+		ok, s, err := feasible(mid)
+		checks++
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi = mid
+			hiSched = s
+		} else {
+			lo = mid
+		}
+	}
+	return &ApproxResult{Lo: lo, Hi: hi, Schedule: hiSched, FeasibilityChecks: checks}, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/big"
+	"sort"
+
+	"divflow/internal/affine"
+	"divflow/internal/model"
+)
+
+// Milestones enumerates the critical objective values of Section 4.3.2: the
+// positive values of F at which some deadline d̄_j(F) = r_j + F/w_j
+// coincides with a release date r_k or with another deadline d̄_k(F). The
+// relative order of all epochal times is constant between two consecutive
+// milestones, which is what makes the binary search of Theorem 2 exact.
+// There are at most n(n−1)/2 + n(n−1)/2 = n²−n of them; the returned slice
+// is sorted in increasing order and duplicate-free.
+func Milestones(inst *model.Instance) []*big.Rat {
+	return milestonesWithOrigins(inst, releaseOrigins(inst))
+}
+
+// milestonesWithOrigins generalizes Milestones to deadlines anchored at
+// arbitrary flow origins o_j (used by the online residual re-solve, where a
+// job's flow started at its original submission, before the residual
+// instance's uniform release date).
+func milestonesWithOrigins(inst *model.Instance, origins []*big.Rat) []*big.Rat {
+	n := inst.N()
+	seen := make(map[string]bool)
+	var out []*big.Rat
+	add := func(f *big.Rat) {
+		if f.Sign() <= 0 {
+			return
+		}
+		key := f.RatString()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, f)
+	}
+	for j := 0; j < n; j++ {
+		dj := affine.New(origins[j], new(big.Rat).Inv(inst.Jobs[j].Weight))
+		// Deadline j crosses release k: o_j + F/w_j = r_k. The k == j case
+		// matters only when the origin precedes the release (online
+		// residual solves): there d̄_j crosses its own release at
+		// F = w_j (r_j − o_j) > 0; in the plain problem o_j = r_j gives
+		// F = 0, which is discarded.
+		for k := 0; k < n; k++ {
+			rk := affine.Const(inst.Jobs[k].Release)
+			if f, ok := dj.Intersection(rk); ok {
+				add(f)
+			}
+		}
+		// Deadline j crosses deadline k (affine forms intersect at most
+		// once; parallel when w_j == w_k).
+		for k := j + 1; k < n; k++ {
+			dk := affine.New(origins[k], new(big.Rat).Inv(inst.Jobs[k].Weight))
+			if f, ok := dj.Intersection(dk); ok {
+				add(f)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Cmp(out[b]) < 0 })
+	return out
+}
+
+// ObjectiveRanges turns the sorted milestones F_1 < ... < F_nq into the
+// candidate search ranges [0, F_1], [F_1, F_2], ..., [F_nq, +∞). With no
+// milestone the single range [0, +∞) covers everything.
+func ObjectiveRanges(milestones []*big.Rat) []affine.Range {
+	lo := new(big.Rat)
+	out := make([]affine.Range, 0, len(milestones)+1)
+	for _, m := range milestones {
+		out = append(out, affine.Range{Lo: lo, Hi: m})
+		lo = m
+	}
+	out = append(out, affine.Range{Lo: lo})
+	return out
+}

@@ -1,0 +1,107 @@
+package gripps
+
+import (
+	"math/rand"
+)
+
+// Natural-ish amino acid frequencies (per mille, order of Alphabet:
+// ACDEFGHIKLMNPQRSTVWY), approximating the SWISS-PROT composition. The
+// exact values only flavor the synthetic data; they do not affect any
+// reproduced claim.
+var residueFreq = [20]int{
+	83, 14, 55, 67, 39, 71, 23, 59, 58, 97,
+	24, 40, 47, 39, 55, 66, 53, 69, 11, 30,
+}
+
+var freqCumulative = func() [20]int {
+	var out [20]int
+	sum := 0
+	for i, f := range residueFreq {
+		sum += f
+		out[i] = sum
+	}
+	return out
+}()
+
+// Databank is a named collection of protein sequences, the unit of
+// placement in the scheduling model (jobs may only run where their databank
+// resides).
+type Databank struct {
+	Name      string
+	Sequences [][]byte
+}
+
+// GenerateDatabank synthesizes n protein sequences whose lengths are
+// geometrically distributed around meanLen (minimum 20 residues) and whose
+// residues follow natural frequencies. Deterministic in seed.
+func GenerateDatabank(name string, n, meanLen int, seed int64) *Databank {
+	rng := rand.New(rand.NewSource(seed))
+	db := &Databank{Name: name, Sequences: make([][]byte, n)}
+	for i := range db.Sequences {
+		length := 20 + int(rng.ExpFloat64()*float64(meanLen-20))
+		seq := make([]byte, length)
+		for k := range seq {
+			seq[k] = randomResidue(rng)
+		}
+		db.Sequences[i] = seq
+	}
+	return db
+}
+
+func randomResidue(rng *rand.Rand) byte {
+	total := freqCumulative[len(freqCumulative)-1]
+	x := rng.Intn(total)
+	for i, c := range freqCumulative {
+		if x < c {
+			return Alphabet[i]
+		}
+	}
+	return Alphabet[len(Alphabet)-1]
+}
+
+// NumSequences returns the number of sequences.
+func (d *Databank) NumSequences() int { return len(d.Sequences) }
+
+// TotalResidues returns the total number of residues.
+func (d *Databank) TotalResidues() int64 {
+	var total int64
+	for _, s := range d.Sequences {
+		total += int64(len(s))
+	}
+	return total
+}
+
+// Subset returns a databank of k sequences drawn uniformly without
+// replacement (the partitioning protocol of the Figure 1(a) experiments).
+func (d *Databank) Subset(rng *rand.Rand, k int) *Databank {
+	if k >= len(d.Sequences) {
+		return &Databank{Name: d.Name, Sequences: d.Sequences}
+	}
+	idx := rng.Perm(len(d.Sequences))[:k]
+	out := &Databank{Name: d.Name, Sequences: make([][]byte, k)}
+	for i, j := range idx {
+		out.Sequences[i] = d.Sequences[j]
+	}
+	return out
+}
+
+// ScanResult aggregates one GriPPS invocation: the number of motif matches
+// found, the residues that had to be loaded, and the scanning operations
+// performed (the work measure driving the cost model).
+type ScanResult struct {
+	Matches  int64
+	Residues int64
+	Ops      int64
+}
+
+// Scan runs every motif against every sequence of the databank.
+func Scan(db *Databank, motifs []*Motif) ScanResult {
+	var res ScanResult
+	res.Residues = db.TotalResidues()
+	for _, seq := range db.Sequences {
+		for _, m := range motifs {
+			res.Matches += int64(m.Count(seq, &res.Ops))
+		}
+	}
+	return res
+}

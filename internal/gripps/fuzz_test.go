@@ -1,0 +1,72 @@
+package gripps
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMotif checks that the motif compiler never panics and that any
+// pattern it accepts can be matched against sequences without panicking and
+// with sane results.
+func FuzzParseMotif(f *testing.F) {
+	for _, seed := range []string{
+		"C-x(2,4)-C-x(3)-[LIVMFYWC]",
+		"<M-A-x>",
+		"{P}-[AC](2)-x(0,3)-W",
+		"A(3)",
+		"x",
+		"[LIV]-{P}-A",
+		"-", "((", "C-", "[B]", "x(9,1)", "<>",
+	} {
+		f.Add(seed)
+	}
+	seqs := [][]byte{
+		[]byte("ACDEFGHIKLMNPQRSTVWY"),
+		[]byte("MAMAMAMA"),
+		[]byte("AAAA"),
+		[]byte(""),
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		if len(pattern) > 200 {
+			return // keep matching cost bounded
+		}
+		m, err := ParseMotif(pattern)
+		if err != nil {
+			return
+		}
+		if m.MinLength() < 0 {
+			t.Fatalf("negative MinLength for %q", pattern)
+		}
+		var ops int64
+		for _, seq := range seqs {
+			n := m.Count(seq, &ops)
+			if n < 0 || n > len(seq)+1 {
+				t.Fatalf("pattern %q: %d matches on %d residues", pattern, n, len(seq))
+			}
+		}
+		if ops < 0 {
+			t.Fatalf("pattern %q: negative op count", pattern)
+		}
+	})
+}
+
+// FuzzClassMask checks the residue-class parser in isolation.
+func FuzzClassMask(f *testing.F) {
+	f.Add("LIVM")
+	f.Add("")
+	f.Add("ZZZ")
+	f.Fuzz(func(t *testing.T, s string) {
+		mask, err := classMask(s)
+		if err != nil {
+			return
+		}
+		if mask == 0 {
+			t.Fatalf("classMask(%q) accepted but produced empty mask", s)
+		}
+		for i := 0; i < len(s); i++ {
+			if !strings.ContainsRune(Alphabet, rune(s[i])) {
+				t.Fatalf("classMask(%q) accepted non-residue %q", s, s[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package gripps
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseMotifExact(t *testing.T) {
+	m, err := ParseMotif("C-A-T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.elements) != 3 || m.MinLength() != 3 {
+		t.Fatalf("elements = %d, minlen = %d", len(m.elements), m.MinLength())
+	}
+	var ops int64
+	if got := m.Count([]byte("CATCAT"), &ops); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+	if got := m.Count([]byte("CCCC"), &ops); got != 0 {
+		t.Errorf("count = %d, want 0", got)
+	}
+	if ops == 0 {
+		t.Error("operations must be charged")
+	}
+}
+
+func TestParseMotifClassAndNot(t *testing.T) {
+	m, err := ParseMotif("[LIV]-{P}-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops int64
+	if got := m.Count([]byte("LGA"), &ops); got != 1 {
+		t.Errorf("LGA: count = %d, want 1", got)
+	}
+	if got := m.Count([]byte("LPA"), &ops); got != 0 {
+		t.Errorf("LPA: count = %d, want 0 ({P} must reject P)", got)
+	}
+	if got := m.Count([]byte("GGA"), &ops); got != 0 {
+		t.Errorf("GGA: count = %d, want 0 (G not in [LIV])", got)
+	}
+}
+
+func TestParseMotifRepetition(t *testing.T) {
+	m, err := ParseMotif("C-x(2,4)-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops int64
+	cases := []struct {
+		seq  string
+		want int
+	}{
+		{"CAAC", 1},   // gap 2
+		{"CAAAC", 1},  // gap 3
+		{"CAAAAC", 1}, // gap 4
+		{"CAC", 0},    // gap 1: too short
+		{"CAAAAAC", 0},
+	}
+	for _, tc := range cases {
+		if got := m.Count([]byte(tc.seq), &ops); got != tc.want {
+			t.Errorf("%s: count = %d, want %d", tc.seq, got, tc.want)
+		}
+	}
+}
+
+func TestParseMotifFixedRepetition(t *testing.T) {
+	m, err := ParseMotif("A(3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops int64
+	if got := m.Count([]byte("AAAA"), &ops); got != 2 {
+		t.Errorf("AAAA: count = %d, want 2 (positions 0 and 1)", got)
+	}
+}
+
+func TestParseMotifAnchors(t *testing.T) {
+	ms, err := ParseMotif("<M-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops int64
+	if got := ms.Count([]byte("MAMA"), &ops); got != 1 {
+		t.Errorf("anchored start: count = %d, want 1", got)
+	}
+	if got := ms.Count([]byte("AMAM"), &ops); got != 0 {
+		t.Errorf("anchored start mismatch: count = %d, want 0", got)
+	}
+	me, err := ParseMotif("A-M>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := me.Count([]byte("AMAM"), &ops); got != 1 {
+		t.Errorf("anchored end: count = %d, want 1", got)
+	}
+	if got := me.Count([]byte("AMA"), &ops); got != 0 {
+		t.Errorf("anchored end mismatch: count = %d, want 0", got)
+	}
+}
+
+func TestParseMotifErrors(t *testing.T) {
+	for _, bad := range []string{"", "B", "[]", "[LB]", "x(3,2)", "x(", "A--C", "foo"} {
+		if _, err := ParseMotif(bad); err == nil {
+			t.Errorf("ParseMotif(%q): expected error", bad)
+		}
+	}
+}
+
+func TestBacktrackingOverlap(t *testing.T) {
+	// Variable gap followed by a literal requires backtracking:
+	// C-x(0,2)-A on "CBA": gap must stretch to 1.
+	m, err := ParseMotif("C-x(0,2)-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops int64
+	if got := m.Count([]byte("CGA"), &ops); got != 1 {
+		t.Errorf("CGA: count = %d, want 1", got)
+	}
+	if got := m.Count([]byte("CA"), &ops); got != 1 {
+		t.Errorf("CA: count = %d, want 1 (zero-length gap)", got)
+	}
+}
+
+func TestGenerateDatabankDeterministic(t *testing.T) {
+	a := GenerateDatabank("a", 50, 100, 7)
+	b := GenerateDatabank("b", 50, 100, 7)
+	if a.TotalResidues() != b.TotalResidues() {
+		t.Error("same seed must give identical databanks")
+	}
+	if a.NumSequences() != 50 {
+		t.Errorf("n = %d", a.NumSequences())
+	}
+	for _, s := range a.Sequences {
+		if len(s) < 20 {
+			t.Fatalf("sequence shorter than 20: %d", len(s))
+		}
+		for _, c := range s {
+			if !strings.ContainsRune(Alphabet, rune(c)) {
+				t.Fatalf("non-amino residue %q", c)
+			}
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	db := GenerateDatabank("x", 100, 80, 1)
+	rng := rand.New(rand.NewSource(2))
+	sub := db.Subset(rng, 30)
+	if sub.NumSequences() != 30 {
+		t.Errorf("subset size = %d", sub.NumSequences())
+	}
+	full := db.Subset(rng, 1000)
+	if full.NumSequences() != 100 {
+		t.Errorf("oversized subset should return everything, got %d", full.NumSequences())
+	}
+}
+
+func TestScanCountsWork(t *testing.T) {
+	db := GenerateDatabank("x", 20, 60, 3)
+	motifs := RandomMotifSet(rand.New(rand.NewSource(4)), 5)
+	res := Scan(db, motifs)
+	if res.Residues != db.TotalResidues() {
+		t.Errorf("residues = %d, want %d", res.Residues, db.TotalResidues())
+	}
+	if res.Ops <= 0 {
+		t.Error("scan must charge operations")
+	}
+}
+
+func TestCalibrationAnchorsPaperNumbers(t *testing.T) {
+	db := GenerateDatabank("x", 200, 80, 5)
+	motifs := RandomMotifSet(rand.New(rand.NewSource(6)), 10)
+	cm, full, err := Calibrate(db, motifs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full workload must cost exactly the paper's 110 s.
+	if got := cm.Time(full); math.Abs(got-PaperFullWorkloadSec) > 1e-9 {
+		t.Errorf("full workload = %v s, want %v", got, PaperFullWorkloadSec)
+	}
+	// A full-databank invocation with zero scanning costs the motif
+	// overhead.
+	loadOnly := ScanResult{Residues: full.Residues}
+	if got := cm.Time(loadOnly); math.Abs(got-PaperMotifOverheadSec) > 1e-9 {
+		t.Errorf("load-only = %v s, want %v", got, PaperMotifOverheadSec)
+	}
+	// An empty invocation costs the startup overhead.
+	if got := cm.Time(ScanResult{}); math.Abs(got-PaperSeqOverheadSec) > 1e-9 {
+		t.Errorf("empty = %v s, want %v", got, PaperSeqOverheadSec)
+	}
+}
+
+func smallConfig() ExperimentConfig {
+	return ExperimentConfig{
+		NumSequences: 300,
+		MeanLen:      60,
+		NumMotifs:    12,
+		Steps:        6,
+		Reps:         2,
+		Seed:         9,
+	}
+}
+
+func TestFigure1aShape(t *testing.T) {
+	res, err := Figure1a(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 12 {
+		t.Fatalf("points = %d, want steps*reps = 12", len(res.Points))
+	}
+	// Linearity: the paper reports a nearly perfect linear relationship.
+	if res.Fit.R2 < 0.98 {
+		t.Errorf("R^2 = %v, want >= 0.98 (near-perfect linearity)", res.Fit.R2)
+	}
+	// The intercept must reproduce the small sequence-partitioning
+	// overhead (1.1 s), well below the motif-partitioning overhead.
+	if res.Fit.Intercept < 0 || res.Fit.Intercept > 4 {
+		t.Errorf("intercept = %v s, want ≈ 1.1 (small overhead)", res.Fit.Intercept)
+	}
+	if res.Fit.Slope <= 0 {
+		t.Errorf("slope = %v, want positive", res.Fit.Slope)
+	}
+}
+
+func TestFigure1bShape(t *testing.T) {
+	res, err := Figure1b(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Motif subsets are random, and per-motif scan costs are heterogeneous,
+	// so a 12-motif test config shows visible scatter (as does the paper's
+	// own Figure 1(b)); larger configs tighten the fit.
+	if res.Fit.R2 < 0.90 {
+		t.Errorf("R^2 = %v, want >= 0.90", res.Fit.R2)
+	}
+	// The intercept must reproduce the large motif-partitioning overhead:
+	// around 10.5 s, clearly separated from 1.1 s.
+	if res.Fit.Intercept < 6 || res.Fit.Intercept > 15 {
+		t.Errorf("intercept = %v s, want ≈ 10.5 (databank-load overhead)", res.Fit.Intercept)
+	}
+	if res.Fit.Slope <= 0 {
+		t.Errorf("slope = %v, want positive", res.Fit.Slope)
+	}
+}
+
+func TestOverheadSeparation(t *testing.T) {
+	// The headline claim of Section 2: sequence partitioning has an order
+	// of magnitude smaller fixed overhead than motif partitioning.
+	cfg := smallConfig()
+	a, err := Figure1a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure1b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(a.Fit.Intercept < b.Fit.Intercept/2) {
+		t.Errorf("overheads not separated: seq %.3f vs motif %.3f",
+			a.Fit.Intercept, b.Fit.Intercept)
+	}
+}
+
+func TestFigureTableRendering(t *testing.T) {
+	res, err := Figure1a(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Table()
+	for _, want := range []string{"sequence partitioning", "fit:", "paper overhead: 1.1"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestRandomMotifSetDistinct(t *testing.T) {
+	ms := RandomMotifSet(rand.New(rand.NewSource(12)), 40)
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m.Pattern] {
+			t.Fatalf("duplicate motif %q", m.Pattern)
+		}
+		seen[m.Pattern] = true
+	}
+}
+
+func TestExperimentConfigValidation(t *testing.T) {
+	bad := ExperimentConfig{}
+	if _, err := Figure1a(bad); err == nil {
+		t.Error("zero config must error")
+	}
+}
+
+func BenchmarkScanReference(b *testing.B) {
+	db := GenerateDatabank("bench", 200, 100, 1)
+	motifs := RandomMotifSet(rand.New(rand.NewSource(2)), 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Scan(db, motifs)
+	}
+}

@@ -1,0 +1,304 @@
+// Package gripps simulates the GriPPS protein-motif comparison application
+// that motivates RR-5386 (Section 2). The paper's Figure 1 establishes the
+// two properties the scheduling theory rests on: execution time is linear
+// in the number of databank sequences scanned with a small fixed overhead
+// (≈1.1 s, sequence partitioning), and linear in the number of motifs with
+// a large fixed overhead (≈10.5 s, motif partitioning, dominated by loading
+// the whole databank).
+//
+// The original GriPPS code and its 38,000-protein reference databank are
+// not available, so this package substitutes:
+//
+//   - a synthetic databank generator with natural amino-acid frequencies;
+//   - a real PROSITE-style motif compiler and scanner (matching actually
+//     happens and its operation count drives the model);
+//   - a calibrated cost model mapping (residues loaded, scan operations) to
+//     simulated seconds, anchored to the paper's three published numbers:
+//     1.1 s sequence-partitioning overhead, 10.5 s motif-partitioning
+//     overhead, and ≈110 s for the full workload.
+package gripps
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Amino acid alphabet (20 standard residues).
+const Alphabet = "ACDEFGHIKLMNPQRSTVWY"
+
+var residueIndex = func() map[byte]uint {
+	m := make(map[byte]uint, len(Alphabet))
+	for i := 0; i < len(Alphabet); i++ {
+		m[Alphabet[i]] = uint(i)
+	}
+	return m
+}()
+
+// elemKind discriminates motif element types.
+type elemKind int
+
+const (
+	elemExact elemKind = iota // a single residue, e.g. C
+	elemClass                 // one of a set, e.g. [LIVM]
+	elemNot                   // any residue except a set, e.g. {P}
+	elemAny                   // x: any residue
+)
+
+// element is one position class of a motif, with a repetition range
+// (MinRep == MaxRep for fixed repetitions).
+type element struct {
+	kind   elemKind
+	mask   uint32 // bitmask over Alphabet for class/not
+	minRep int
+	maxRep int
+}
+
+// Motif is a compiled PROSITE-style pattern such as
+// "C-x(2,4)-C-x(3)-[LIVMFYWC]" with optional anchors '<' (sequence start)
+// and '>' (sequence end).
+type Motif struct {
+	Pattern     string
+	elements    []element
+	anchorStart bool
+	anchorEnd   bool
+}
+
+// ParseMotif compiles a PROSITE-style pattern.
+func ParseMotif(pattern string) (*Motif, error) {
+	m := &Motif{Pattern: pattern}
+	body := pattern
+	if strings.HasPrefix(body, "<") {
+		m.anchorStart = true
+		body = body[1:]
+	}
+	if strings.HasSuffix(body, ">") {
+		m.anchorEnd = true
+		body = body[:len(body)-1]
+	}
+	if body == "" {
+		return nil, fmt.Errorf("gripps: empty motif %q", pattern)
+	}
+	for _, tok := range strings.Split(body, "-") {
+		el, err := parseElement(tok)
+		if err != nil {
+			return nil, fmt.Errorf("gripps: motif %q: %w", pattern, err)
+		}
+		m.elements = append(m.elements, el)
+	}
+	return m, nil
+}
+
+func parseElement(tok string) (element, error) {
+	if tok == "" {
+		return element{}, fmt.Errorf("empty element")
+	}
+	el := element{minRep: 1, maxRep: 1}
+	rest := tok
+	// Repetition suffix: (n) or (n,m).
+	if i := strings.IndexByte(rest, '('); i >= 0 {
+		if !strings.HasSuffix(rest, ")") {
+			return element{}, fmt.Errorf("unterminated repetition in %q", tok)
+		}
+		rep := rest[i+1 : len(rest)-1]
+		rest = rest[:i]
+		parts := strings.SplitN(rep, ",", 2)
+		lo, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil || lo < 0 {
+			return element{}, fmt.Errorf("bad repetition %q", rep)
+		}
+		hi := lo
+		if len(parts) == 2 {
+			hi, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil || hi < lo {
+				return element{}, fmt.Errorf("bad repetition %q", rep)
+			}
+		}
+		el.minRep, el.maxRep = lo, hi
+	}
+	switch {
+	case rest == "x" || rest == "X":
+		el.kind = elemAny
+	case strings.HasPrefix(rest, "[") && strings.HasSuffix(rest, "]"):
+		el.kind = elemClass
+		mask, err := classMask(rest[1 : len(rest)-1])
+		if err != nil {
+			return element{}, err
+		}
+		el.mask = mask
+	case strings.HasPrefix(rest, "{") && strings.HasSuffix(rest, "}"):
+		el.kind = elemNot
+		mask, err := classMask(rest[1 : len(rest)-1])
+		if err != nil {
+			return element{}, err
+		}
+		el.mask = mask
+	case len(rest) == 1:
+		idx, ok := residueIndex[rest[0]]
+		if !ok {
+			return element{}, fmt.Errorf("unknown residue %q", rest)
+		}
+		el.kind = elemExact
+		el.mask = 1 << idx
+	default:
+		return element{}, fmt.Errorf("cannot parse element %q", tok)
+	}
+	return el, nil
+}
+
+func classMask(s string) (uint32, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty residue class")
+	}
+	var mask uint32
+	for i := 0; i < len(s); i++ {
+		idx, ok := residueIndex[s[i]]
+		if !ok {
+			return 0, fmt.Errorf("unknown residue %q in class", string(s[i]))
+		}
+		mask |= 1 << idx
+	}
+	return mask, nil
+}
+
+// accepts reports whether the element accepts residue b, charging one
+// operation to ops.
+func (el *element) accepts(b byte, ops *int64) bool {
+	*ops++
+	idx, ok := residueIndex[b]
+	if !ok {
+		return false
+	}
+	switch el.kind {
+	case elemAny:
+		return true
+	case elemExact, elemClass:
+		return el.mask&(1<<idx) != 0
+	case elemNot:
+		return el.mask&(1<<idx) == 0
+	default:
+		return false
+	}
+}
+
+// MinLength returns the minimum number of residues a match spans.
+func (m *Motif) MinLength() int {
+	n := 0
+	for i := range m.elements {
+		n += m.elements[i].minRep
+	}
+	return n
+}
+
+// matchAt reports whether the motif matches starting exactly at pos,
+// backtracking over variable repetitions. Operations are charged to ops.
+func (m *Motif) matchAt(seq []byte, pos int, ops *int64) bool {
+	var rec func(ei, p int) bool
+	rec = func(ei, p int) bool {
+		if ei == len(m.elements) {
+			return !m.anchorEnd || p == len(seq)
+		}
+		el := &m.elements[ei]
+		// Mandatory repetitions.
+		for k := 0; k < el.minRep; k++ {
+			if p >= len(seq) || !el.accepts(seq[p], ops) {
+				return false
+			}
+			p++
+		}
+		if rec(ei+1, p) {
+			return true
+		}
+		// Optional repetitions, shortest-first.
+		for k := el.minRep; k < el.maxRep; k++ {
+			if p >= len(seq) || !el.accepts(seq[p], ops) {
+				return false
+			}
+			p++
+			if rec(ei+1, p) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, pos)
+}
+
+// Count returns the number of positions of seq at which the motif matches.
+// Scanning operations are accumulated into ops (which must be non-nil).
+func (m *Motif) Count(seq []byte, ops *int64) int {
+	if m.anchorStart {
+		if m.matchAt(seq, 0, ops) {
+			return 1
+		}
+		return 0
+	}
+	matches := 0
+	last := len(seq) - m.MinLength()
+	for pos := 0; pos <= last; pos++ {
+		if m.matchAt(seq, pos, ops) {
+			matches++
+		}
+	}
+	return matches
+}
+
+// RandomMotif draws a plausible PROSITE-like motif: 3–8 elements mixing
+// exact residues, small classes, negated classes and bounded wildcards.
+func RandomMotif(rng *rand.Rand) *Motif {
+	n := 3 + rng.Intn(6)
+	var parts []string
+	for i := 0; i < n; i++ {
+		var tok string
+		switch p := rng.Float64(); {
+		case p < 0.55:
+			tok = string(Alphabet[rng.Intn(len(Alphabet))])
+		case p < 0.70:
+			k := 2 + rng.Intn(3)
+			seen := map[byte]bool{}
+			var class []byte
+			for len(class) < k {
+				c := Alphabet[rng.Intn(len(Alphabet))]
+				if !seen[c] {
+					seen[c] = true
+					class = append(class, c)
+				}
+			}
+			tok = "[" + string(class) + "]"
+		case p < 0.80:
+			tok = "{" + string(Alphabet[rng.Intn(len(Alphabet))]) + "}"
+		default:
+			tok = "x"
+		}
+		switch q := rng.Float64(); {
+		case q < 0.15:
+			tok += fmt.Sprintf("(%d)", 2+rng.Intn(3))
+		case q < 0.25:
+			lo := 1 + rng.Intn(2)
+			tok += fmt.Sprintf("(%d,%d)", lo, lo+1+rng.Intn(3))
+		}
+		parts = append(parts, tok)
+	}
+	m, err := ParseMotif(strings.Join(parts, "-"))
+	if err != nil {
+		// The generator only emits valid syntax; a failure is a bug.
+		panic(err)
+	}
+	return m
+}
+
+// RandomMotifSet draws n distinct-pattern motifs.
+func RandomMotifSet(rng *rand.Rand, n int) []*Motif {
+	out := make([]*Motif, 0, n)
+	seen := map[string]bool{}
+	for len(out) < n {
+		m := RandomMotif(rng)
+		if seen[m.Pattern] {
+			continue
+		}
+		seen[m.Pattern] = true
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package gripps
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ScanParallel runs every motif against every sequence like Scan, but
+// distributes the databank across `workers` goroutines (workers <= 0 uses
+// GOMAXPROCS). The result is identical to the serial Scan — per-sequence
+// results are pure and merged by summation — while the wall-clock scales
+// with cores; this mirrors how the real GriPPS servers exploit
+// embarrassingly parallel sequence partitioning (the very property the
+// paper's Figure 1(a) establishes).
+func ScanParallel(db *Databank, motifs []*Motif, workers int) ScanResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(db.Sequences)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return Scan(db, motifs)
+	}
+
+	partials := make([]ScanResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local ScanResult
+			for _, seq := range db.Sequences[lo:hi] {
+				local.Residues += int64(len(seq))
+				for _, m := range motifs {
+					local.Matches += int64(m.Count(seq, &local.Ops))
+				}
+			}
+			partials[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var total ScanResult
+	for _, p := range partials {
+		total.Matches += p.Matches
+		total.Residues += p.Residues
+		total.Ops += p.Ops
+	}
+	return total
+}

@@ -1,0 +1,46 @@
+package gripps
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScanParallelMatchesSerial(t *testing.T) {
+	db := GenerateDatabank("p", 120, 90, 21)
+	motifs := append(CompilePrositeLibrary(), RandomMotifSet(rand.New(rand.NewSource(22)), 8)...)
+	want := Scan(db, motifs)
+	for _, workers := range []int{0, 1, 2, 3, 7, 200} {
+		got := ScanParallel(db, motifs, workers)
+		if got != want {
+			t.Errorf("workers=%d: %+v != serial %+v", workers, got, want)
+		}
+	}
+}
+
+func TestScanParallelEmptyDatabank(t *testing.T) {
+	db := &Databank{Name: "empty"}
+	got := ScanParallel(db, CompilePrositeLibrary(), 4)
+	if got.Matches != 0 || got.Ops != 0 || got.Residues != 0 {
+		t.Errorf("empty scan = %+v", got)
+	}
+}
+
+func BenchmarkScanSerial(b *testing.B) {
+	db := GenerateDatabank("bench", 300, 120, 1)
+	motifs := CompilePrositeLibrary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Scan(db, motifs)
+	}
+}
+
+func BenchmarkScanParallel(b *testing.B) {
+	db := GenerateDatabank("bench", 300, 120, 1)
+	motifs := CompilePrositeLibrary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScanParallel(db, motifs, 0)
+	}
+}

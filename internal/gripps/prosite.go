@@ -1,0 +1,55 @@
+package gripps
+
+import "fmt"
+
+// PrositeEntry is a named real-world motif from the PROSITE database,
+// written in the pattern dialect this package compiles. The GriPPS
+// application of the paper scans exactly this kind of pattern against
+// protein databanks; the curated set below (well-known signature patterns)
+// makes examples and tests exercise realistic motif structure — fixed
+// residues, residue classes, negations and variable-length gaps.
+type PrositeEntry struct {
+	Accession string // PROSITE accession, e.g. "PS00028"
+	Name      string
+	Pattern   string
+}
+
+// PrositeLibrary is a curated set of classical PROSITE signature patterns
+// (anchors and post-processing rules of the original entries are omitted
+// where they do not affect the matching semantics reproduced here).
+var PrositeLibrary = []PrositeEntry{
+	{"PS00028", "Zinc finger C2H2", "C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H"},
+	{"PS00018", "EF-hand calcium-binding", "D-x-[DNS]-{ILVFYW}-[DENSTG]-[DNQGHRK]-{GP}-[LIVMC]-[DENQSTAGC]-x(2)-[DE]-[LIVMFYW]"},
+	{"PS00017", "ATP/GTP-binding site (P-loop)", "[AG]-x(4)-G-K-[ST]"},
+	{"PS00134", "Serine protease, His active site", "[LIVM]-[ST]-A-[STAG]-H-C"},
+	{"PS00135", "Serine protease, Ser active site", "[DNSTAGC]-[GSTAPIMVQH]-x(2)-G-[DE]-S-G-[GS]-[SAPHV]-[LIVMFYWH]-[LIVMFYSTANQH]"},
+	{"PS00029", "Leucine zipper", "L-x(6)-L-x(6)-L-x(6)-L"},
+	{"PS00001", "N-glycosylation site", "N-{P}-[ST]-{P}"},
+	{"PS00004", "cAMP phosphorylation site", "[RK](2)-x-[ST]"},
+	{"PS00005", "PKC phosphorylation site", "[ST]-x-[RK]"},
+	{"PS00006", "CK2 phosphorylation site", "[ST]-x(2)-[DE]"},
+	{"PS00007", "Tyrosine kinase phosphorylation", "[RK]-x(2)-[DE]-x(3)-Y"},
+	{"PS00008", "N-myristoylation site", "G-{EDRKHPFYW}-x(2)-[STAGCN]-{P}"},
+	{"PS00009", "Amidation site", "x-G-[RK]-[RK]"},
+	{"PS00010", "Aspartic acid hydroxylation site", "C-x-[DN]-x(4)-[FY]-x-C-x-C"},
+	{"PS00012", "Phosphopantetheine attachment", "[DEQGSTALMKRH]-[LIVMFYSTAC]-[GNQ]-[LIVMFYAG]-[DNEKHS]-S-[LIVMST]-{PCFY}-[STAGCPQLIVMF]-[LIVMATN]-[DENQGTAKRHLM]-[LIVMWSTA]-[LIVGSTACR]-{LPIY}-{VY}-[LIVMFA]"},
+	{"PS00027", "Homeobox domain", "[LIVMFYG]-[ASLVR]-x(2)-[LIVMSTACN]-x-[LIVM]-{Y}-x(2)-{L}-[LIV]-[RKNQESTAIY]-[LIVFSTNKH]-W-[FYVC]-x-[NDQTAH]-x(5)-[RKNAIMW]"},
+	{"PS00038", "Myb domain", "W-[ST]-x(2)-E-[DE]-x(2)-[LIV]"},
+	{"PS00211", "ABC transporter signature", "[LIVMFYC]-[SA]-[SAPGLVFYKQH]-G-[DENQMW]-[KRQASPCLIMFW]-[KRNQSTAVM]-[KRACLVM]-[LIVMFYPAN]-{PHY}-[LIVMFW]-[SAGCLIVP]-{FYWHP}-{KRHP}-[LIVMFYWSTA]"},
+	{"PS00237", "G-protein coupled receptor", "[GSTALIVMFYWC]-[GSTANCPDE]-{EDPKRH}-x(2)-[LIVMNQGA]-x(2)-[LIVMFT]-[GSTANC]-[LIVMFYWSTAC]-[DENH]-R-[FYWCSH]-x(2)-[LIVM]"},
+	{"PS00301", "G-protein beta WD-40 repeat", "[LIVMSTAC]-[LIVMFYWSTAGC]-[DN]-x(2)-[ITLV]-x-[LIVMFYWGTA]-[DESAG]-[DEQHKRSTAGC]-x(8)-[LIVMFYWG]"},
+}
+
+// CompilePrositeLibrary compiles the curated library, returning the motifs
+// in library order. It panics on a library defect (covered by tests).
+func CompilePrositeLibrary() []*Motif {
+	out := make([]*Motif, len(PrositeLibrary))
+	for i, e := range PrositeLibrary {
+		m, err := ParseMotif(e.Pattern)
+		if err != nil {
+			panic(fmt.Sprintf("gripps: library entry %s (%s): %v", e.Accession, e.Name, err))
+		}
+		out[i] = m
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package gripps
+
+import (
+	"testing"
+)
+
+func TestPrositeLibraryCompiles(t *testing.T) {
+	motifs := CompilePrositeLibrary()
+	if len(motifs) != len(PrositeLibrary) {
+		t.Fatalf("compiled %d of %d", len(motifs), len(PrositeLibrary))
+	}
+	for i, m := range motifs {
+		if m.MinLength() < 2 {
+			t.Errorf("%s: suspiciously short motif (min length %d)",
+				PrositeLibrary[i].Accession, m.MinLength())
+		}
+	}
+}
+
+func TestPrositeKnownMatches(t *testing.T) {
+	var ops int64
+	cases := []struct {
+		accession string
+		seq       string
+		want      int
+	}{
+		// P-loop: [AG]-x(4)-G-K-[ST].
+		{"PS00017", "AAAAAGKT", 1},
+		{"PS00017", "GPPPPGKS", 1},
+		{"PS00017", "AAAAAGKP", 0},
+		// N-glycosylation: N-{P}-[ST]-{P}.
+		{"PS00001", "NASA", 1},
+		{"PS00001", "NPSA", 0}, // proline forbidden at position 2
+		{"PS00001", "NATP", 0}, // proline forbidden at position 4
+		// Leucine zipper: L-x(6)-L-x(6)-L-x(6)-L.
+		{"PS00029", "LAAAAAALAAAAAALAAAAAAL", 1},
+		{"PS00029", "LAAAAAALAAAAAALAAAAAA", 0},
+		// Zinc finger C2H2: C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H.
+		{"PS00028", "CAACAAALAAAAAAAAHAAAH", 1},
+		// PKC phosphorylation: [ST]-x-[RK].
+		{"PS00005", "SAR", 1},
+		{"PS00005", "TAK", 1},
+		{"PS00005", "SAA", 0},
+	}
+	byAcc := map[string]*Motif{}
+	for i, m := range CompilePrositeLibrary() {
+		byAcc[PrositeLibrary[i].Accession] = m
+	}
+	for _, tc := range cases {
+		m := byAcc[tc.accession]
+		if m == nil {
+			t.Fatalf("missing library entry %s", tc.accession)
+		}
+		if got := m.Count([]byte(tc.seq), &ops); got != tc.want {
+			t.Errorf("%s on %q: %d matches, want %d", tc.accession, tc.seq, got, tc.want)
+		}
+	}
+}
+
+func TestPrositeLibraryScansDatabank(t *testing.T) {
+	db := GenerateDatabank("t", 60, 150, 13)
+	res := Scan(db, CompilePrositeLibrary())
+	if res.Ops <= 0 {
+		t.Fatal("no work performed")
+	}
+	// Short generic sites (glycosylation, phosphorylation) occur
+	// frequently in random sequence; the scan must find some matches.
+	if res.Matches == 0 {
+		t.Error("expected matches from short generic PROSITE sites on random sequence")
+	}
+}

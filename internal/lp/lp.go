@@ -1,0 +1,204 @@
+// Package lp provides linear-programming solvers used by the offline
+// scheduling algorithms of Legrand, Su and Vivien (RR-5386).
+//
+// Two solvers are provided over the same Problem representation:
+//
+//   - SolveRat: an exact two-phase primal simplex over math/big.Rat with
+//     Bland's anti-cycling rule. The paper's polynomial-time optimality
+//     arguments rely on exact rational arithmetic (the binary search over
+//     milestones must terminate on exact values), so every offline solver in
+//     this repository uses SolveRat.
+//   - SolveFloat: a float64 tableau simplex with epsilon tolerances, used
+//     for large-scale benchmarks and for the online simulator's frequent
+//     re-solves, where exactness is not part of the reproduced claim.
+//
+// Problems are stated in the general form
+//
+//	minimize  c.x   subject to   row_k . x  (<=|=|>=)  b_k,   x >= 0.
+//
+// Variables are implicitly non-negative; bounded or free variables must be
+// modelled with explicit rows or variable splitting by the caller (the
+// scheduling LPs only ever need non-negative variables).
+package lp
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Sense is the comparison direction of a constraint row.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // row . x <= rhs
+	EQ              // row . x == rhs
+	GE              // row . x >= rhs
+)
+
+// String returns the conventional symbol for the sense.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Term is one sparse entry of a row or of the objective: Coef * x[Col].
+type Term struct {
+	Col  int
+	Coef *big.Rat
+}
+
+// Row is a single linear constraint.
+type Row struct {
+	Terms []Term
+	Sense Sense
+	RHS   *big.Rat
+	// Name is an optional label used in error messages and dumps.
+	Name string
+}
+
+// Problem is a linear program in general form. The zero value is an empty
+// problem; add variables with AddVar and constraints with AddRow.
+type Problem struct {
+	numVars   int
+	varNames  []string
+	objective []*big.Rat // dense, len == numVars
+	rows      []Row
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem {
+	return &Problem{}
+}
+
+// AddVar appends a new non-negative variable with the given objective
+// coefficient and returns its column index. The name is only used for
+// debugging output and may be empty.
+func (p *Problem) AddVar(name string, objCoef *big.Rat) int {
+	if objCoef == nil {
+		objCoef = new(big.Rat)
+	}
+	p.numVars++
+	p.varNames = append(p.varNames, name)
+	p.objective = append(p.objective, new(big.Rat).Set(objCoef))
+	return p.numVars - 1
+}
+
+// NumVars reports the number of variables added so far.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumRows reports the number of constraint rows added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// SetObjective overwrites the objective coefficient of variable col.
+func (p *Problem) SetObjective(col int, coef *big.Rat) {
+	p.objective[col].Set(coef)
+}
+
+// AddRow appends a constraint. Terms may mention a column at most once;
+// coefficients are copied, so the caller may reuse the backing rationals.
+func (p *Problem) AddRow(name string, terms []Term, sense Sense, rhs *big.Rat) {
+	cp := make([]Term, 0, len(terms))
+	for _, t := range terms {
+		if t.Col < 0 || t.Col >= p.numVars {
+			panic(fmt.Sprintf("lp: row %q references unknown column %d", name, t.Col))
+		}
+		if t.Coef == nil || t.Coef.Sign() == 0 {
+			continue
+		}
+		cp = append(cp, Term{Col: t.Col, Coef: new(big.Rat).Set(t.Coef)})
+	}
+	p.rows = append(p.rows, Row{Terms: cp, Sense: sense, RHS: new(big.Rat).Set(rhs), Name: name})
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of an exact solve.
+type Solution struct {
+	Status    Status
+	Objective *big.Rat   // valid when Status == Optimal
+	X         []*big.Rat // primal values, len == NumVars, valid when Optimal
+}
+
+// Value returns the primal value of column col.
+func (s *Solution) Value(col int) *big.Rat { return s.X[col] }
+
+// FloatSolution is the result of a float64 solve.
+type FloatSolution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+}
+
+// Dump renders the problem in a human-readable form, for tests and debugging.
+func (p *Problem) Dump() string {
+	var b strings.Builder
+	b.WriteString("min ")
+	first := true
+	for j, c := range p.objective {
+		if c.Sign() == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(" + ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s*%s", c.RatString(), p.varName(j))
+	}
+	if first {
+		b.WriteString("0")
+	}
+	b.WriteString("\n")
+	for _, r := range p.rows {
+		for i, t := range r.Terms {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			fmt.Fprintf(&b, "%s*%s", t.Coef.RatString(), p.varName(t.Col))
+		}
+		fmt.Fprintf(&b, " %s %s", r.Sense, r.RHS.RatString())
+		if r.Name != "" {
+			fmt.Fprintf(&b, "   [%s]", r.Name)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (p *Problem) varName(j int) string {
+	if p.varNames[j] != "" {
+		return p.varNames[j]
+	}
+	return fmt.Sprintf("x%d", j)
+}

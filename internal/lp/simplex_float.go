@@ -1,0 +1,260 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	floatEps = 1e-9
+	// blandTrigger multiplies the tableau perimeter to decide when the
+	// Dantzig pricing rule is abandoned in favour of Bland's rule, which
+	// cannot cycle.
+	blandTrigger = 20
+)
+
+// SolveFloat solves the problem with a float64 two-phase tableau simplex.
+// Dantzig (most-negative reduced cost) pricing is used initially, falling
+// back to Bland's rule when the iteration count suggests cycling. The result
+// carries the usual caveats of floating-point LP; offline solvers in this
+// repository use SolveRat instead.
+func SolveFloat(p *Problem) (*FloatSolution, error) {
+	t, err := newFloatTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	if t.numArt > 0 {
+		phase1 := make([]float64, t.numCols)
+		for j := t.artStart; j < t.numCols; j++ {
+			phase1[j] = 1
+		}
+		t.setObjective(phase1)
+		if status := t.iterate(); status != Optimal {
+			return nil, fmt.Errorf("lp: float phase 1 reported %v", status)
+		}
+		if t.objectiveValue() > floatEps*float64(len(t.rowsData)+1) {
+			return &FloatSolution{Status: Infeasible}, nil
+		}
+		t.evictArtificials()
+	}
+	phase2 := make([]float64, t.numCols)
+	for j := 0; j < p.numVars; j++ {
+		f, _ := p.objective[j].Float64()
+		phase2[j] = f
+	}
+	t.setObjective(phase2)
+	switch status := t.iterate(); status {
+	case Optimal:
+	case Unbounded:
+		return &FloatSolution{Status: Unbounded}, nil
+	default:
+		return nil, fmt.Errorf("lp: float phase 2 reported %v", status)
+	}
+	x := make([]float64, p.numVars)
+	for r, bv := range t.basis {
+		if bv < p.numVars {
+			x[bv] = t.rhsData[r]
+		}
+	}
+	return &FloatSolution{Status: Optimal, Objective: t.objectiveValue(), X: x}, nil
+}
+
+type floatTableau struct {
+	numCols  int
+	artStart int
+	numArt   int
+	rowsData [][]float64
+	rhsData  []float64
+	basis    []int
+	banned   []bool
+	obj      []float64
+	objRHS   float64
+}
+
+func newFloatTableau(p *Problem) (*floatTableau, error) {
+	m := len(p.rows)
+	numSlack, numArt := 0, 0
+	for _, r := range p.rows {
+		sense := r.Sense
+		if r.RHS.Sign() < 0 {
+			sense = flip(sense)
+		}
+		switch sense {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	numCols := p.numVars + numSlack + numArt
+	t := &floatTableau{
+		numCols:  numCols,
+		artStart: p.numVars + numSlack,
+		numArt:   numArt,
+		rowsData: make([][]float64, m),
+		rhsData:  make([]float64, m),
+		basis:    make([]int, m),
+		banned:   make([]bool, numCols),
+	}
+	for j := t.artStart; j < numCols; j++ {
+		t.banned[j] = true
+	}
+	slack := p.numVars
+	art := t.artStart
+	for i, r := range p.rows {
+		row := make([]float64, numCols)
+		neg := r.RHS.Sign() < 0
+		sense := r.Sense
+		if neg {
+			sense = flip(sense)
+		}
+		for _, term := range r.Terms {
+			if row[term.Col] != 0 {
+				return nil, fmt.Errorf("lp: row %q mentions column %d twice", r.Name, term.Col)
+			}
+			f, _ := term.Coef.Float64()
+			if neg {
+				f = -f
+			}
+			row[term.Col] = f
+		}
+		b, _ := r.RHS.Float64()
+		if neg {
+			b = -b
+		}
+		switch sense {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.rowsData[i] = row
+		t.rhsData[i] = b
+	}
+	return t, nil
+}
+
+func (t *floatTableau) setObjective(c []float64) {
+	t.obj = make([]float64, t.numCols)
+	copy(t.obj, c)
+	t.objRHS = 0
+	for r, bv := range t.basis {
+		f := t.obj[bv]
+		if f == 0 {
+			continue
+		}
+		row := t.rowsData[r]
+		for j := 0; j < t.numCols; j++ {
+			t.obj[j] -= f * row[j]
+		}
+		t.objRHS -= f * t.rhsData[r]
+	}
+}
+
+func (t *floatTableau) objectiveValue() float64 { return -t.objRHS }
+
+func (t *floatTableau) iterate() Status {
+	maxDantzig := blandTrigger * (len(t.rowsData) + t.numCols)
+	for iter := 0; ; iter++ {
+		bland := iter > maxDantzig
+		enter := -1
+		best := -floatEps
+		for j := 0; j < t.numCols; j++ {
+			if t.banned[j] || t.obj[j] >= -floatEps {
+				continue
+			}
+			if bland {
+				enter = j
+				break
+			}
+			if t.obj[j] < best {
+				best = t.obj[j]
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		leave := -1
+		bestRatio := math.Inf(1)
+		for r := 0; r < len(t.rowsData); r++ {
+			a := t.rowsData[r][enter]
+			if a <= floatEps {
+				continue
+			}
+			ratio := t.rhsData[r] / a
+			if ratio < bestRatio-floatEps ||
+				(ratio < bestRatio+floatEps && (leave == -1 || t.basis[r] < t.basis[leave])) {
+				leave = r
+				bestRatio = ratio
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *floatTableau) pivot(leave, enter int) {
+	prow := t.rowsData[leave]
+	inv := 1 / prow[enter]
+	for j := range prow {
+		prow[j] *= inv
+	}
+	prow[enter] = 1 // avoid drift on the pivot element
+	t.rhsData[leave] *= inv
+	for r := range t.rowsData {
+		if r == leave {
+			continue
+		}
+		f := t.rowsData[r][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.rowsData[r]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0
+		t.rhsData[r] -= f * t.rhsData[leave]
+		if t.rhsData[r] < 0 && t.rhsData[r] > -floatEps {
+			t.rhsData[r] = 0
+		}
+	}
+	if f := t.obj[enter]; f != 0 {
+		for j := range t.obj {
+			t.obj[j] -= f * prow[j]
+		}
+		t.obj[enter] = 0
+		t.objRHS -= f * t.rhsData[leave]
+	}
+	t.basis[leave] = enter
+}
+
+func (t *floatTableau) evictArtificials() {
+	for r, bv := range t.basis {
+		if bv < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rowsData[r][j]) > floatEps {
+				t.pivot(r, j)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// SolveRat solves the problem exactly with a two-phase primal simplex over
+// big.Rat. Bland's rule is used for both the entering and leaving variable,
+// which guarantees termination (no cycling) and hence, together with the
+// rationality of all data, the exactness the paper's Theorems 1 and 2 rely
+// on.
+func SolveRat(p *Problem) (*Solution, error) {
+	t, err := newRatTableau(p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if t.numArt > 0 {
+		phase1 := make([]*big.Rat, t.numCols)
+		for j := range phase1 {
+			phase1[j] = new(big.Rat)
+		}
+		for j := t.artStart; j < t.artStart+t.numArt; j++ {
+			phase1[j].SetInt64(1)
+		}
+		t.setObjective(phase1)
+		if status := t.iterate(); status != Optimal {
+			// Phase 1 is bounded below by 0, so it cannot be unbounded.
+			return nil, fmt.Errorf("lp: phase 1 reported %v", status)
+		}
+		if t.objectiveValue().Sign() > 0 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		t.evictArtificials()
+	}
+
+	// Phase 2: original objective, artificial columns banned.
+	phase2 := make([]*big.Rat, t.numCols)
+	for j := range phase2 {
+		if j < p.numVars {
+			phase2[j] = new(big.Rat).Set(p.objective[j])
+		} else {
+			phase2[j] = new(big.Rat)
+		}
+	}
+	t.setObjective(phase2)
+	switch status := t.iterate(); status {
+	case Optimal:
+	case Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	default:
+		return nil, fmt.Errorf("lp: phase 2 reported %v", status)
+	}
+
+	x := make([]*big.Rat, p.numVars)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for r, bv := range t.basis {
+		if bv < p.numVars {
+			x[bv].Set(t.rhs[r])
+		}
+	}
+	return &Solution{Status: Optimal, Objective: t.objectiveValue(), X: x}, nil
+}
+
+// ratTableau is a dense simplex tableau over exact rationals.
+type ratTableau struct {
+	numCols  int // structural + slack + artificial columns
+	artStart int // first artificial column, == numCols-numArt
+	numArt   int
+	rows     [][]*big.Rat // len(rows) x numCols, current (pivoted) form
+	rhs      []*big.Rat   // len(rows), always >= 0 at a feasible basis
+	basis    []int        // basic column of each row
+	banned   []bool       // columns that may never enter the basis
+	obj      []*big.Rat   // reduced-cost row, len numCols
+	objRHS   *big.Rat     // negated objective value
+}
+
+// newRatTableau converts p to standard equality form with slack, surplus and
+// artificial variables and an all-basic starting point.
+func newRatTableau(p *Problem) (*ratTableau, error) {
+	m := len(p.rows)
+	// First pass: count auxiliary columns. Rows are normalized to RHS >= 0.
+	numSlack, numArt := 0, 0
+	for _, r := range p.rows {
+		sense := r.Sense
+		if r.RHS.Sign() < 0 {
+			sense = flip(sense)
+		}
+		switch sense {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	numCols := p.numVars + numSlack + numArt
+	t := &ratTableau{
+		numCols:  numCols,
+		artStart: p.numVars + numSlack,
+		numArt:   numArt,
+		rows:     make([][]*big.Rat, m),
+		rhs:      make([]*big.Rat, m),
+		basis:    make([]int, m),
+		banned:   make([]bool, numCols),
+		objRHS:   new(big.Rat),
+	}
+	for j := t.artStart; j < numCols; j++ {
+		t.banned[j] = true // artificials may never re-enter after phase 1
+	}
+
+	slack := p.numVars
+	art := t.artStart
+	for i, r := range p.rows {
+		row := make([]*big.Rat, numCols)
+		for j := range row {
+			row[j] = new(big.Rat)
+		}
+		neg := r.RHS.Sign() < 0
+		sense := r.Sense
+		if neg {
+			sense = flip(sense)
+		}
+		for _, term := range r.Terms {
+			if row[term.Col].Sign() != 0 {
+				return nil, fmt.Errorf("lp: row %q mentions column %d twice", r.Name, term.Col)
+			}
+			row[term.Col].Set(term.Coef)
+			if neg {
+				row[term.Col].Neg(row[term.Col])
+			}
+		}
+		b := new(big.Rat).Set(r.RHS)
+		if neg {
+			b.Neg(b)
+		}
+		switch sense {
+		case LE:
+			row[slack].SetInt64(1)
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack].SetInt64(-1)
+			slack++
+			row[art].SetInt64(1)
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art].SetInt64(1)
+			t.basis[i] = art
+			art++
+		}
+		t.rows[i] = row
+		t.rhs[i] = b
+	}
+	return t, nil
+}
+
+func flip(s Sense) Sense {
+	switch s {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// setObjective installs c as the objective and eliminates the basic columns
+// from the reduced-cost row, so obj[j] holds c_j - z_j afterwards.
+func (t *ratTableau) setObjective(c []*big.Rat) {
+	t.obj = make([]*big.Rat, t.numCols)
+	for j := range t.obj {
+		t.obj[j] = new(big.Rat).Set(c[j])
+	}
+	t.objRHS = new(big.Rat)
+	var factor, tmp big.Rat
+	for r, bv := range t.basis {
+		if t.obj[bv].Sign() == 0 {
+			continue
+		}
+		factor.Set(t.obj[bv])
+		for j := 0; j < t.numCols; j++ {
+			if t.rows[r][j].Sign() != 0 {
+				tmp.Mul(&factor, t.rows[r][j])
+				t.obj[j].Sub(t.obj[j], &tmp)
+			}
+		}
+		tmp.Mul(&factor, t.rhs[r])
+		t.objRHS.Sub(t.objRHS, &tmp)
+	}
+}
+
+// objectiveValue returns the current objective value (c_B . x_B).
+func (t *ratTableau) objectiveValue() *big.Rat {
+	return new(big.Rat).Neg(t.objRHS)
+}
+
+// iterate runs primal simplex pivots under Bland's rule until optimality or
+// unboundedness.
+func (t *ratTableau) iterate() Status {
+	for {
+		// Entering column: smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < t.numCols; j++ {
+			if !t.banned[j] && t.obj[j].Sign() < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		// Leaving row: minimum ratio; ties broken by smallest basic column.
+		leave := -1
+		var best big.Rat
+		var ratio big.Rat
+		for r := 0; r < len(t.rows); r++ {
+			a := t.rows[r][enter]
+			if a.Sign() <= 0 {
+				continue
+			}
+			ratio.Quo(t.rhs[r], a)
+			if leave == -1 || ratio.Cmp(&best) < 0 ||
+				(ratio.Cmp(&best) == 0 && t.basis[r] < t.basis[leave]) {
+				leave = r
+				best.Set(&ratio)
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *ratTableau) pivot(leave, enter int) {
+	prow := t.rows[leave]
+	pval := new(big.Rat).Set(prow[enter])
+	inv := new(big.Rat).Inv(pval)
+	for j := 0; j < t.numCols; j++ {
+		if prow[j].Sign() != 0 {
+			prow[j].Mul(prow[j], inv)
+		}
+	}
+	t.rhs[leave].Mul(t.rhs[leave], inv)
+
+	var factor, tmp big.Rat
+	for r := 0; r < len(t.rows); r++ {
+		if r == leave {
+			continue
+		}
+		row := t.rows[r]
+		if row[enter].Sign() == 0 {
+			continue
+		}
+		factor.Set(row[enter])
+		for j := 0; j < t.numCols; j++ {
+			if prow[j].Sign() != 0 {
+				tmp.Mul(&factor, prow[j])
+				row[j].Sub(row[j], &tmp)
+			}
+		}
+		tmp.Mul(&factor, t.rhs[leave])
+		t.rhs[r].Sub(t.rhs[r], &tmp)
+	}
+	if t.obj[enter].Sign() != 0 {
+		factor.Set(t.obj[enter])
+		for j := 0; j < t.numCols; j++ {
+			if prow[j].Sign() != 0 {
+				tmp.Mul(&factor, prow[j])
+				t.obj[j].Sub(t.obj[j], &tmp)
+			}
+		}
+		tmp.Mul(&factor, t.rhs[leave])
+		t.objRHS.Sub(t.objRHS, &tmp)
+	}
+	t.basis[leave] = enter
+}
+
+// evictArtificials pivots basic artificial variables (necessarily at value
+// zero after a successful phase 1) out of the basis, or leaves them basic at
+// zero when their row is entirely zero on non-artificial columns (a redundant
+// constraint); such rows can never change the solution because every pivot
+// ratio on them is zero.
+func (t *ratTableau) evictArtificials() {
+	for r, bv := range t.basis {
+		if bv < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if t.rows[r][j].Sign() != 0 {
+				t.pivot(r, j)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package model
+
+import (
+	"encoding/json"
+	"math/big"
+	"testing"
+)
+
+func r(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func twoByTwo(t *testing.T) *Instance {
+	t.Helper()
+	jobs := []Job{
+		{Name: "J0", Release: r(0, 1), Weight: r(1, 1), Size: r(10, 1), Databanks: []string{"pdb"}},
+		{Name: "J1", Release: r(2, 1), Weight: r(2, 1), Size: r(4, 1)},
+	}
+	machines := []Machine{
+		{Name: "fast", InverseSpeed: r(1, 2), Databanks: []string{"pdb"}},
+		{Name: "slow", InverseSpeed: r(2, 1)},
+	}
+	inst, err := NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestUniformCosts(t *testing.T) {
+	inst := twoByTwo(t)
+	// J0 needs "pdb": only machine 0 has it; c_{0,0} = 10 * 1/2 = 5.
+	c, ok := inst.Cost(0, 0)
+	if !ok || c.Cmp(r(5, 1)) != 0 {
+		t.Errorf("cost[0][0] = %v,%v want 5", c, ok)
+	}
+	if _, ok := inst.Cost(1, 0); ok {
+		t.Error("J0 must not run on the slow machine (missing databank)")
+	}
+	// J1 runs anywhere: c_{0,1} = 4*1/2 = 2, c_{1,1} = 4*2 = 8.
+	if c, _ := inst.Cost(0, 1); c.Cmp(r(2, 1)) != 0 {
+		t.Errorf("cost[0][1] = %v, want 2", c)
+	}
+	if c, _ := inst.Cost(1, 1); c.Cmp(r(8, 1)) != 0 {
+		t.Errorf("cost[1][1] = %v, want 8", c)
+	}
+}
+
+func TestSortByRelease(t *testing.T) {
+	jobs := []Job{
+		{Name: "late", Release: r(5, 1), Weight: r(1, 1), Size: r(1, 1)},
+		{Name: "early", Release: r(1, 1), Weight: r(1, 1), Size: r(1, 1)},
+	}
+	machines := []Machine{{Name: "m", InverseSpeed: r(1, 1)}}
+	inst, err := NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Jobs[0].Name != "early" || inst.Jobs[1].Name != "late" {
+		t.Errorf("jobs not sorted by release: %v, %v", inst.Jobs[0].Name, inst.Jobs[1].Name)
+	}
+}
+
+func TestUnrelatedSortPermutesCost(t *testing.T) {
+	jobs := []Job{
+		{Name: "late", Release: r(5, 1), Weight: r(1, 1)},
+		{Name: "early", Release: r(1, 1), Weight: r(1, 1)},
+	}
+	machines := []Machine{{Name: "m0"}, {Name: "m1"}}
+	cost := [][]*big.Rat{
+		{r(7, 1), r(3, 1)},
+		{nil, r(4, 1)},
+	}
+	inst, err := NewUnrelated(jobs, machines, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After sorting, job 0 is "early" whose original column was 1.
+	if c, _ := inst.Cost(0, 0); c.Cmp(r(3, 1)) != 0 {
+		t.Errorf("cost[0][early] = %v, want 3", c)
+	}
+	if c, _ := inst.Cost(1, 0); c.Cmp(r(4, 1)) != 0 {
+		t.Errorf("cost[1][early] = %v, want 4", c)
+	}
+	if _, ok := inst.Cost(1, 1); ok {
+		t.Error("cost[1][late] should be +inf")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m := []Machine{{Name: "m", InverseSpeed: r(1, 1)}}
+	cases := []struct {
+		name string
+		jobs []Job
+	}{
+		{"negative release", []Job{{Release: r(-1, 1), Weight: r(1, 1), Size: r(1, 1)}}},
+		{"zero weight", []Job{{Release: r(0, 1), Weight: r(0, 1), Size: r(1, 1)}}},
+		{"zero size", []Job{{Release: r(0, 1), Weight: r(1, 1), Size: r(0, 1)}}},
+		{"unrunnable", []Job{{Release: r(0, 1), Weight: r(1, 1), Size: r(1, 1), Databanks: []string{"missing"}}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewInstance(tc.jobs, m); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := NewInstance(nil, m); err == nil {
+		t.Error("no jobs: expected error")
+	}
+	if _, err := NewInstance([]Job{{Release: r(0, 1), Weight: r(1, 1), Size: r(1, 1)}}, nil); err == nil {
+		t.Error("no machines: expected error")
+	}
+}
+
+func TestEligibleMachines(t *testing.T) {
+	inst := twoByTwo(t)
+	if got := inst.EligibleMachines(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("eligible(J0) = %v, want [0]", got)
+	}
+	if got := inst.EligibleMachines(1); len(got) != 2 {
+		t.Errorf("eligible(J1) = %v, want both", got)
+	}
+}
+
+func TestWeightsForStretch(t *testing.T) {
+	inst := twoByTwo(t)
+	inst.WeightsForStretch()
+	if inst.Jobs[0].Weight.Cmp(r(1, 10)) != 0 {
+		t.Errorf("stretch weight J0 = %v, want 1/10", inst.Jobs[0].Weight)
+	}
+	if inst.Jobs[1].Weight.Cmp(r(1, 4)) != 0 {
+		t.Errorf("stretch weight J1 = %v, want 1/4", inst.Jobs[1].Weight)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	inst := twoByTwo(t)
+	cp := inst.Clone()
+	cp.Jobs[0].Release.SetInt64(99)
+	c, _ := cp.Cost(0, 0)
+	c.SetInt64(77)
+	if inst.Jobs[0].Release.Cmp(r(0, 1)) != 0 {
+		t.Error("clone shares job release")
+	}
+	if c0, _ := inst.Cost(0, 0); c0.Cmp(r(5, 1)) != 0 {
+		t.Error("clone shares cost matrix")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	inst := twoByTwo(t)
+	data, err := json.Marshal(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != inst.N() || back.M() != inst.M() {
+		t.Fatalf("dimensions changed: %dx%d -> %dx%d", inst.N(), inst.M(), back.N(), back.M())
+	}
+	for i := 0; i < inst.M(); i++ {
+		for j := 0; j < inst.N(); j++ {
+			a, aok := inst.Cost(i, j)
+			b, bok := back.Cost(i, j)
+			if aok != bok || (aok && a.Cmp(b) != 0) {
+				t.Errorf("cost[%d][%d] changed: %v,%v -> %v,%v", i, j, a, aok, b, bok)
+			}
+		}
+	}
+	if back.Jobs[1].Weight.Cmp(inst.Jobs[1].Weight) != 0 {
+		t.Error("weights changed in round trip")
+	}
+}
+
+func TestJSONWithoutCostDerivesUniform(t *testing.T) {
+	doc := `{
+	  "jobs": [
+	    {"name":"a","release":"0","weight":"1","size":"6","databanks":["x"]},
+	    {"name":"b","release":"1","weight":"1/2","size":"2"}
+	  ],
+	  "machines": [
+	    {"name":"m0","inverseSpeed":"1/3","databanks":["x"]},
+	    {"name":"m1","inverseSpeed":"1"}
+	  ]
+	}`
+	var inst Instance
+	if err := json.Unmarshal([]byte(doc), &inst); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := inst.Cost(0, 0); c.Cmp(r(2, 1)) != 0 {
+		t.Errorf("cost[0][a] = %v, want 2", c)
+	}
+	if _, ok := inst.Cost(1, 0); ok {
+		t.Error("job a should not run on m1")
+	}
+}
+
+func TestJSONBadRational(t *testing.T) {
+	doc := `{"jobs":[{"name":"a","release":"zero","weight":"1"}],"machines":[{"name":"m"}]}`
+	var inst Instance
+	if err := json.Unmarshal([]byte(doc), &inst); err == nil {
+		t.Error("expected parse error for bad rational")
+	}
+}
+
+func TestHosts(t *testing.T) {
+	m := Machine{Databanks: []string{"a", "b"}}
+	if !m.Hosts(nil) {
+		t.Error("empty requirement should always be hosted")
+	}
+	if !m.Hosts([]string{"a"}) || !m.Hosts([]string{"b", "a"}) {
+		t.Error("subset requirement should be hosted")
+	}
+	if m.Hosts([]string{"c"}) || m.Hosts([]string{"a", "c"}) {
+		t.Error("missing databank should not be hosted")
+	}
+}
+
+func TestStringDump(t *testing.T) {
+	s := twoByTwo(t).String()
+	for _, want := range []string{"2 jobs", "inf", "fast", "J0"} {
+		if !contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

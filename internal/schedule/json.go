@@ -1,0 +1,74 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+)
+
+// The JSON encoding of a schedule keeps all times exact, mirroring the
+// instance encoding of internal/model:
+//
+//	{"pieces":[{"machine":0,"job":1,"start":"3/2","end":"5/2","fraction":"1/4"}]}
+
+type jsonPiece struct {
+	Machine  int    `json:"machine"`
+	Job      int    `json:"job"`
+	Start    string `json:"start"`
+	End      string `json:"end"`
+	Fraction string `json:"fraction"`
+}
+
+type jsonSchedule struct {
+	Pieces []jsonPiece `json:"pieces"`
+}
+
+// MarshalJSON encodes the schedule with exact rationals.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	doc := jsonSchedule{Pieces: make([]jsonPiece, len(s.Pieces))}
+	for i := range s.Pieces {
+		p := &s.Pieces[i]
+		doc.Pieces[i] = jsonPiece{
+			Machine:  p.Machine,
+			Job:      p.Job,
+			Start:    p.Start.RatString(),
+			End:      p.End.RatString(),
+			Fraction: p.Fraction.RatString(),
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes a schedule; it rejects malformed rationals but does
+// not validate scheduling invariants (use Validate with an instance).
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var doc jsonSchedule
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	parse := func(v, what string, i int) (*big.Rat, error) {
+		r, ok := new(big.Rat).SetString(v)
+		if !ok {
+			return nil, fmt.Errorf("schedule: piece %d: cannot parse %s %q", i, what, v)
+		}
+		return r, nil
+	}
+	out := Schedule{Pieces: make([]Piece, len(doc.Pieces))}
+	for i, jp := range doc.Pieces {
+		start, err := parse(jp.Start, "start", i)
+		if err != nil {
+			return err
+		}
+		end, err := parse(jp.End, "end", i)
+		if err != nil {
+			return err
+		}
+		frac, err := parse(jp.Fraction, "fraction", i)
+		if err != nil {
+			return err
+		}
+		out.Pieces[i] = Piece{Machine: jp.Machine, Job: jp.Job, Start: start, End: end, Fraction: frac}
+	}
+	*s = out
+	return nil
+}

@@ -1,0 +1,62 @@
+package schedule
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	var s Schedule
+	s.Add(0, 1, r(3, 2), r(5, 2), r(1, 4))
+	s.Add(1, 0, r(0, 1), r(1, 1), r(1, 1))
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"3/2"`) {
+		t.Errorf("expected exact rational encoding, got %s", data)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Pieces) != 2 {
+		t.Fatalf("pieces = %d", len(back.Pieces))
+	}
+	for i := range s.Pieces {
+		a, b := &s.Pieces[i], &back.Pieces[i]
+		if a.Machine != b.Machine || a.Job != b.Job ||
+			a.Start.Cmp(b.Start) != 0 || a.End.Cmp(b.End) != 0 || a.Fraction.Cmp(b.Fraction) != 0 {
+			t.Errorf("piece %d changed: %+v -> %+v", i, a, b)
+		}
+	}
+}
+
+func TestScheduleJSONBadInput(t *testing.T) {
+	var s Schedule
+	if err := json.Unmarshal([]byte(`{"pieces":[{"start":"x"}]}`), &s); err == nil {
+		t.Error("bad rational must error")
+	}
+	if err := json.Unmarshal([]byte(`{`), &s); err == nil {
+		t.Error("bad JSON must error")
+	}
+}
+
+func TestScheduleJSONValidatesWithInstance(t *testing.T) {
+	inst := inst22(t)
+	var s Schedule
+	s.Add(0, 0, r(0, 1), r(4, 1), r(1, 1))
+	s.Add(1, 1, r(1, 1), r(5, 1), r(1, 1))
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(inst, Divisible, nil); err != nil {
+		t.Errorf("round-tripped schedule fails validation: %v", err)
+	}
+}

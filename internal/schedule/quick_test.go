@@ -1,0 +1,79 @@
+package schedule
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"divflow/internal/model"
+)
+
+// TestMetricsQuick is a testing/quick property on metric consistency: for
+// any set of non-overlapping single-machine pieces covering two jobs,
+// MaxWeightedFlow dominates every job's weighted flow, Makespan dominates
+// every completion, and SumFlow equals the sum of the individual flows.
+func TestMetricsQuick(t *testing.T) {
+	inst := inst22ForQuick()
+	property := func(gapA, gapB uint8) bool {
+		// Build: J0 runs [g, g+4) on m0; J1 runs [max(g+4, 1)+h, +2·?) on m1
+		// (cost 4 on m1? c[1][1] = 8? use exact costs from inst22ForQuick:
+		// c[0][0]=4, c[1][1]=4.
+		g := big.NewRat(int64(gapA%8), 1)
+		var s Schedule
+		start0 := g
+		end0 := new(big.Rat).Add(start0, big.NewRat(4, 1))
+		s.Add(0, 0, start0, end0, big.NewRat(1, 1))
+		start1 := new(big.Rat).Add(end0, big.NewRat(int64(gapB%8)+1, 1))
+		end1 := new(big.Rat).Add(start1, big.NewRat(4, 1))
+		s.Add(1, 1, start1, end1, big.NewRat(1, 1))
+
+		flows, err := s.Flows(inst)
+		if err != nil {
+			return false
+		}
+		mwf, err := s.MaxWeightedFlow(inst)
+		if err != nil {
+			return false
+		}
+		sum, err := s.SumFlow(inst)
+		if err != nil {
+			return false
+		}
+		wantSum := new(big.Rat).Add(flows[0], flows[1])
+		if sum.Cmp(wantSum) != 0 {
+			return false
+		}
+		for j, f := range flows {
+			wf := new(big.Rat).Mul(inst.Jobs[j].Weight, f)
+			if wf.Cmp(mwf) > 0 {
+				return false
+			}
+		}
+		ms := s.Makespan()
+		for _, c := range s.Completions(inst.N()) {
+			if c.Cmp(ms) > 0 {
+				return false
+			}
+		}
+		return s.Validate(inst, Preemptive, nil) == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func inst22ForQuick() *model.Instance {
+	jobs := []model.Job{
+		{Name: "J0", Release: big.NewRat(0, 1), Weight: big.NewRat(1, 1), Size: big.NewRat(4, 1)},
+		{Name: "J1", Release: big.NewRat(1, 1), Weight: big.NewRat(2, 1), Size: big.NewRat(2, 1)},
+	}
+	machines := []model.Machine{
+		{Name: "m0", InverseSpeed: big.NewRat(1, 1)},
+		{Name: "m1", InverseSpeed: big.NewRat(2, 1)},
+	}
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}

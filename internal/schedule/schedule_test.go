@@ -1,0 +1,206 @@
+package schedule
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"divflow/internal/model"
+)
+
+func r(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+// inst22 returns a 2-job, 2-machine instance with all costs finite:
+// c[0] = {J0: 4, J1: 2}, c[1] = {J0: 8, J1: 4}. Releases 0 and 1, weights 1
+// and 2, sizes 4 and 2 (machine 0 has inverse speed 1, machine 1 has 2).
+func inst22(t *testing.T) *model.Instance {
+	t.Helper()
+	jobs := []model.Job{
+		{Name: "J0", Release: r(0, 1), Weight: r(1, 1), Size: r(4, 1)},
+		{Name: "J1", Release: r(1, 1), Weight: r(2, 1), Size: r(2, 1)},
+	}
+	machines := []model.Machine{
+		{Name: "m0", InverseSpeed: r(1, 1)},
+		{Name: "m1", InverseSpeed: r(2, 1)},
+	}
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestValidDivisibleSchedule(t *testing.T) {
+	inst := inst22(t)
+	var s Schedule
+	// J0 split across both machines concurrently (allowed when divisible):
+	// half on m0 during [0,2) (cost 4 -> fraction 1/2), half on m1 during
+	// [0,4) (cost 8 -> fraction 1/2).
+	s.Add(0, 0, r(0, 1), r(2, 1), r(1, 2))
+	s.Add(1, 0, r(0, 1), r(4, 1), r(1, 2))
+	// J1 entirely on m0 during [2,4) (cost 2 -> fraction 1).
+	s.Add(0, 1, r(2, 1), r(4, 1), r(1, 1))
+	if err := s.Validate(inst, Divisible, nil); err != nil {
+		t.Fatalf("valid divisible schedule rejected: %v", err)
+	}
+	// The same schedule is invalid under Preemptive: J0 runs on two
+	// machines at once.
+	if err := s.Validate(inst, Preemptive, nil); err == nil {
+		t.Fatal("preemptive validation must reject simultaneous execution")
+	}
+}
+
+func TestValidPreemptiveSchedule(t *testing.T) {
+	inst := inst22(t)
+	var s Schedule
+	// J0: [0,2) on m0 (1/2 done), then [2,6) on m1 (1/2 done).
+	s.Add(0, 0, r(0, 1), r(2, 1), r(1, 2))
+	s.Add(1, 0, r(2, 1), r(6, 1), r(1, 2))
+	// J1: [2,4) on m0.
+	s.Add(0, 1, r(2, 1), r(4, 1), r(1, 1))
+	if err := s.Validate(inst, Preemptive, nil); err != nil {
+		t.Fatalf("valid preemptive schedule rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsReleaseViolation(t *testing.T) {
+	inst := inst22(t)
+	var s Schedule
+	s.Add(0, 1, r(0, 1), r(2, 1), r(1, 1)) // J1 released at 1, starts at 0
+	s.Add(0, 0, r(2, 1), r(6, 1), r(1, 1))
+	err := s.Validate(inst, Divisible, nil)
+	if err == nil || !strings.Contains(err.Error(), "release") {
+		t.Fatalf("want release violation, got %v", err)
+	}
+}
+
+func TestValidateRejectsWrongFraction(t *testing.T) {
+	inst := inst22(t)
+	var s Schedule
+	s.Add(0, 0, r(0, 1), r(4, 1), r(1, 2)) // duration 4, cost 4 -> should be 1
+	s.Add(0, 1, r(4, 1), r(6, 1), r(1, 1))
+	err := s.Validate(inst, Divisible, nil)
+	if err == nil || !strings.Contains(err.Error(), "fraction") {
+		t.Fatalf("want fraction violation, got %v", err)
+	}
+}
+
+func TestValidateRejectsIncomplete(t *testing.T) {
+	inst := inst22(t)
+	var s Schedule
+	s.Add(0, 0, r(0, 1), r(2, 1), r(1, 2)) // only half of J0
+	s.Add(0, 1, r(2, 1), r(4, 1), r(1, 1))
+	err := s.Validate(inst, Divisible, nil)
+	if err == nil || !strings.Contains(err.Error(), "processed fraction") {
+		t.Fatalf("want completion violation, got %v", err)
+	}
+}
+
+func TestValidateRejectsMachineOverlap(t *testing.T) {
+	inst := inst22(t)
+	var s Schedule
+	s.Add(0, 0, r(0, 1), r(4, 1), r(1, 1))
+	s.Add(0, 1, r(3, 1), r(5, 1), r(1, 1)) // overlaps on m0
+	err := s.Validate(inst, Divisible, nil)
+	if err == nil || !strings.Contains(err.Error(), "machine 0") {
+		t.Fatalf("want machine overlap violation, got %v", err)
+	}
+}
+
+func TestValidateRejectsIneligibleMachine(t *testing.T) {
+	jobs := []model.Job{{Name: "J0", Release: r(0, 1), Weight: r(1, 1), Size: r(2, 1), Databanks: []string{"x"}}}
+	machines := []model.Machine{
+		{Name: "has", InverseSpeed: r(1, 1), Databanks: []string{"x"}},
+		{Name: "hasnot", InverseSpeed: r(1, 1)},
+	}
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Schedule
+	s.Add(1, 0, r(0, 1), r(2, 1), r(1, 1))
+	if err := s.Validate(inst, Divisible, nil); err == nil {
+		t.Fatal("want ineligible-machine violation")
+	}
+}
+
+func TestValidateDeadlines(t *testing.T) {
+	inst := inst22(t)
+	var s Schedule
+	s.Add(0, 0, r(0, 1), r(4, 1), r(1, 1))
+	s.Add(1, 1, r(1, 1), r(5, 1), r(1, 1))
+	dls := []*big.Rat{r(4, 1), r(5, 1)}
+	if err := s.Validate(inst, Divisible, dls); err != nil {
+		t.Fatalf("deadline-respecting schedule rejected: %v", err)
+	}
+	tight := []*big.Rat{r(4, 1), r(4, 1)}
+	if err := s.Validate(inst, Divisible, tight); err == nil {
+		t.Fatal("want deadline violation")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	inst := inst22(t)
+	var s Schedule
+	s.Add(0, 0, r(0, 1), r(4, 1), r(1, 1)) // C_0 = 4, F_0 = 4
+	s.Add(1, 1, r(1, 1), r(5, 1), r(1, 1)) // C_1 = 5, F_1 = 4
+	if ms := s.Makespan(); ms.Cmp(r(5, 1)) != 0 {
+		t.Errorf("makespan = %v, want 5", ms)
+	}
+	flows, err := s.Flows(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flows[0].Cmp(r(4, 1)) != 0 || flows[1].Cmp(r(4, 1)) != 0 {
+		t.Errorf("flows = %v,%v want 4,4", flows[0], flows[1])
+	}
+	mwf, err := s.MaxWeightedFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mwf.Cmp(r(8, 1)) != 0 { // w_1 * F_1 = 2*4
+		t.Errorf("max weighted flow = %v, want 8", mwf)
+	}
+	st, err := s.MaxStretch(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cmp(r(2, 1)) != 0 { // F_1 / W_1 = 4/2
+		t.Errorf("max stretch = %v, want 2", st)
+	}
+	sf, err := s.SumFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Cmp(r(8, 1)) != 0 {
+		t.Errorf("sum flow = %v, want 8", sf)
+	}
+}
+
+func TestFlowsMissingJob(t *testing.T) {
+	inst := inst22(t)
+	var s Schedule
+	s.Add(0, 0, r(0, 1), r(4, 1), r(1, 1))
+	if _, err := s.Flows(inst); err == nil {
+		t.Fatal("want error for job with no piece")
+	}
+}
+
+func TestAddDropsEmptyPieces(t *testing.T) {
+	var s Schedule
+	s.Add(0, 0, r(2, 1), r(2, 1), r(1, 2)) // zero duration
+	s.Add(0, 0, r(2, 1), r(3, 1), r(0, 1)) // zero fraction
+	if len(s.Pieces) != 0 {
+		t.Errorf("empty pieces must be dropped, got %d", len(s.Pieces))
+	}
+}
+
+func TestStringGantt(t *testing.T) {
+	var s Schedule
+	s.Add(1, 0, r(0, 1), r(2, 1), r(1, 2))
+	s.Add(0, 1, r(1, 1), r(3, 1), r(1, 1))
+	out := s.String()
+	if !strings.Contains(out, "M0: J1[1,3)") || !strings.Contains(out, "M1: J0[0,2)") {
+		t.Errorf("unexpected gantt:\n%s", out)
+	}
+}

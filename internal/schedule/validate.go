@@ -1,0 +1,114 @@
+package schedule
+
+import (
+	"fmt"
+	"math/big"
+
+	"divflow/internal/model"
+)
+
+// Model selects which execution-model invariants Validate enforces.
+type Model int
+
+// Execution models.
+const (
+	// Divisible is the divisible-load model: fractions of a job may run
+	// concurrently on different machines (Section 3, "Job divisibility").
+	Divisible Model = iota
+	// Preemptive forbids simultaneous execution of one job on several
+	// machines but allows interruption (Section 4.4).
+	Preemptive
+)
+
+// Validate checks that the schedule is a valid execution of the instance
+// under the given model:
+//
+//  1. every piece runs a job on an eligible machine, at full speed
+//     (Fraction == Duration / c_{i,j}), entirely after its release date;
+//  2. pieces on one machine never overlap;
+//  3. every job is fully processed: Σ fractions == 1;
+//  4. under Preemptive, pieces of one job never overlap across machines.
+//
+// Deadlines, when non-nil, are additionally enforced: every piece of job j
+// must end by deadlines[j].
+func (s *Schedule) Validate(inst *model.Instance, m Model, deadlines []*big.Rat) error {
+	done := make([]*big.Rat, inst.N())
+	for j := range done {
+		done[j] = new(big.Rat)
+	}
+	for i := range s.Pieces {
+		p := &s.Pieces[i]
+		if p.Job < 0 || p.Job >= inst.N() {
+			return fmt.Errorf("schedule: piece %d has unknown job %d", i, p.Job)
+		}
+		if p.Machine < 0 || p.Machine >= inst.M() {
+			return fmt.Errorf("schedule: piece %d has unknown machine %d", i, p.Machine)
+		}
+		if p.Start.Cmp(p.End) >= 0 {
+			return fmt.Errorf("schedule: piece %d is empty or inverted [%v,%v)", i, p.Start, p.End)
+		}
+		if p.Start.Cmp(inst.Jobs[p.Job].Release) < 0 {
+			return fmt.Errorf("schedule: piece %d starts at %v before release %v of job %d",
+				i, p.Start, inst.Jobs[p.Job].Release.RatString(), p.Job)
+		}
+		c, ok := inst.Cost(p.Machine, p.Job)
+		if !ok {
+			return fmt.Errorf("schedule: piece %d runs job %d on ineligible machine %d", i, p.Job, p.Machine)
+		}
+		wantFrac := new(big.Rat).Quo(p.Duration(), c)
+		if p.Fraction.Cmp(wantFrac) != 0 {
+			return fmt.Errorf("schedule: piece %d fraction %v != duration/cost %v",
+				i, p.Fraction.RatString(), wantFrac.RatString())
+		}
+		if deadlines != nil && deadlines[p.Job] != nil && p.End.Cmp(deadlines[p.Job]) > 0 {
+			return fmt.Errorf("schedule: piece %d of job %d ends at %v after deadline %v",
+				i, p.Job, p.End.RatString(), deadlines[p.Job].RatString())
+		}
+		done[p.Job].Add(done[p.Job], p.Fraction)
+	}
+	one := big.NewRat(1, 1)
+	for j, d := range done {
+		if d.Cmp(one) != 0 {
+			return fmt.Errorf("schedule: job %d processed fraction %v, want 1", j, d.RatString())
+		}
+	}
+	if err := s.checkNoOverlap(groupKeyMachine, inst.M(), "machine"); err != nil {
+		return err
+	}
+	if m == Preemptive {
+		if err := s.checkNoOverlap(groupKeyJob, inst.N(), "job"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type groupKey int
+
+const (
+	groupKeyMachine groupKey = iota
+	groupKeyJob
+)
+
+func (s *Schedule) checkNoOverlap(key groupKey, groups int, what string) error {
+	byGroup := make([][]int, groups)
+	for i := range s.Pieces {
+		g := s.Pieces[i].Machine
+		if key == groupKeyJob {
+			g = s.Pieces[i].Job
+		}
+		byGroup[g] = append(byGroup[g], i)
+	}
+	for g, idx := range byGroup {
+		s.sortedByStart(idx)
+		for k := 1; k < len(idx); k++ {
+			prev, cur := &s.Pieces[idx[k-1]], &s.Pieces[idx[k]]
+			if cur.Start.Cmp(prev.End) < 0 {
+				return fmt.Errorf("schedule: %s %d runs two pieces concurrently: [%v,%v) and [%v,%v)",
+					what, g, prev.Start.RatString(), prev.End.RatString(),
+					cur.Start.RatString(), cur.End.RatString())
+			}
+		}
+	}
+	return nil
+}

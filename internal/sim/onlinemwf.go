@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+	"math/big"
+
+	"divflow/internal/core"
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+)
+
+// OnlineMWF is the online adaptation of the paper's offline algorithm
+// sketched in its conclusion: at every event, the scheduler re-solves the
+// *offline* max-weighted-flow problem on the residual workload — released,
+// incomplete jobs, with their remaining fractions and their original
+// submission dates as flow origins — and applies the head of the resulting
+// schedule until the next event. Divisibility (or, in the paper's phrasing,
+// "a simple preemption scheme") comes for free: re-solving at every event
+// naturally preempts and migrates work.
+type OnlineMWF struct {
+	// Mode selects the execution model of the inner offline solve:
+	// schedule.Divisible reproduces the divisible adaptation,
+	// schedule.Preemptive the variant of Section 4.4.
+	Mode schedule.Model
+	// LazyResolve, when set, re-solves only when a *new job* appears
+	// instead of at every event, following the previously computed plan in
+	// between — an ablation of the re-solve frequency. Because the plan
+	// was optimal and execution is exact, this changes nothing on
+	// arrival-free suffixes but saves most of the LP solves.
+	LazyResolve bool
+
+	// err records an inner-solver failure; the policy then idles, which
+	// the simulator reports as a stall carrying this error's context.
+	err error
+	// plan is the schedule computed at the last solve (absolute times,
+	// jobs identified by real IDs); used only with LazyResolve.
+	plan []planPiece
+	// known tracks the job IDs seen by the last solve.
+	known map[int]bool
+	// solves counts inner exact LP-based solves, for the ablation report.
+	solves int
+}
+
+type planPiece struct {
+	machine int
+	jobID   int
+	start   *big.Rat
+	end     *big.Rat
+}
+
+// NewOnlineMWF returns the divisible-model online adaptation.
+func NewOnlineMWF() *OnlineMWF { return &OnlineMWF{Mode: schedule.Divisible} }
+
+// NewOnlineMWFPreemptive returns the preemptive-model online adaptation.
+func NewOnlineMWFPreemptive() *OnlineMWF { return &OnlineMWF{Mode: schedule.Preemptive} }
+
+// NewOnlineMWFLazy returns the divisible adaptation that re-solves only on
+// new arrivals.
+func NewOnlineMWFLazy() *OnlineMWF { return &OnlineMWF{Mode: schedule.Divisible, LazyResolve: true} }
+
+// Name implements Policy.
+func (p *OnlineMWF) Name() string {
+	switch {
+	case p.LazyResolve:
+		return "online-mwf-lazy"
+	case p.Mode == schedule.Preemptive:
+		return "online-mwf-preempt"
+	default:
+		return "online-mwf"
+	}
+}
+
+// Solves reports how many inner offline solves the last run performed.
+func (p *OnlineMWF) Solves() int { return p.solves }
+
+// Reset implements Policy.
+func (p *OnlineMWF) Reset() {
+	p.err = nil
+	p.plan = nil
+	p.known = nil
+	p.solves = 0
+}
+
+// Err reports the first inner-solver failure, if any.
+func (p *OnlineMWF) Err() error { return p.err }
+
+// Assign implements Policy.
+func (p *OnlineMWF) Assign(s *Snapshot) Allocation {
+	if len(s.Jobs) == 0 || p.err != nil {
+		return idleAllocation(s.M)
+	}
+	if p.LazyResolve && p.plan != nil && !p.hasNewJob(s) {
+		return p.followPlan(s)
+	}
+	res, ids, err := p.resolve(s)
+	p.solves++
+	if err != nil {
+		p.err = fmt.Errorf("online-mwf: residual solve at t=%v: %w", s.Now.RatString(), err)
+		return idleAllocation(s.M)
+	}
+	p.known = make(map[int]bool, len(ids))
+	for _, id := range ids {
+		p.known[id] = true
+	}
+	p.plan = p.plan[:0]
+	for k := range res.Schedule.Pieces {
+		piece := &res.Schedule.Pieces[k]
+		p.plan = append(p.plan, planPiece{
+			machine: piece.Machine,
+			jobID:   ids[piece.Job],
+			start:   piece.Start,
+			end:     piece.End,
+		})
+	}
+	return p.followPlan(s)
+}
+
+func (p *OnlineMWF) hasNewJob(s *Snapshot) bool {
+	for k := range s.Jobs {
+		if !p.known[s.Jobs[k].ID] {
+			return true
+		}
+	}
+	return false
+}
+
+// followPlan applies the stored plan at s.Now: each machine runs the piece
+// covering now (if its job is still live); the next decision point is the
+// earliest piece boundary after now.
+func (p *OnlineMWF) followPlan(s *Snapshot) Allocation {
+	live := make(map[int]bool, len(s.Jobs))
+	for k := range s.Jobs {
+		live[s.Jobs[k].ID] = true
+	}
+	alloc := idleAllocation(s.M)
+	var review *big.Rat
+	consider := func(t *big.Rat) {
+		if t.Cmp(s.Now) <= 0 {
+			return
+		}
+		if review == nil || t.Cmp(review) < 0 {
+			review = t
+		}
+	}
+	for i := range p.plan {
+		piece := &p.plan[i]
+		if piece.start.Cmp(s.Now) <= 0 && piece.end.Cmp(s.Now) > 0 && live[piece.jobID] {
+			alloc.MachineJob[piece.machine] = piece.jobID
+			consider(piece.end)
+		} else {
+			consider(piece.start)
+			consider(piece.end)
+		}
+	}
+	alloc.Review = review
+	return alloc
+}
+
+// resolve builds the residual offline instance (remaining fractions scaled
+// into sizes and costs, all jobs released "now", flow origins preserved)
+// and solves it exactly. It returns the mapping from residual job index to
+// real job ID.
+func (p *OnlineMWF) resolve(s *Snapshot) (*core.Result, []int, error) {
+	jobs := make([]model.Job, len(s.Jobs))
+	ids := make([]int, len(s.Jobs))
+	origins := make([]*big.Rat, len(s.Jobs))
+	cost := make([][]*big.Rat, s.M)
+	for i := range cost {
+		cost[i] = make([]*big.Rat, len(s.Jobs))
+	}
+	for k := range s.Jobs {
+		jv := &s.Jobs[k]
+		ids[k] = jv.ID
+		origins[k] = new(big.Rat).Set(jv.Release)
+		jobs[k] = model.Job{
+			Name:    fmt.Sprintf("residual-%d", jv.ID),
+			Release: new(big.Rat).Set(s.Now),
+			Weight:  new(big.Rat).Set(jv.Weight),
+		}
+		for i := 0; i < s.M; i++ {
+			if c, ok := s.Cost(i, jv.ID); ok {
+				cost[i][k] = new(big.Rat).Mul(jv.Remaining, c)
+			}
+		}
+	}
+	inst, err := model.NewUnrelated(jobs, machineStubs(s.M), cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.MinMaxWeightedFlowWithOrigins(inst, origins, p.Mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ids, nil
+}
+
+func machineStubs(m int) []model.Machine {
+	out := make([]model.Machine, m)
+	for i := range out {
+		out[i].Name = fmt.Sprintf("M%d", i)
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+// Package sim is an exact discrete-event simulator for *online* scheduling
+// of divisible requests, used to reproduce the comparison sketched in the
+// conclusion of RR-5386: a simple online adaptation of the offline
+// max-weighted-flow algorithm (with preemption) against classical heuristics
+// such as Minimum Completion Time.
+//
+// The simulator reveals each job only at its release date, asks the policy
+// for an allocation (which machine works on which job) at every event (job
+// release, job completion, or a policy-requested review point), advances
+// simulated time exactly with rational arithmetic, and records every run as
+// schedule pieces so that the resulting trajectory can be validated by the
+// same exact validator as the offline schedules and measured with the same
+// metrics.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+)
+
+// JobView is the slice of job state a policy is allowed to see: only jobs
+// that have been released and are not yet complete appear in a Snapshot.
+type JobView struct {
+	ID        int // index into the instance's job list
+	Release   *big.Rat
+	Weight    *big.Rat
+	Size      *big.Rat // nil when the instance has no sizes
+	Remaining *big.Rat // fraction of the job still to process, in (0, 1]
+}
+
+// Snapshot is the information available to an online policy at a decision
+// point. Policies must not retain the Remaining pointers (they are live
+// simulator state); copy values if needed.
+type Snapshot struct {
+	Now  *big.Rat
+	Jobs []JobView // released, incomplete, ordered by release then ID
+	M    int       // number of machines
+	// Cost returns c_{i,j} for machine i and *job ID* j, with ok=false
+	// for an ineligible machine.
+	Cost func(i, jobID int) (*big.Rat, bool)
+}
+
+// Allocation is a policy decision: MachineJob[i] is the job ID machine i
+// works on until the next event (-1 for idle). Several machines may share a
+// job (the divisible model); policies emulating non-divisible execution
+// simply never do that. Review, when non-nil, requests an extra decision
+// point no later than that absolute time.
+type Allocation struct {
+	MachineJob []int
+	Review     *big.Rat
+}
+
+// Policy is an online scheduling strategy.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Reset clears internal state before a fresh run.
+	Reset()
+	// Assign picks the allocation to apply from s.Now onward.
+	Assign(s *Snapshot) Allocation
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	Policy   string
+	Schedule *schedule.Schedule
+	// MaxWeightedFlow and SumFlow are the exact metrics of the run;
+	// MaxStretch is nil when the instance lacks sizes.
+	MaxWeightedFlow *big.Rat
+	MaxStretch      *big.Rat
+	SumFlow         *big.Rat
+	Makespan        *big.Rat
+	// Decisions counts policy invocations; Preemptions counts pieces
+	// beyond the first per job (an indication of policy churn).
+	Decisions   int
+	Preemptions int
+}
+
+// Run simulates the policy on the instance from time zero until every job
+// completes. It returns an error if the policy emits an invalid allocation
+// (unknown, unreleased, finished or ineligible job) or stalls (leaves work
+// undone with no upcoming event).
+func Run(inst *model.Instance, p Policy) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := inst.N(), inst.M()
+	p.Reset()
+
+	remaining := make([]*big.Rat, n)
+	released := make([]bool, n)
+	done := make([]bool, n)
+	for j := range remaining {
+		remaining[j] = big.NewRat(1, 1)
+	}
+	now := new(big.Rat)
+	nextRelease := 0 // jobs are sorted by release date
+	sched := &schedule.Schedule{}
+	decisions := 0
+	doneCount := 0
+	lastPiece := make([]int, m) // last recorded piece per machine, -1 none
+	for i := range lastPiece {
+		lastPiece[i] = -1
+	}
+
+	for doneCount < n {
+		// Reveal everything released by `now`.
+		for nextRelease < n && inst.Jobs[nextRelease].Release.Cmp(now) <= 0 {
+			released[nextRelease] = true
+			nextRelease++
+		}
+		snap := &Snapshot{Now: new(big.Rat).Set(now), M: m, Cost: inst.Cost}
+		for j := 0; j < n; j++ {
+			if released[j] && !done[j] {
+				snap.Jobs = append(snap.Jobs, JobView{
+					ID:        j,
+					Release:   inst.Jobs[j].Release,
+					Weight:    inst.Jobs[j].Weight,
+					Size:      inst.Jobs[j].Size,
+					Remaining: new(big.Rat).Set(remaining[j]),
+				})
+			}
+		}
+		alloc := p.Assign(snap)
+		decisions++
+		if len(alloc.MachineJob) != m {
+			return nil, fmt.Errorf("sim: policy %s allocated %d machines, want %d", p.Name(), len(alloc.MachineJob), m)
+		}
+		// Validate the allocation and accumulate processing rates.
+		rate := make(map[int]*big.Rat) // job -> Σ 1/c_{i,j}
+		for i, j := range alloc.MachineJob {
+			if j < 0 {
+				continue
+			}
+			if j >= n || !released[j] || done[j] {
+				return nil, fmt.Errorf("sim: policy %s assigned machine %d an unavailable job %d", p.Name(), i, j)
+			}
+			c, ok := inst.Cost(i, j)
+			if !ok {
+				return nil, fmt.Errorf("sim: policy %s ran job %d on ineligible machine %d", p.Name(), j, i)
+			}
+			if rate[j] == nil {
+				rate[j] = new(big.Rat)
+			}
+			rate[j].Add(rate[j], new(big.Rat).Inv(c))
+		}
+
+		// Next event: earliest of next release, any completion under the
+		// current rates, and the policy's review point.
+		var dt *big.Rat
+		consider := func(cand *big.Rat) {
+			if cand == nil || cand.Sign() <= 0 {
+				return
+			}
+			if dt == nil || cand.Cmp(dt) < 0 {
+				dt = cand
+			}
+		}
+		if nextRelease < n {
+			consider(new(big.Rat).Sub(inst.Jobs[nextRelease].Release, now))
+		}
+		for j, rt := range rate {
+			if rt.Sign() > 0 {
+				consider(new(big.Rat).Quo(remaining[j], rt))
+			}
+		}
+		if alloc.Review != nil {
+			consider(new(big.Rat).Sub(alloc.Review, now))
+		}
+		if dt == nil {
+			return nil, fmt.Errorf("sim: policy %s stalled at t=%v with %d jobs unfinished",
+				p.Name(), now.RatString(), n-doneCount)
+		}
+
+		// Advance: record pieces, consume work. A machine continuing the
+		// same job across an event boundary extends its last piece, so
+		// piece counts reflect genuine preemptions/migrations rather than
+		// simulator event granularity.
+		end := new(big.Rat).Add(now, dt)
+		for i, j := range alloc.MachineJob {
+			if j < 0 {
+				continue
+			}
+			c, _ := inst.Cost(i, j)
+			frac := new(big.Rat).Quo(dt, c)
+			if k := lastPiece[i]; k >= 0 {
+				if pc := &sched.Pieces[k]; pc.Job == j && pc.End.Cmp(now) == 0 {
+					pc.End = new(big.Rat).Set(end)
+					pc.Fraction.Add(pc.Fraction, frac)
+					remaining[j].Sub(remaining[j], frac)
+					continue
+				}
+			}
+			sched.Add(i, j, now, end, frac)
+			lastPiece[i] = len(sched.Pieces) - 1
+			remaining[j].Sub(remaining[j], frac)
+		}
+		for j := range rate {
+			if remaining[j].Sign() <= 0 {
+				if remaining[j].Sign() < 0 {
+					return nil, fmt.Errorf("sim: job %d over-processed (internal error)", j)
+				}
+				done[j] = true
+				doneCount++
+			}
+		}
+		now = end
+	}
+
+	return summarize(inst, p.Name(), sched, decisions)
+}
+
+func summarize(inst *model.Instance, name string, sched *schedule.Schedule, decisions int) (*Result, error) {
+	// The online trajectory must be a valid divisible-model schedule.
+	if err := sched.Validate(inst, schedule.Divisible, nil); err != nil {
+		return nil, fmt.Errorf("sim: produced an invalid schedule: %w", err)
+	}
+	mwf, err := sched.MaxWeightedFlow(inst)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := sched.SumFlow(inst)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Policy:          name,
+		Schedule:        sched,
+		MaxWeightedFlow: mwf,
+		SumFlow:         sum,
+		Makespan:        sched.Makespan(),
+		Decisions:       decisions,
+	}
+	sized := true
+	for j := range inst.Jobs {
+		if inst.Jobs[j].Size == nil {
+			sized = false
+			break
+		}
+	}
+	if sized {
+		st, err := sched.MaxStretch(inst)
+		if err != nil {
+			return nil, err
+		}
+		res.MaxStretch = st
+	}
+	perJob := make(map[int]int)
+	for i := range sched.Pieces {
+		perJob[sched.Pieces[i].Job]++
+	}
+	for _, c := range perJob {
+		res.Preemptions += c - 1
+	}
+	return res, nil
+}
+
+// ErrNoPolicy is returned by Compare when no policies are supplied.
+var ErrNoPolicy = errors.New("sim: no policies to compare")
+
+// Compare runs every policy on the instance and returns the results in the
+// same order.
+func Compare(inst *model.Instance, policies []Policy) ([]*Result, error) {
+	if len(policies) == 0 {
+		return nil, ErrNoPolicy
+	}
+	out := make([]*Result, len(policies))
+	for k, p := range policies {
+		r, err := Run(inst, p)
+		if err != nil {
+			return nil, fmt.Errorf("sim: policy %s: %w", p.Name(), err)
+		}
+		out[k] = r
+	}
+	return out, nil
+}

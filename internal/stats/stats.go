@@ -1,0 +1,127 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harnesses: ordinary least-squares linear regression (for the
+// divisibility studies of Figure 1, which report slope and fixed overhead),
+// and summary statistics for the online-scheduling comparisons.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Linear is an ordinary least-squares fit y ≈ Intercept + Slope·x.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+	N  int
+}
+
+// FitLinear computes the least-squares line through the points. It needs at
+// least two points with distinct x values.
+func FitLinear(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, errors.New("stats: mismatched sample lengths")
+	}
+	n := len(xs)
+	if n < 2 {
+		return Linear{}, errors.New("stats: need at least two points")
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, errors.New("stats: all x values identical")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := range xs {
+			res := ys[i] - (intercept + slope*xs[i])
+			ssRes += res * res
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return Linear{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// Mean returns the arithmetic mean (NaN for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum (NaN for an empty sample).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. NaN for an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// GeoMean returns the geometric mean of strictly positive samples (NaN when
+// empty or any sample is non-positive). Used to aggregate competitive
+// ratios across seeds.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

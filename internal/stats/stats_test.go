@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0.1, 0.9, 2.1, 2.9, 4.1}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.99 || fit.R2 > 1 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+	if math.Abs(fit.Slope-1) > 0.1 {
+		t.Errorf("slope = %v", fit.Slope)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point must error")
+	}
+	if _, err := FitLinear([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("identical x must error")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths must error")
+	}
+}
+
+func TestFitLinearRecoversLineProperty(t *testing.T) {
+	check := func(a, b int8) bool {
+		slope, intercept := float64(a), float64(b)
+		xs := []float64{0, 1, 2, 5, 9}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = intercept + slope*x
+		}
+		fit, err := FitLinear(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-slope) < 1e-9 && math.Abs(fit.Intercept-intercept) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := Max([]float64{1, 5, 3}); got != 5 {
+		t.Errorf("max = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty samples must be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("p50 = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile must be NaN")
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Percentile must not mutate its input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean = %v, want 4", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Error("non-positive sample must be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty must be NaN")
+	}
+}

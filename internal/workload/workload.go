@@ -1,0 +1,175 @@
+// Package workload generates random problem instances for tests,
+// benchmarks and the online-scheduling simulations: heterogeneous machine
+// collections hosting replicated databanks, and streams of divisible
+// requests with Poisson-like arrivals and skewed (databank-popularity and
+// size) distributions, mirroring the GriPPS deployment scenario of RR-5386.
+//
+// All generation is deterministic given the seed, and all quantities are
+// produced as exact rationals with bounded denominators so that the exact
+// LP solvers stay fast.
+package workload
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"divflow/internal/model"
+)
+
+// Config parameterizes instance generation.
+type Config struct {
+	Jobs     int
+	Machines int
+	// Databanks is the number of distinct databanks; 0 means "no databank
+	// constraints" (every job runs everywhere).
+	Databanks int
+	// Replication is how many machines host each databank (at least 1,
+	// capped at Machines).
+	Replication int
+	// MeanInterarrival is the mean gap between consecutive release dates,
+	// in seconds (geometric approximation of a Poisson process). Zero
+	// means all jobs are released at time 0.
+	MeanInterarrival float64
+	// MinSize and MaxSize bound job sizes (work units, integer-valued).
+	MinSize, MaxSize int
+	// MinSpeed and MaxSpeed bound machine speeds; inverse speeds are
+	// 1/speed, so costs are Size/speed.
+	MinSpeed, MaxSpeed int
+	// Unrelated, when true, replaces the uniform cost model with an
+	// unrelated one: each finite c_{i,j} is drawn independently.
+	Unrelated bool
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Default returns a moderate configuration suitable for tests.
+func Default() Config {
+	return Config{
+		Jobs:             6,
+		Machines:         3,
+		Databanks:        3,
+		Replication:      2,
+		MeanInterarrival: 4,
+		MinSize:          1,
+		MaxSize:          20,
+		MinSpeed:         1,
+		MaxSpeed:         4,
+		Seed:             1,
+	}
+}
+
+// Generate builds a random instance. Each job depends on exactly one
+// databank (Zipf-skewed popularity), each databank is replicated on
+// Replication distinct machines, and weights are 1 (callers wanting
+// max-stretch call WeightsForStretch on the result).
+func Generate(cfg Config) (*model.Instance, error) {
+	if cfg.Jobs <= 0 || cfg.Machines <= 0 {
+		return nil, fmt.Errorf("workload: need positive Jobs and Machines, got %d/%d", cfg.Jobs, cfg.Machines)
+	}
+	if cfg.MinSize <= 0 {
+		cfg.MinSize = 1
+	}
+	if cfg.MaxSize < cfg.MinSize {
+		cfg.MaxSize = cfg.MinSize
+	}
+	if cfg.MinSpeed <= 0 {
+		cfg.MinSpeed = 1
+	}
+	if cfg.MaxSpeed < cfg.MinSpeed {
+		cfg.MaxSpeed = cfg.MinSpeed
+	}
+	rep := cfg.Replication
+	if rep < 1 {
+		rep = 1
+	}
+	if rep > cfg.Machines {
+		rep = cfg.Machines
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Machines with integer speeds in [MinSpeed, MaxSpeed].
+	machines := make([]model.Machine, cfg.Machines)
+	for i := range machines {
+		speed := int64(cfg.MinSpeed + rng.Intn(cfg.MaxSpeed-cfg.MinSpeed+1))
+		machines[i] = model.Machine{
+			Name:         fmt.Sprintf("M%d", i),
+			InverseSpeed: big.NewRat(1, speed),
+		}
+	}
+	// Databank placement: each bank on `rep` distinct machines.
+	banks := make([]string, cfg.Databanks)
+	for b := range banks {
+		banks[b] = fmt.Sprintf("bank%d", b)
+		for _, i := range rng.Perm(cfg.Machines)[:rep] {
+			machines[i].Databanks = append(machines[i].Databanks, banks[b])
+		}
+	}
+
+	// Jobs: geometric interarrival (integer quarters of a second), sizes
+	// uniform, databank choice Zipf-skewed toward low indices.
+	jobs := make([]model.Job, cfg.Jobs)
+	release := new(big.Rat)
+	for j := range jobs {
+		if j > 0 && cfg.MeanInterarrival > 0 {
+			gapQuarters := int64(rng.ExpFloat64()*cfg.MeanInterarrival*4) + 1
+			release = new(big.Rat).Add(release, big.NewRat(gapQuarters, 4))
+		}
+		size := int64(cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1))
+		jobs[j] = model.Job{
+			Name:    fmt.Sprintf("J%d", j),
+			Release: new(big.Rat).Set(release),
+			Weight:  big.NewRat(1, 1),
+			Size:    big.NewRat(size, 1),
+		}
+		if cfg.Databanks > 0 {
+			jobs[j].Databanks = []string{banks[zipfIndex(rng, cfg.Databanks)]}
+		}
+	}
+
+	if !cfg.Unrelated {
+		return model.NewInstance(jobs, machines)
+	}
+	// Unrelated model: independent integer costs in [Size/MaxSpeed,
+	// Size/MinSpeed] scaled by a per-pair factor, infinite where the
+	// databank is absent.
+	cost := make([][]*big.Rat, cfg.Machines)
+	for i := range cost {
+		cost[i] = make([]*big.Rat, cfg.Jobs)
+		for j := range cost[i] {
+			if !machines[i].Hosts(jobs[j].Databanks) {
+				continue
+			}
+			speed := int64(cfg.MinSpeed + rng.Intn(cfg.MaxSpeed-cfg.MinSpeed+1))
+			cost[i][j] = new(big.Rat).Mul(jobs[j].Size, big.NewRat(1, speed))
+		}
+	}
+	return model.NewUnrelated(jobs, machines, cost)
+}
+
+// zipfIndex draws an index in [0, n) with probability proportional to
+// 1/(i+1) — a light-tailed popularity skew matching how a few reference
+// databanks (e.g. SWISS-PROT) dominate request traffic.
+func zipfIndex(rng *rand.Rand, n int) int {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / float64(i+1)
+	}
+	x := rng.Float64() * total
+	for i := 0; i < n; i++ {
+		x -= 1 / float64(i+1)
+		if x <= 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// MustGenerate is Generate for tests: it panics on error.
+func MustGenerate(cfg Config) *model.Instance {
+	inst, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Default()
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("same seed must give same shape")
+	}
+	for j := 0; j < a.N(); j++ {
+		if a.Jobs[j].Release.Cmp(b.Jobs[j].Release) != 0 || a.Jobs[j].Size.Cmp(b.Jobs[j].Size) != 0 {
+			t.Fatalf("job %d differs between identical seeds", j)
+		}
+	}
+	cfg.Seed = 999
+	c := MustGenerate(cfg)
+	diff := false
+	for j := 0; j < a.N() && j < c.N(); j++ {
+		if a.Jobs[j].Size.Cmp(c.Jobs[j].Size) != 0 {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds should give different instances")
+	}
+}
+
+func TestGenerateValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		cfg := Default()
+		cfg.Seed = seed
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid instance: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateReleasesSorted(t *testing.T) {
+	cfg := Default()
+	cfg.Jobs = 20
+	inst := MustGenerate(cfg)
+	for j := 1; j < inst.N(); j++ {
+		if inst.Jobs[j].Release.Cmp(inst.Jobs[j-1].Release) < 0 {
+			t.Fatal("releases not sorted")
+		}
+	}
+}
+
+func TestGenerateZeroInterarrival(t *testing.T) {
+	cfg := Default()
+	cfg.MeanInterarrival = 0
+	inst := MustGenerate(cfg)
+	for j := range inst.Jobs {
+		if inst.Jobs[j].Release.Sign() != 0 {
+			t.Fatalf("job %d released at %v, want 0", j, inst.Jobs[j].Release)
+		}
+	}
+}
+
+func TestGenerateNoDatabanks(t *testing.T) {
+	cfg := Default()
+	cfg.Databanks = 0
+	inst := MustGenerate(cfg)
+	for j := 0; j < inst.N(); j++ {
+		if got := len(inst.EligibleMachines(j)); got != inst.M() {
+			t.Fatalf("job %d eligible on %d machines, want all %d", j, got, inst.M())
+		}
+	}
+}
+
+func TestGenerateReplicationBounds(t *testing.T) {
+	cfg := Default()
+	cfg.Replication = 100 // capped at Machines
+	inst := MustGenerate(cfg)
+	for j := 0; j < inst.N(); j++ {
+		if got := len(inst.EligibleMachines(j)); got != inst.M() {
+			t.Fatalf("full replication: job %d eligible on %d, want %d", j, got, inst.M())
+		}
+	}
+	cfg.Replication = 1
+	inst = MustGenerate(cfg)
+	for j := 0; j < inst.N(); j++ {
+		if got := len(inst.EligibleMachines(j)); got < 1 {
+			t.Fatalf("job %d has no machine", j)
+		}
+	}
+}
+
+func TestGenerateUnrelated(t *testing.T) {
+	cfg := Default()
+	cfg.Unrelated = true
+	inst := MustGenerate(cfg)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	cfg := Default()
+	cfg.Jobs = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero jobs must error")
+	}
+	cfg = Default()
+	cfg.Machines = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero machines must error")
+	}
+}
+
+func TestGenerateDefaultsClamped(t *testing.T) {
+	cfg := Config{Jobs: 3, Machines: 2, Seed: 1} // everything else zero
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for j := range inst.Jobs {
+		if inst.Jobs[j].Size.Cmp(big.NewRat(1, 1)) < 0 {
+			t.Error("sizes must be >= clamped MinSize")
+		}
+	}
+}
+
+func TestZipfIndexSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 5)
+	for i := 0; i < 10000; i++ {
+		counts[zipfIndex(rng, 5)]++
+	}
+	if counts[0] <= counts[4] {
+		t.Errorf("zipf skew missing: counts %v", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10000 {
+		t.Errorf("indices out of range: %v", counts)
+	}
+}
