@@ -1,0 +1,76 @@
+// Command divflowd is the divflow scheduling daemon: it owns a machine
+// fleet described by a platform JSON, accepts divisible-job submissions
+// over HTTP, and schedules them online with the paper's exact
+// max-weighted-flow machinery (or a classical heuristic).
+//
+//	divflowd -platform testdata/platform.json -addr :8080
+//
+// API (all JSON, exact rationals as strings):
+//
+//	POST /v1/jobs          {"name":"blast","size":"40","weight":"1","databanks":["swissprot"]}
+//	GET  /v1/jobs/{id}     job state, completion, flow / weighted flow / stretch
+//	GET  /v1/schedule      executed Gantt so far (?since=<rat> to window)
+//	GET  /v1/stats         solve/batch/cache counters and flow metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"divflow/internal/model"
+	"divflow/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("divflowd: ")
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		platform = flag.String("platform", "", "platform JSON describing the machine fleet (required)")
+		policy   = flag.String("policy", server.DefaultPolicy,
+			fmt.Sprintf("scheduling policy: %s", strings.Join(server.Policies(), ", ")))
+	)
+	flag.Parse()
+	if *platform == "" {
+		flag.Usage()
+		log.Fatal("missing -platform")
+	}
+	data, err := os.ReadFile(*platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machines, err := model.ParsePlatform(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Machines: machines, Policy: *policy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+	log.Printf("serving %d machines on %s (policy %s)", len(machines), *addr, *policy)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module divflow
+
+go 1.22

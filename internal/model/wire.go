@@ -1,0 +1,172 @@
+package model
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Wire-format types of the divflowd HTTP API. All rationals travel as
+// strings in big.Rat notation ("3/2", "10"), exactly like the instance and
+// schedule encodings, so nothing is lost between client and scheduler.
+
+// SubmitRequest is the body of POST /v1/jobs: one divisible request.
+type SubmitRequest struct {
+	Name string `json:"name,omitempty"`
+	// Weight is the priority w_j of the max weighted flow objective;
+	// optional, default 1.
+	Weight string `json:"weight,omitempty"`
+	// Size is the amount of work W_j; required (the service schedules under
+	// the uniform cost model, c_{i,j} = Size · InverseSpeed_i).
+	Size string `json:"size"`
+	// Databanks lists the databanks the job needs; it may only run on
+	// machines hosting all of them.
+	Databanks []string `json:"databanks,omitempty"`
+}
+
+// maxWireRatBits bounds the numerator/denominator of submitted rationals:
+// exact arithmetic makes every accepted digit a permanent cost in all later
+// LP solves, so an unbounded "1e100000" would wedge the scheduling loop.
+const maxWireRatBits = 256
+
+func parseWireRat(s, what string) (*big.Rat, error) {
+	r, err := parseRat(s, what)
+	if err != nil {
+		return nil, err
+	}
+	if r.Num().BitLen() > maxWireRatBits || r.Denom().BitLen() > maxWireRatBits {
+		return nil, fmt.Errorf("model: %s %q exceeds %d bits", what, s, maxWireRatBits)
+	}
+	return r, nil
+}
+
+// Job converts the request into a model Job with no release date (the
+// scheduler stamps the release when it admits the job).
+func (r *SubmitRequest) Job() (Job, error) {
+	job := Job{Name: r.Name, Databanks: r.Databanks}
+	if r.Size == "" {
+		return job, errors.New("model: submission needs a size")
+	}
+	size, err := parseWireRat(r.Size, "size")
+	if err != nil {
+		return job, err
+	}
+	if size.Sign() <= 0 {
+		return job, errors.New("model: submission needs size > 0")
+	}
+	job.Size = size
+	if r.Weight == "" {
+		job.Weight = big.NewRat(1, 1)
+	} else {
+		w, err := parseWireRat(r.Weight, "weight")
+		if err != nil {
+			return job, err
+		}
+		if w.Sign() <= 0 {
+			return job, errors.New("model: submission needs weight > 0")
+		}
+		job.Weight = w
+	}
+	return job, nil
+}
+
+// SubmitResponse is the body answering POST /v1/jobs.
+type SubmitResponse struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}. Rational fields are empty
+// until known (Release until the scheduler admits the job; CompletedAt,
+// Flow, WeightedFlow and Stretch until it completes).
+type JobStatus struct {
+	ID        int      `json:"id"`
+	Name      string   `json:"name,omitempty"`
+	State     string   `json:"state"`
+	Weight    string   `json:"weight"`
+	Size      string   `json:"size"`
+	Databanks []string `json:"databanks,omitempty"`
+	// Release is the submission time — the job's flow origin; queueing
+	// delay before the scheduler admits the job counts against its flow.
+	Release     string `json:"release,omitempty"`
+	Remaining   string `json:"remaining,omitempty"`
+	CompletedAt string `json:"completedAt,omitempty"`
+	Flow        string `json:"flow,omitempty"`
+	// WeightedFlow is Weight · Flow, the job's contribution to the service
+	// objective; Stretch is Flow / Size.
+	WeightedFlow string `json:"weightedFlow,omitempty"`
+	Stretch      string `json:"stretch,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Policy        string `json:"policy"`
+	Now           string `json:"now"`
+	JobsAccepted  int    `json:"jobsAccepted"`
+	JobsLive      int    `json:"jobsLive"`
+	JobsCompleted int    `json:"jobsCompleted"`
+	// Events counts scheduling decision points (arrival batches, job
+	// completions, plan review points); LPSolves counts exact inner solves
+	// and PlanCacheHits the decision points served from the cached plan,
+	// so Events - LPSolves is the work the batching/caching layer saved
+	// (both are zero for solver-free policies).
+	Events        int `json:"events"`
+	LPSolves      int `json:"lpSolves"`
+	PlanCacheHits int `json:"planCacheHits"`
+	// ArrivalBatches counts scheduler wake-ups that admitted jobs and
+	// BatchedArrivals the jobs admitted by them, so BatchedArrivals >
+	// ArrivalBatches means several arrivals shared one re-solve;
+	// LargestBatch is the biggest single admission.
+	ArrivalBatches  int `json:"arrivalBatches"`
+	BatchedArrivals int `json:"batchedArrivals"`
+	LargestBatch    int `json:"largestBatch"`
+	// MaxWeightedFlow and MaxStretch aggregate the completed jobs
+	// (exact rationals); MeanFlow and P95Flow are float summaries.
+	MaxWeightedFlow string  `json:"maxWeightedFlow,omitempty"`
+	MaxStretch      string  `json:"maxStretch,omitempty"`
+	MeanFlow        float64 `json:"meanFlow,omitempty"`
+	P95Flow         float64 `json:"p95Flow,omitempty"`
+	Stalled         bool    `json:"stalled,omitempty"`
+	LastError       string  `json:"lastError,omitempty"`
+}
+
+// ScheduleResponse is the body of GET /v1/schedule: the executed Gantt so
+// far (pieces reference job IDs). Pieces of completed work never change;
+// the piece currently in execution extends as time advances.
+type ScheduleResponse struct {
+	Now      string          `json:"now"`
+	Makespan string          `json:"makespan"`
+	Schedule json.RawMessage `json:"schedule"`
+}
+
+// ParsePlatform decodes a platform document — the machine fleet a divflowd
+// instance owns — encoded as {"machines":[{"name","inverseSpeed","databanks"}]}.
+// Every machine needs a strictly positive inverseSpeed.
+func ParsePlatform(data []byte) ([]Machine, error) {
+	var doc struct {
+		Machines []jsonMachine `json:"machines"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("model: platform: %w", err)
+	}
+	if len(doc.Machines) == 0 {
+		return nil, errors.New("model: platform has no machines")
+	}
+	machines := make([]Machine, len(doc.Machines))
+	for i, dm := range doc.Machines {
+		machines[i] = Machine{Name: dm.Name, Databanks: dm.Databanks}
+		if dm.InverseSpeed == "" {
+			return nil, fmt.Errorf("model: platform machine %d (%s) needs inverseSpeed", i, dm.Name)
+		}
+		s, err := parseRat(dm.InverseSpeed, "inverseSpeed")
+		if err != nil {
+			return nil, err
+		}
+		if s.Sign() <= 0 {
+			return nil, fmt.Errorf("model: platform machine %d (%s) needs inverseSpeed > 0", i, dm.Name)
+		}
+		machines[i].InverseSpeed = s
+	}
+	return machines, nil
+}

@@ -1,0 +1,33 @@
+package schedule
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestSince(t *testing.T) {
+	s := &Schedule{}
+	s.Add(0, 0, big.NewRat(0, 1), big.NewRat(2, 1), big.NewRat(1, 2))
+	s.Add(1, 1, big.NewRat(1, 1), big.NewRat(3, 1), big.NewRat(1, 1))
+	s.Add(0, 0, big.NewRat(4, 1), big.NewRat(5, 1), big.NewRat(1, 2))
+
+	if got := len(s.Since(new(big.Rat)).Pieces); got != 3 {
+		t.Errorf("Since(0) = %d pieces, want all 3", got)
+	}
+	// t=2 drops the first piece (End == 2 is not after 2) and keeps the
+	// piece straddling the cut whole.
+	win := s.Since(big.NewRat(2, 1))
+	if len(win.Pieces) != 2 {
+		t.Fatalf("Since(2) = %d pieces, want 2", len(win.Pieces))
+	}
+	if win.Pieces[0].Start.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("straddling piece truncated: start = %v", win.Pieces[0].Start)
+	}
+	if got := len(s.Since(big.NewRat(100, 1)).Pieces); got != 0 {
+		t.Errorf("Since(100) = %d pieces, want 0", got)
+	}
+	// The original is untouched.
+	if len(s.Pieces) != 3 {
+		t.Errorf("source schedule mutated: %d pieces", len(s.Pieces))
+	}
+}

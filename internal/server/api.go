@@ -1,0 +1,195 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"net/http"
+	"strconv"
+
+	"divflow/internal/model"
+	"divflow/internal/stats"
+)
+
+// Handler returns the HTTP surface of the service:
+//
+//	POST /v1/jobs          submit a job (model.SubmitRequest)
+//	GET  /v1/jobs/{id}     job status (model.JobStatus)
+//	GET  /v1/schedule      executed Gantt so far (model.ScheduleResponse);
+//	                       ?since=<rat> windows it to pieces ending after t
+//	GET  /v1/stats         service counters (model.StatsResponse)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// maxSubmitBytes bounds submission bodies: a single request must not be
+// able to feed the exact solvers arbitrarily large rationals.
+const maxSubmitBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req model.SubmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Submit(&req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, model.SubmitResponse{ID: id, State: StateQueued})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	// Copy the status under the lock, write to the network after releasing
+	// it: a slow client must never block the scheduling loop.
+	s.mu.Lock()
+	known := err == nil && id >= 0 && id < len(s.records)
+	var st model.JobStatus
+	if known {
+		st = s.jobStatusLocked(id)
+	}
+	s.mu.Unlock()
+	if !known {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// jobStatusLocked builds the wire status of one job. Callers hold s.mu.
+func (s *Server) jobStatusLocked(id int) model.JobStatus {
+	rec := s.records[id]
+	st := model.JobStatus{
+		ID:        rec.id,
+		Name:      rec.name,
+		State:     rec.state,
+		Weight:    rec.weight.RatString(),
+		Size:      rec.size.RatString(),
+		Databanks: rec.databanks,
+	}
+	if rec.release != nil {
+		st.Release = rec.release.RatString()
+	}
+	if rec.state == StateScheduled {
+		if rem := s.eng.Remaining(rec.id); rem != nil {
+			st.Remaining = rem.RatString()
+		}
+	}
+	if rec.completed != nil {
+		flow := new(big.Rat).Sub(rec.completed, rec.release)
+		st.CompletedAt = rec.completed.RatString()
+		st.Flow = flow.RatString()
+		st.WeightedFlow = new(big.Rat).Mul(rec.weight, flow).RatString()
+		st.Stretch = new(big.Rat).Quo(flow, rec.size).RatString()
+	}
+	return st
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var since *big.Rat
+	if q := r.URL.Query().Get("since"); q != "" {
+		t, ok := new(big.Rat).SetString(q)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q: want a rational like 3/2", q))
+			return
+		}
+		since = t
+	}
+	// Serialize under the lock, write to the network after releasing it: a
+	// slow client must never block the scheduling loop.
+	s.mu.Lock()
+	sched := s.eng.Schedule()
+	makespan := sched.Makespan() // of the whole execution, not the window
+	if since != nil {
+		sched = sched.Since(since)
+	}
+	raw, err := json.Marshal(sched)
+	now := s.eng.Now()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, model.ScheduleResponse{
+		Now:      now.RatString(),
+		Makespan: makespan.RatString(),
+		Schedule: raw,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats assembles the service counters and the exact/summary metrics over
+// completed jobs.
+func (s *Server) Stats() model.StatsResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := model.StatsResponse{
+		Policy:          s.policy.Name(),
+		Now:             s.eng.Now().RatString(),
+		JobsAccepted:    len(s.records),
+		JobsLive:        s.eng.Live(),
+		JobsCompleted:   s.eng.CompletedCount(),
+		Events:          s.eng.Decisions(),
+		ArrivalBatches:  s.arrivalBatches,
+		BatchedArrivals: s.batchedArrivals,
+		LargestBatch:    s.largestBatch,
+		Stalled:         s.stalled,
+	}
+	if s.mwf != nil {
+		resp.LPSolves = s.mwf.Solves()
+		resp.PlanCacheHits = s.mwf.CacheHits()
+	}
+	if s.lastErr != nil {
+		resp.LastError = s.lastErr.Error()
+	}
+	var maxWF, maxStretch *big.Rat
+	var flows []float64
+	for _, rec := range s.records {
+		if rec.completed == nil {
+			continue
+		}
+		flow := new(big.Rat).Sub(rec.completed, rec.release)
+		wf := new(big.Rat).Mul(rec.weight, flow)
+		if maxWF == nil || wf.Cmp(maxWF) > 0 {
+			maxWF = wf
+		}
+		st := new(big.Rat).Quo(flow, rec.size)
+		if maxStretch == nil || st.Cmp(maxStretch) > 0 {
+			maxStretch = st
+		}
+		f, _ := flow.Float64()
+		flows = append(flows, f)
+	}
+	if maxWF != nil {
+		resp.MaxWeightedFlow = maxWF.RatString()
+		resp.MaxStretch = maxStretch.RatString()
+		resp.MeanFlow = stats.Mean(flows)
+		resp.P95Flow = stats.Percentile(flows, 95)
+	}
+	return resp
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"math/big"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the scheduling loop: the daemon runs on a wall
+// clock, tests on a virtual one, so the whole service is deterministically
+// drivable at high job counts. Times are absolute seconds since the clock's
+// epoch, as exact rationals — event times computed by the engine stay exact
+// even when the wall clock only approximates when they are acted upon.
+type Clock interface {
+	// Now returns the current time.
+	Now() *big.Rat
+	// At returns a channel that is closed once the clock reaches t
+	// (immediately when t is already past), and a cancel function that
+	// releases the timer's resources; after cancel the channel may never
+	// fire. Cancel is idempotent.
+	At(t *big.Rat) (<-chan struct{}, func())
+}
+
+// RealClock is the wall clock, with its epoch at construction time.
+type RealClock struct {
+	epoch time.Time
+}
+
+// NewRealClock returns a wall clock starting now.
+func NewRealClock() *RealClock { return &RealClock{epoch: time.Now()} }
+
+// Now implements Clock with nanosecond resolution.
+func (c *RealClock) Now() *big.Rat {
+	return big.NewRat(time.Since(c.epoch).Nanoseconds(), int64(time.Second))
+}
+
+// At implements Clock. The sleep duration is rounded to the nanosecond and
+// capped at an hour — the loop re-computes its next event after every wake,
+// so rounding never skips an event and far-future deadlines (which would
+// overflow time.Duration) just wake the loop periodically.
+func (c *RealClock) At(t *big.Rat) (<-chan struct{}, func()) {
+	ch := make(chan struct{})
+	dt := new(big.Rat).Sub(t, c.Now())
+	if dt.Sign() <= 0 {
+		close(ch)
+		return ch, func() {}
+	}
+	const maxSleep = time.Hour
+	d := maxSleep
+	f, _ := new(big.Rat).Mul(dt, big.NewRat(int64(time.Second), 1)).Float64()
+	if f < float64(maxSleep) {
+		d = time.Duration(f) + time.Nanosecond
+	}
+	timer := time.AfterFunc(d, func() { close(ch) })
+	return ch, func() { timer.Stop() }
+}
+
+// VirtualClock is a manually driven clock: Now only moves when Advance (or
+// AdvanceToNextTimer) is called, firing every timer the move crosses. It is
+// safe for concurrent use.
+type VirtualClock struct {
+	mu      sync.Mutex
+	now     *big.Rat
+	waiters []*virtualTimer
+}
+
+type virtualTimer struct {
+	at *big.Rat
+	ch chan struct{}
+}
+
+// NewVirtualClock returns a virtual clock at time zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{now: new(big.Rat)} }
+
+// Now implements Clock.
+func (c *VirtualClock) Now() *big.Rat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return new(big.Rat).Set(c.now)
+}
+
+// At implements Clock.
+func (c *VirtualClock) At(t *big.Rat) (<-chan struct{}, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan struct{})
+	if t.Cmp(c.now) <= 0 {
+		close(ch)
+		return ch, func() {}
+	}
+	w := &virtualTimer{at: new(big.Rat).Set(t), ch: ch}
+	c.waiters = append(c.waiters, w)
+	cancel := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for i, x := range c.waiters {
+			if x == w {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				break
+			}
+		}
+	}
+	return ch, cancel
+}
+
+// Advance moves the clock forward to t (no-op when t is in the past) and
+// fires every timer with deadline <= t.
+func (c *VirtualClock) Advance(t *big.Rat) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Cmp(c.now) > 0 {
+		c.now = new(big.Rat).Set(t)
+	}
+	c.fireDue()
+}
+
+// AdvanceToNextTimer jumps to the earliest pending timer deadline and fires
+// it, reporting whether there was one. Test drivers call it in a loop to
+// step the scheduling service event by event.
+func (c *VirtualClock) AdvanceToNextTimer() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *big.Rat
+	for _, w := range c.waiters {
+		if next == nil || w.at.Cmp(next) < 0 {
+			next = w.at
+		}
+	}
+	if next == nil {
+		return false
+	}
+	if next.Cmp(c.now) > 0 {
+		c.now = new(big.Rat).Set(next)
+	}
+	c.fireDue()
+	return true
+}
+
+// fireDue closes and removes every waiter with deadline <= now. Callers
+// hold c.mu.
+func (c *VirtualClock) fireDue() {
+	live := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.at.Cmp(c.now) <= 0 {
+			close(w.ch)
+		} else {
+			live = append(live, w)
+		}
+	}
+	// Drop references so fired timers can be collected.
+	for i := len(live); i < len(c.waiters); i++ {
+		c.waiters[i] = nil
+	}
+	c.waiters = live
+}

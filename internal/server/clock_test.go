@@ -1,0 +1,116 @@
+package server
+
+import (
+	"math/big"
+	"testing"
+	"time"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func fired(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func TestVirtualClockAt(t *testing.T) {
+	c := NewVirtualClock()
+	if c.Now().Sign() != 0 {
+		t.Fatalf("virtual clock starts at %v, want 0", c.Now())
+	}
+	past, _ := c.At(rat(0, 1))
+	if !fired(past) {
+		t.Error("timer at the current time must fire immediately")
+	}
+	future, _ := c.At(rat(3, 2))
+	if fired(future) {
+		t.Error("future timer fired early")
+	}
+	c.Advance(rat(1, 1))
+	if fired(future) {
+		t.Error("timer fired before its deadline")
+	}
+	c.Advance(rat(2, 1))
+	if !fired(future) {
+		t.Error("timer did not fire after its deadline passed")
+	}
+	if c.Now().Cmp(rat(2, 1)) != 0 {
+		t.Errorf("now = %v, want 2", c.Now())
+	}
+	// Advancing backwards is a no-op.
+	c.Advance(rat(1, 1))
+	if c.Now().Cmp(rat(2, 1)) != 0 {
+		t.Errorf("now = %v after backwards advance, want 2", c.Now())
+	}
+}
+
+func TestVirtualClockAdvanceToNextTimer(t *testing.T) {
+	c := NewVirtualClock()
+	late, _ := c.At(rat(5, 1))
+	early, _ := c.At(rat(2, 1))
+	if !c.AdvanceToNextTimer() {
+		t.Fatal("expected a pending timer")
+	}
+	if c.Now().Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("now = %v, want the earliest deadline 2", c.Now())
+	}
+	if !fired(early) || fired(late) {
+		t.Fatal("only the earliest timer should have fired")
+	}
+	if !c.AdvanceToNextTimer() {
+		t.Fatal("expected the second timer")
+	}
+	if !fired(late) {
+		t.Fatal("second timer did not fire")
+	}
+	if c.AdvanceToNextTimer() {
+		t.Fatal("no timers left, AdvanceToNextTimer must report false")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	if a.Sign() < 0 {
+		t.Fatalf("negative time %v", a)
+	}
+	past, _ := c.At(rat(0, 1))
+	if !fired(past) {
+		t.Error("past deadline must fire immediately")
+	}
+	soon, cancel := c.At(new(big.Rat).Add(c.Now(), rat(1, 1000)))
+	select {
+	case <-soon:
+	case <-time.After(2 * time.Second):
+		t.Fatal("1ms timer did not fire within 2s")
+	}
+	cancel() // idempotent after firing
+	if c.Now().Cmp(a) < 0 {
+		t.Error("real clock moved backwards")
+	}
+	// A deadline beyond time.Duration's range must not fire immediately
+	// (it would hot-loop the scheduler); it sleeps in capped chunks.
+	far, cancelFar := c.At(rat(1<<62, 1))
+	if fired(far) {
+		t.Error("far-future timer fired immediately (duration overflow)")
+	}
+	cancelFar()
+}
+
+func TestVirtualClockCancel(t *testing.T) {
+	c := NewVirtualClock()
+	_, cancel := c.At(rat(4, 1))
+	cancel()
+	cancel() // idempotent
+	if c.AdvanceToNextTimer() {
+		t.Fatal("cancelled timer still pending")
+	}
+	kept, _ := c.At(rat(6, 1))
+	if !c.AdvanceToNextTimer() || !fired(kept) {
+		t.Fatal("surviving timer did not fire")
+	}
+}

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+	"divflow/internal/workload"
+)
+
+func postJob(t *testing.T, url string, req model.SubmitRequest) model.SubmitResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d", resp.StatusCode)
+	}
+	var out model.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// submitRequests converts generated jobs into wire submissions.
+func submitRequests(inst *model.Instance) []model.SubmitRequest {
+	reqs := make([]model.SubmitRequest, inst.N())
+	for j := range reqs {
+		reqs[j] = model.SubmitRequest{
+			Name:      inst.Jobs[j].Name,
+			Weight:    inst.Jobs[j].Weight.RatString(),
+			Size:      inst.Jobs[j].Size.RatString(),
+			Databanks: inst.Jobs[j].Databanks,
+		}
+	}
+	return reqs
+}
+
+// validateService rebuilds the offline instance from the served job
+// statuses and checks the executed trace against the exact validator.
+func validateService(t *testing.T, baseURL string, machines []model.Machine, n int) {
+	t.Helper()
+	jobs := make([]model.Job, n)
+	for id := 0; id < n; id++ {
+		var st model.JobStatus
+		getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", baseURL, id), &st)
+		if st.State != StateDone {
+			t.Fatalf("job %d state = %s, want done", id, st.State)
+		}
+		release, ok := new(big.Rat).SetString(st.Release)
+		if !ok {
+			t.Fatalf("job %d release %q", id, st.Release)
+		}
+		weight, _ := new(big.Rat).SetString(st.Weight)
+		size, _ := new(big.Rat).SetString(st.Size)
+		jobs[id] = model.Job{Name: st.Name, Release: release, Weight: weight, Size: size, Databanks: st.Databanks}
+	}
+	// Admission order is non-decreasing in time, so instance job indices
+	// coincide with service job IDs after the model's stable sort.
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schedResp model.ScheduleResponse
+	getJSON(t, baseURL+"/v1/schedule", &schedResp)
+	var sched schedule.Schedule
+	if err := json.Unmarshal(schedResp.Schedule, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(inst, schedule.Divisible, nil); err != nil {
+		t.Fatalf("served schedule invalid: %v", err)
+	}
+}
+
+// TestOnlineMWFBatchingAndCaching is the acceptance test of the divflowd
+// subsystem: 100 jobs submitted concurrently over HTTP before the loop
+// starts land in a single admission batch at virtual t=0, so the exact
+// solver runs once; every later event (completions, plan reviews) is served
+// from the cached plan, so stats must show far fewer LP solves than events.
+func TestOnlineMWFBatchingAndCaching(t *testing.T) {
+	cfg := workload.Default()
+	cfg.Jobs = 100
+	cfg.Machines = 3
+	cfg.Databanks = 3
+	cfg.Seed = 7
+	inst := workload.MustGenerate(cfg)
+
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: inst.Machines, Policy: "online-mwf-lazy", Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// 20 concurrent clients submit 5 jobs each while the clock sits at 0.
+	reqs := submitRequests(inst)
+	var wg sync.WaitGroup
+	for c := 0; c < 20; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				postJob(t, ts.URL, reqs[c*5+k])
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	srv.Start()
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == cfg.Jobs })
+
+	var stats model.StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.JobsAccepted != cfg.Jobs || stats.JobsCompleted != cfg.Jobs {
+		t.Fatalf("accepted %d completed %d, want %d", stats.JobsAccepted, stats.JobsCompleted, cfg.Jobs)
+	}
+	// All jobs were pending when the loop started: one admission batch,
+	// hence exactly one exact LP solve.
+	if stats.ArrivalBatches != 1 || stats.LargestBatch != cfg.Jobs {
+		t.Errorf("arrivalBatches=%d largestBatch=%d, want 1 batch of %d",
+			stats.ArrivalBatches, stats.LargestBatch, cfg.Jobs)
+	}
+	if stats.LPSolves != 1 {
+		t.Errorf("lpSolves = %d, want exactly 1 (batching amortizes the LP)", stats.LPSolves)
+	}
+	if stats.LPSolves >= stats.Events {
+		t.Errorf("lpSolves = %d not fewer than events = %d", stats.LPSolves, stats.Events)
+	}
+	if stats.PlanCacheHits == 0 {
+		t.Error("expected plan-cache hits at completion/review events")
+	}
+	if stats.Stalled || stats.LastError != "" {
+		t.Fatalf("service unhealthy: stalled=%v err=%q", stats.Stalled, stats.LastError)
+	}
+	validateService(t, ts.URL, inst.Machines, cfg.Jobs)
+}
+
+// TestSecondWaveResolves drives a first wave to completion, then submits a
+// second wave at a later virtual time: the scheduler must re-solve (the
+// fingerprint no longer matches) yet keep solves below events.
+func TestSecondWaveResolves(t *testing.T) {
+	cfg := workload.Default()
+	cfg.Jobs = 12
+	cfg.Machines = 2
+	cfg.Seed = 3
+	inst := workload.MustGenerate(cfg)
+	reqs := submitRequests(inst)
+
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: inst.Machines, Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, req := range reqs[:6] {
+		postJob(t, ts.URL, req)
+	}
+	srv.Start()
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 6 })
+	for _, req := range reqs[6:] {
+		postJob(t, ts.URL, req)
+	}
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == len(reqs) })
+
+	stats := srv.Stats()
+	if stats.LPSolves < 2 {
+		t.Errorf("lpSolves = %d, want >= 2 (second wave must re-solve)", stats.LPSolves)
+	}
+	if stats.LPSolves >= stats.Events {
+		t.Errorf("lpSolves = %d not fewer than events = %d", stats.LPSolves, stats.Events)
+	}
+	validateService(t, ts.URL, inst.Machines, len(reqs))
+}
+
+// TestConcurrentSubmissionUnderRace hammers a live server — tens of
+// concurrent HTTP clients submitting generator-driven jobs while a driver
+// goroutine advances the virtual clock — and verifies every accepted job
+// completes and the reported schedule passes the exact validator. Run with
+// -race this doubles as the data-race check on the service boundary.
+func TestConcurrentSubmissionUnderRace(t *testing.T) {
+	const clients, perClient = 30, 4
+	cfg := workload.Default()
+	cfg.Jobs = clients * perClient
+	cfg.Machines = 4
+	cfg.Databanks = 4
+	cfg.Replication = 2
+	cfg.Seed = 11
+	inst := workload.MustGenerate(cfg)
+	reqs := submitRequests(inst)
+
+	vc := NewVirtualClock()
+	// MCT involves no LP, so heavy live-set sizes stay cheap: this test is
+	// about the concurrent service boundary, not the solver.
+	srv, err := New(Config{Machines: inst.Machines, Policy: "mct", Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Start()
+
+	stop := make(chan struct{})
+	var driver sync.WaitGroup
+	driver.Add(1)
+	go func() {
+		defer driver.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				vc.AdvanceToNextTimer()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				postJob(t, ts.URL, reqs[c*perClient+k])
+			}
+		}(c)
+	}
+	wg.Wait()
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == cfg.Jobs })
+	close(stop)
+	driver.Wait()
+
+	stats := srv.Stats()
+	if stats.JobsCompleted != cfg.Jobs || stats.Stalled {
+		t.Fatalf("completed %d/%d, stalled=%v, lastError=%q",
+			stats.JobsCompleted, cfg.Jobs, stats.Stalled, stats.LastError)
+	}
+	validateService(t, ts.URL, inst.Machines, cfg.Jobs)
+}
+
+func TestHTTPErrorsAndWindowing(t *testing.T) {
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: testFleet(), Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(`{"size":"0"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("invalid submission = %d, want 422", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/schedule?since=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad since = %d, want 400", resp.StatusCode)
+	}
+
+	postJob(t, ts.URL, model.SubmitRequest{Size: "3", Databanks: []string{"swissprot"}})
+	srv.Start()
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 1 })
+
+	var full, empty model.ScheduleResponse
+	getJSON(t, ts.URL+"/v1/schedule", &full)
+	getJSON(t, ts.URL+"/v1/schedule?since=1000", &empty)
+	var fullSched, emptySched schedule.Schedule
+	if err := json.Unmarshal(full.Schedule, &fullSched); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(empty.Schedule, &emptySched); err != nil {
+		t.Fatal(err)
+	}
+	if len(fullSched.Pieces) == 0 || len(emptySched.Pieces) != 0 {
+		t.Errorf("windowing: full=%d pieces, since-1000=%d pieces", len(fullSched.Pieces), len(emptySched.Pieces))
+	}
+}

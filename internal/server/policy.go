@@ -1,0 +1,48 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"divflow/internal/sim"
+)
+
+// DefaultPolicy is the policy a Server runs when none is configured: the
+// paper's online max-weighted-flow adaptation with the lazy plan cache, so
+// the exact solver runs only when the residual workload actually changes.
+const DefaultPolicy = "online-mwf-lazy"
+
+// policyFactories maps API/flag names to constructors. Each Server gets a
+// fresh policy instance (policies carry per-run state).
+var policyFactories = map[string]func() sim.Policy{
+	"online-mwf-lazy":    func() sim.Policy { return sim.NewOnlineMWFLazy() },
+	"online-mwf":         func() sim.Policy { return sim.NewOnlineMWF() },
+	"online-mwf-preempt": func() sim.Policy { return sim.NewOnlineMWFPreemptive() },
+	"mct":                func() sim.Policy { return sim.NewMCT() },
+	"srpt":               func() sim.Policy { return sim.NewSRPT() },
+	"greedy-wflow":       func() sim.Policy { return sim.NewGreedyWeightedFlow() },
+	"fcfs":               func() sim.Policy { return sim.NewFCFS() },
+}
+
+// Policies lists the selectable policy names, sorted.
+func Policies() []string {
+	out := make([]string, 0, len(policyFactories))
+	for name := range policyFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewPolicy builds the named policy ("" selects DefaultPolicy).
+func NewPolicy(name string) (sim.Policy, error) {
+	if name == "" {
+		name = DefaultPolicy
+	}
+	mk, ok := policyFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown policy %q (have %s)", name, strings.Join(Policies(), ", "))
+	}
+	return mk(), nil
+}

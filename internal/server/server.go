@@ -1,0 +1,322 @@
+// Package server is the divflowd scheduling service: a long-running,
+// concurrent boundary around the exact solvers of this repository. It owns
+// a machine fleet loaded at startup, admits divisible-job submissions over
+// HTTP, and runs an event-driven loop that steps the same sim.Policy
+// machinery as the offline/online simulator — by default the paper's online
+// max-weighted-flow adaptation with lazy re-solving, so arrivals landing
+// within one wake-up are batched into a single exact solve and every other
+// event is served from the cached plan.
+//
+// The loop is single-owner: one goroutine mutates the engine, guarded by a
+// mutex that HTTP handlers take only to enqueue submissions or read state.
+// Time comes from a pluggable Clock — the wall clock in the daemon, a
+// virtual clock in tests, making the whole service deterministically
+// testable at high job counts.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"divflow/internal/model"
+	"divflow/internal/sim"
+)
+
+// ErrClosed is returned by Submit once the server is shutting down.
+var ErrClosed = errors.New("server: shutting down")
+
+// Job lifecycle states reported by the API.
+const (
+	StateQueued    = "queued"    // accepted, not yet admitted by the loop
+	StateScheduled = "scheduled" // live: the policy is scheduling it
+	StateDone      = "done"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Machines is the fleet (every machine needs InverseSpeed > 0).
+	Machines []model.Machine
+	// Policy is one of Policies(); empty selects DefaultPolicy.
+	Policy string
+	// Clock defaults to a fresh RealClock.
+	Clock Clock
+}
+
+// jobRecord is the server-side state of one submitted job.
+type jobRecord struct {
+	id        int
+	name      string
+	weight    *big.Rat
+	size      *big.Rat
+	databanks []string
+	state     string
+	release   *big.Rat // submission time: the job's flow origin
+	completed *big.Rat // completion time; nil until done
+}
+
+// Server is one divflowd instance. Create with New, start the scheduling
+// loop with Start, serve Handler over HTTP, stop with Close.
+type Server struct {
+	clock    Clock
+	machines []model.Machine
+	policy   sim.Policy
+	mwf      *sim.OnlineMWF // non-nil when policy is an OnlineMWF variant
+
+	mu      sync.Mutex
+	eng     *sim.Engine
+	records []*jobRecord
+	pending []*jobRecord // accepted but not yet admitted
+	// hosts[i] caches which job IDs machine i can serve (databank check
+	// done once at acceptance, not on every cost lookup).
+	eligible []map[int]bool
+
+	arrivalBatches  int
+	batchedArrivals int
+	largestBatch    int
+	stalled         bool
+	lastErr         error
+
+	started bool
+	closed  bool
+	wake    chan struct{}
+	done    chan struct{}
+	stopped chan struct{}
+}
+
+// New builds a server over the fleet. The scheduling loop is not started
+// yet — submissions queue until Start.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Machines) == 0 {
+		return nil, errors.New("server: no machines")
+	}
+	for i := range cfg.Machines {
+		if cfg.Machines[i].InverseSpeed == nil || cfg.Machines[i].InverseSpeed.Sign() <= 0 {
+			return nil, fmt.Errorf("server: machine %d (%s) needs InverseSpeed > 0", i, cfg.Machines[i].Name)
+		}
+	}
+	pol, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = NewRealClock()
+	}
+	s := &Server{
+		clock:    clock,
+		machines: append([]model.Machine(nil), cfg.Machines...),
+		policy:   pol,
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	s.mwf, _ = pol.(*sim.OnlineMWF)
+	s.eligible = make([]map[int]bool, len(s.machines))
+	for i := range s.eligible {
+		s.eligible[i] = make(map[int]bool)
+	}
+	s.eng = sim.NewEngine(len(s.machines), s.cost, pol)
+	return s, nil
+}
+
+// cost is the engine's CostFunc: the uniform model over the fleet,
+// c_{i,j} = Size_j · InverseSpeed_i where machine i hosts job j's databanks.
+func (s *Server) cost(machine, jobID int) (*big.Rat, bool) {
+	if !s.eligible[machine][jobID] {
+		return nil, false
+	}
+	return new(big.Rat).Mul(s.records[jobID].size, s.machines[machine].InverseSpeed), true
+}
+
+// Start launches the scheduling loop. Safe to call once.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	go s.loop()
+}
+
+// Close stops accepting submissions and terminates the loop.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	started := s.started
+	s.mu.Unlock()
+	close(s.done)
+	if started {
+		<-s.stopped
+	}
+}
+
+// Submit accepts one job, stamping its flow origin (release) now. It
+// returns the assigned ID; the scheduling loop admits the job at its next
+// wake-up, so submissions racing one re-solve share it.
+func (s *Server) Submit(req *model.SubmitRequest) (int, error) {
+	job, err := req.Job()
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	var hosts []int
+	for i := range s.machines {
+		if s.machines[i].Hosts(job.Databanks) {
+			hosts = append(hosts, i)
+		}
+	}
+	if len(hosts) == 0 {
+		return 0, fmt.Errorf("server: no machine hosts databanks %v", job.Databanks)
+	}
+	rec := &jobRecord{
+		id:        len(s.records),
+		name:      job.Name,
+		weight:    job.Weight,
+		size:      job.Size,
+		databanks: job.Databanks,
+		state:     StateQueued,
+		// The flow origin is the submission time: queueing delay before
+		// the loop admits the job counts against its flow, exactly like
+		// the paper's online adaptation measures flows from submission.
+		release: s.clock.Now(),
+	}
+	if rec.name == "" {
+		rec.name = fmt.Sprintf("job-%d", rec.id)
+	}
+	s.records = append(s.records, rec)
+	s.pending = append(s.pending, rec)
+	for _, i := range hosts {
+		s.eligible[i][rec.id] = true
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return rec.id, nil
+}
+
+// loop is the scheduling event loop: process everything due, arm a timer
+// for the next engine event, sleep until the timer or a submission wakes it.
+func (s *Server) loop() {
+	defer close(s.stopped)
+	for {
+		s.mu.Lock()
+		s.process()
+		next := s.eng.NextEvent()
+		s.mu.Unlock()
+
+		var timer <-chan struct{}
+		cancel := func() {}
+		if next != nil {
+			timer, cancel = s.clock.At(next)
+		}
+		select {
+		case <-s.done:
+			cancel()
+			return
+		case <-s.wake:
+		case <-timer:
+		}
+		// Release the timer before re-arming: wake-ups during a long-lived
+		// event would otherwise pile up pending timers until its deadline.
+		cancel()
+	}
+}
+
+// process catches the engine up with the clock — executing the current
+// allocation through every completion/review event that is due — and then
+// admits all pending submissions as one batch. Callers hold s.mu.
+func (s *Server) process() {
+	now := s.clock.Now()
+	if now.Cmp(s.eng.Now()) < 0 {
+		// A timer fired marginally early (wall-clock rounding): treat the
+		// engine's exact time as authoritative.
+		now = s.eng.Now()
+	}
+	for {
+		next := s.eng.NextEvent()
+		if next == nil || next.Cmp(now) > 0 {
+			break
+		}
+		if !s.step(next) {
+			return
+		}
+	}
+	// Partial progress up to the present, crossing no event.
+	if _, err := s.eng.AdvanceTo(now); err != nil {
+		s.fail(err)
+		return
+	}
+	if len(s.pending) == 0 {
+		return
+	}
+	batch := s.pending
+	s.pending = nil
+	for _, rec := range batch {
+		rec.state = StateScheduled
+		if err := s.eng.Add(rec.id, rec.release, rec.weight, rec.size); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+	s.arrivalBatches++
+	s.batchedArrivals += len(batch)
+	if len(batch) > s.largestBatch {
+		s.largestBatch = len(batch)
+	}
+	s.decide()
+}
+
+// step advances the engine to the event at t, completes jobs, and re-runs
+// the policy. Callers hold s.mu.
+func (s *Server) step(t *big.Rat) bool {
+	done, err := s.eng.AdvanceTo(t)
+	if err != nil {
+		s.fail(err)
+		return false
+	}
+	for _, id := range done {
+		s.records[id].state = StateDone
+		s.records[id].completed = s.eng.Completion(id)
+	}
+	return s.decide()
+}
+
+// decide runs the policy and flags a stall (live work but no upcoming
+// event: the policy idled, or its inner solver failed). Callers hold s.mu.
+func (s *Server) decide() bool {
+	if err := s.eng.Decide(); err != nil {
+		s.fail(err)
+		return false
+	}
+	// Once fail() recorded an engine error the flag stays latched: later
+	// decisions on a poisoned engine must not report the service healthy.
+	s.stalled = s.lastErr != nil || (s.eng.Live() > 0 && s.eng.NextEvent() == nil)
+	if s.stalled && s.lastErr == nil {
+		err := fmt.Errorf("server: policy %s idles with %d live jobs", s.policy.Name(), s.eng.Live())
+		if s.mwf != nil && s.mwf.Err() != nil {
+			err = s.mwf.Err()
+		}
+		s.lastErr = err
+	}
+	return true
+}
+
+// fail records a loop error; the service keeps serving reads.
+func (s *Server) fail(err error) {
+	if s.lastErr == nil {
+		s.lastErr = err
+	}
+	s.stalled = true
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"divflow/internal/model"
+)
+
+// testFleet is two heterogeneous machines sharing one databank; the second
+// also hosts a rare one.
+func testFleet() []model.Machine {
+	return []model.Machine{
+		{Name: "fast", InverseSpeed: rat(1, 2), Databanks: []string{"swissprot"}},
+		{Name: "slow", InverseSpeed: rat(1, 1), Databanks: []string{"swissprot", "pdb"}},
+	}
+}
+
+// drive advances the virtual clock event by event until pred holds (or the
+// deadline passes). It tolerates the scheduling loop having not yet armed
+// its next timer by polling.
+func drive(t *testing.T, vc *VirtualClock, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatal("drive: condition not reached in 30s")
+		}
+		if !vc.AdvanceToNextTimer() {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	names := Policies()
+	if len(names) == 0 {
+		t.Fatal("no policies")
+	}
+	for _, name := range names {
+		p, err := NewPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() == "" {
+			t.Errorf("%s: empty policy name", name)
+		}
+	}
+	if _, err := NewPolicy("nope"); err == nil {
+		t.Error("unknown policy must error")
+	}
+	p, err := NewPolicy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != DefaultPolicy {
+		t.Errorf("default policy = %s, want %s", p.Name(), DefaultPolicy)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty fleet must error")
+	}
+	if _, err := New(Config{Machines: []model.Machine{{Name: "m"}}}); err == nil {
+		t.Error("machine without InverseSpeed must error")
+	}
+	if _, err := New(Config{Machines: testFleet(), Policy: "nope"}); err == nil {
+		t.Error("unknown policy must error")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, err := New(Config{Machines: testFleet(), Clock: NewVirtualClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cases := []struct {
+		req  model.SubmitRequest
+		want string
+	}{
+		{model.SubmitRequest{}, "size"},
+		{model.SubmitRequest{Size: "0"}, "size"},
+		{model.SubmitRequest{Size: "bogus"}, "size"},
+		{model.SubmitRequest{Size: "4", Weight: "-1"}, "weight"},
+		{model.SubmitRequest{Size: "4", Databanks: []string{"missing"}}, "databanks"},
+	}
+	for _, c := range cases {
+		if _, err := s.Submit(&c.req); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Submit(%+v) = %v, want error mentioning %q", c.req, err, c.want)
+		}
+	}
+}
+
+func TestSingleJobLifecycle(t *testing.T) {
+	vc := NewVirtualClock()
+	s, err := New(Config{Machines: testFleet(), Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	id, err := s.Submit(&model.SubmitRequest{Name: "blast", Size: "4", Databanks: []string{"swissprot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	drive(t, vc, func() bool { return s.Stats().JobsCompleted == 1 })
+
+	s.mu.Lock()
+	st := s.jobStatusLocked(id)
+	s.mu.Unlock()
+	if st.State != StateDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+	// Both machines share the divisible job: 4 units at rate 2+1=3 from
+	// t=0, so the flow is exactly 4/3.
+	if st.Flow != "4/3" {
+		t.Errorf("flow = %s, want 4/3 (perfect split)", st.Flow)
+	}
+	if st.Stretch != "1/3" {
+		t.Errorf("stretch = %s, want 1/3", st.Stretch)
+	}
+	stats := s.Stats()
+	if stats.LPSolves != 1 {
+		t.Errorf("lpSolves = %d, want exactly 1", stats.LPSolves)
+	}
+	if stats.MaxWeightedFlow != "4/3" {
+		t.Errorf("maxWeightedFlow = %s, want 4/3", stats.MaxWeightedFlow)
+	}
+	if stats.Stalled {
+		t.Error("server reports stalled")
+	}
+}
+
+func TestDatabankRoutingUnderService(t *testing.T) {
+	// A pdb-bound job may only run on the slow machine; the executed trace
+	// must respect that even while a swissprot job competes.
+	vc := NewVirtualClock()
+	s, err := New(Config{Machines: testFleet(), Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	bound, err := s.Submit(&model.SubmitRequest{Size: "2", Databanks: []string{"pdb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(&model.SubmitRequest{Size: "6", Databanks: []string{"swissprot"}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	drive(t, vc, func() bool { return s.Stats().JobsCompleted == 2 })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.eng.Schedule().Pieces {
+		if p.Job == bound && p.Machine == 0 {
+			t.Fatal("pdb job ran on the machine without the databank")
+		}
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	s, err := New(Config{Machines: testFleet(), Clock: NewVirtualClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	s.Close()
+	if _, err := s.Submit(&model.SubmitRequest{Size: "1"}); err == nil {
+		t.Error("submit after close must error")
+	}
+	s.Close() // idempotent
+}
+
+func TestScheduleWindowing(t *testing.T) {
+	vc := NewVirtualClock()
+	s, err := New(Config{Machines: testFleet(), Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Submit(&model.SubmitRequest{Size: "3", Databanks: []string{"swissprot"}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	drive(t, vc, func() bool { return s.Stats().JobsCompleted == 1 })
+	s.mu.Lock()
+	full := len(s.eng.Schedule().Pieces)
+	afterEnd := len(s.eng.Schedule().Since(big.NewRat(100, 1)).Pieces)
+	fromStart := len(s.eng.Schedule().Since(new(big.Rat)).Pieces)
+	s.mu.Unlock()
+	if full == 0 || fromStart != full || afterEnd != 0 {
+		t.Errorf("windowing: full=%d fromStart=%d afterEnd=%d", full, fromStart, afterEnd)
+	}
+}

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"divflow/internal/schedule"
+)
+
+// CostFunc gives the cost c_{i,j} for machine i processing the whole of job
+// j, with ok=false when the machine is ineligible. Job IDs are stable,
+// caller-chosen identifiers; they need not be dense.
+type CostFunc func(machine, jobID int) (*big.Rat, bool)
+
+// Engine is the incremental policy-stepping core shared by Run (the
+// closed-world replay of a full instance) and the divflowd scheduling
+// service (an open world where jobs keep arriving). It owns the live job
+// set, the current allocation, and the executed-schedule trace; callers
+// drive it with the Add / Decide / NextEvent / AdvanceTo cycle:
+//
+//	e.Add(id, release, weight, size)   // job becomes visible
+//	e.Decide()                         // ask the policy for an allocation
+//	t := e.NextEvent()                 // earliest completion/review time
+//	done, _ := e.AdvanceTo(t)          // execute the allocation until t
+//
+// All arithmetic is exact; the trace the engine records passes the same
+// validator as the offline solvers' schedules once every job completes.
+type Engine struct {
+	m      int
+	cost   CostFunc
+	policy Policy
+
+	now  *big.Rat
+	jobs map[int]*engineJob
+	// order lists live job IDs sorted by (release, ID): the snapshot order
+	// policies rely on.
+	order []int
+
+	sched     *schedule.Schedule
+	lastPiece []int // last recorded piece per machine, -1 none
+
+	alloc     Allocation
+	haveAlloc bool
+
+	decisions int
+	completed int
+}
+
+type engineJob struct {
+	release   *big.Rat
+	weight    *big.Rat
+	size      *big.Rat // nil when unsized
+	remaining *big.Rat
+	completed *big.Rat // completion time, nil while live
+}
+
+// NewEngine returns an engine over m machines with the given cost function,
+// stepping the policy from time zero. The policy is Reset.
+func NewEngine(m int, cost CostFunc, p Policy) *Engine {
+	p.Reset()
+	e := &Engine{
+		m:         m,
+		cost:      cost,
+		policy:    p,
+		now:       new(big.Rat),
+		jobs:      make(map[int]*engineJob),
+		sched:     &schedule.Schedule{},
+		lastPiece: make([]int, m),
+	}
+	for i := range e.lastPiece {
+		e.lastPiece[i] = -1
+	}
+	return e
+}
+
+// Now returns the engine's current time (a copy).
+func (e *Engine) Now() *big.Rat { return new(big.Rat).Set(e.now) }
+
+// Policy returns the policy the engine steps.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// Decisions returns how many times the policy has been consulted.
+func (e *Engine) Decisions() int { return e.decisions }
+
+// Live returns the number of released, incomplete jobs.
+func (e *Engine) Live() int { return len(e.order) }
+
+// CompletedCount returns how many jobs have completed.
+func (e *Engine) CompletedCount() int { return e.completed }
+
+// Completion returns the completion time of a job (a copy), or nil when the
+// job is unknown or still live.
+func (e *Engine) Completion(id int) *big.Rat {
+	j := e.jobs[id]
+	if j == nil || j.completed == nil {
+		return nil
+	}
+	return new(big.Rat).Set(j.completed)
+}
+
+// Remaining returns the unprocessed fraction of a job (a copy), or nil when
+// the job is unknown.
+func (e *Engine) Remaining(id int) *big.Rat {
+	j := e.jobs[id]
+	if j == nil {
+		return nil
+	}
+	return new(big.Rat).Set(j.remaining)
+}
+
+// Schedule returns the executed trace. The pointer is live engine state:
+// callers must not mutate it, and must not retain it across AdvanceTo calls
+// without external synchronization.
+func (e *Engine) Schedule() *schedule.Schedule { return e.sched }
+
+// Add makes a job visible to the policy from the current time onward. The
+// release is the job's flow origin (it may precede the current time: flows
+// are measured from submission, not from admission); weight must be
+// positive; size may be nil for unsized jobs. The job must be eligible on at
+// least one machine, and the ID must be new.
+func (e *Engine) Add(id int, release, weight, size *big.Rat) error {
+	if _, dup := e.jobs[id]; dup {
+		return fmt.Errorf("sim: duplicate job id %d", id)
+	}
+	if release == nil || release.Sign() < 0 {
+		return fmt.Errorf("sim: job %d needs a release date >= 0", id)
+	}
+	if weight == nil || weight.Sign() <= 0 {
+		return fmt.Errorf("sim: job %d needs a weight > 0", id)
+	}
+	eligible := false
+	for i := 0; i < e.m; i++ {
+		if c, ok := e.cost(i, id); ok {
+			if c.Sign() <= 0 {
+				return fmt.Errorf("sim: job %d has cost <= 0 on machine %d", id, i)
+			}
+			eligible = true
+		}
+	}
+	if !eligible {
+		return fmt.Errorf("sim: job %d cannot run on any machine", id)
+	}
+	j := &engineJob{
+		release:   new(big.Rat).Set(release),
+		weight:    new(big.Rat).Set(weight),
+		remaining: big.NewRat(1, 1),
+	}
+	if size != nil {
+		j.size = new(big.Rat).Set(size)
+	}
+	e.jobs[id] = j
+	e.order = append(e.order, id)
+	sort.SliceStable(e.order, func(a, b int) bool {
+		ja, jb := e.jobs[e.order[a]], e.jobs[e.order[b]]
+		if c := ja.release.Cmp(jb.release); c != 0 {
+			return c < 0
+		}
+		return e.order[a] < e.order[b]
+	})
+	return nil
+}
+
+// Snapshot builds the policy-visible view of the current state.
+func (e *Engine) Snapshot() *Snapshot {
+	snap := &Snapshot{Now: e.Now(), M: e.m, Cost: e.cost}
+	for _, id := range e.order {
+		j := e.jobs[id]
+		snap.Jobs = append(snap.Jobs, JobView{
+			ID:        id,
+			Release:   j.release,
+			Weight:    j.weight,
+			Size:      j.size,
+			Remaining: new(big.Rat).Set(j.remaining),
+		})
+	}
+	return snap
+}
+
+// Decide consults the policy and installs its allocation after validating
+// it (correct width, only live jobs, only eligible machines).
+func (e *Engine) Decide() error {
+	alloc := e.policy.Assign(e.Snapshot())
+	e.decisions++
+	if len(alloc.MachineJob) != e.m {
+		return fmt.Errorf("sim: policy %s allocated %d machines, want %d", e.policy.Name(), len(alloc.MachineJob), e.m)
+	}
+	for i, id := range alloc.MachineJob {
+		if id < 0 {
+			continue
+		}
+		j := e.jobs[id]
+		if j == nil || j.completed != nil {
+			return fmt.Errorf("sim: policy %s assigned machine %d an unavailable job %d", e.policy.Name(), i, id)
+		}
+		if _, ok := e.cost(i, id); !ok {
+			return fmt.Errorf("sim: policy %s ran job %d on ineligible machine %d", e.policy.Name(), id, i)
+		}
+	}
+	e.alloc = alloc
+	e.haveAlloc = true
+	return nil
+}
+
+// rates returns, for every job some machine is working on, the total
+// processing rate Σ 1/c_{i,j} of the current allocation.
+func (e *Engine) rates() map[int]*big.Rat {
+	rate := make(map[int]*big.Rat)
+	if !e.haveAlloc {
+		return rate
+	}
+	for i, id := range e.alloc.MachineJob {
+		if id < 0 {
+			continue
+		}
+		c, _ := e.cost(i, id)
+		if rate[id] == nil {
+			rate[id] = new(big.Rat)
+		}
+		rate[id].Add(rate[id], new(big.Rat).Inv(c))
+	}
+	return rate
+}
+
+// NextEvent returns the earliest time strictly after now at which the
+// current allocation produces an event — a job completion or the policy's
+// requested review point — or nil when nothing is pending (idle machines
+// and no review). The caller decides how far to AdvanceTo, folding in any
+// external events (releases, submissions) it knows about.
+func (e *Engine) NextEvent() *big.Rat {
+	var next *big.Rat
+	consider := func(cand *big.Rat) {
+		if cand.Cmp(e.now) <= 0 {
+			return
+		}
+		if next == nil || cand.Cmp(next) < 0 {
+			next = new(big.Rat).Set(cand)
+		}
+	}
+	for id, rt := range e.rates() {
+		if rt.Sign() > 0 {
+			dt := new(big.Rat).Quo(e.jobs[id].remaining, rt)
+			consider(new(big.Rat).Add(e.now, dt))
+		}
+	}
+	if e.haveAlloc && e.alloc.Review != nil {
+		consider(e.alloc.Review)
+	}
+	return next
+}
+
+// AdvanceTo executes the current allocation from now to t, recording
+// schedule pieces, consuming work, and completing jobs that reach zero
+// remaining fraction. It returns the IDs of jobs that completed at t. The
+// target must not move backwards nor overshoot a pending completion
+// (callers advance to min(NextEvent, external event)).
+func (e *Engine) AdvanceTo(t *big.Rat) ([]int, error) {
+	cmp := t.Cmp(e.now)
+	if cmp < 0 {
+		return nil, fmt.Errorf("sim: time moved backwards: %v -> %v", e.now.RatString(), t.RatString())
+	}
+	if cmp == 0 {
+		return nil, nil
+	}
+	dt := new(big.Rat).Sub(t, e.now)
+	end := new(big.Rat).Set(t)
+	var worked []int
+	if e.haveAlloc {
+		for i, id := range e.alloc.MachineJob {
+			if id < 0 {
+				continue
+			}
+			c, _ := e.cost(i, id)
+			frac := new(big.Rat).Quo(dt, c)
+			j := e.jobs[id]
+			// A machine continuing the same job across an event boundary
+			// extends its last piece, so piece counts reflect genuine
+			// preemptions/migrations rather than event granularity.
+			if k := e.lastPiece[i]; k >= 0 {
+				if pc := &e.sched.Pieces[k]; pc.Job == id && pc.End.Cmp(e.now) == 0 {
+					pc.End = new(big.Rat).Set(end)
+					pc.Fraction.Add(pc.Fraction, frac)
+					j.remaining.Sub(j.remaining, frac)
+					worked = append(worked, id)
+					continue
+				}
+			}
+			e.sched.Add(i, id, e.now, end, frac)
+			e.lastPiece[i] = len(e.sched.Pieces) - 1
+			j.remaining.Sub(j.remaining, frac)
+			worked = append(worked, id)
+		}
+	}
+	var done []int
+	for _, id := range worked {
+		j := e.jobs[id]
+		if j.completed != nil || j.remaining.Sign() > 0 {
+			continue
+		}
+		if j.remaining.Sign() < 0 {
+			return nil, fmt.Errorf("sim: job %d over-processed (internal error)", id)
+		}
+		j.completed = new(big.Rat).Set(end)
+		e.completed++
+		done = append(done, id)
+	}
+	if len(done) > 0 {
+		live := e.order[:0]
+		for _, id := range e.order {
+			if e.jobs[id].completed == nil {
+				live = append(live, id)
+			}
+		}
+		e.order = live
+	}
+	e.now = end
+	return done, nil
+}

@@ -22,10 +22,13 @@ type OnlineMWF struct {
 	// schedule.Divisible reproduces the divisible adaptation,
 	// schedule.Preemptive the variant of Section 4.4.
 	Mode schedule.Model
-	// LazyResolve, when set, re-solves only when a *new job* appears
-	// instead of at every event, following the previously computed plan in
-	// between — an ablation of the re-solve frequency. Because the plan
-	// was optimal and execution is exact, this changes nothing on
+	// LazyResolve, when set, caches the plan of the last solve and skips
+	// the exact solver at every later event whose residual workload matches
+	// what the plan predicted for that time — an ablation of the re-solve
+	// frequency, and the plan cache of the divflowd scheduling service.
+	// Because the cached plan was optimal and execution is exact, the
+	// fingerprint matches at every event except new arrivals (and any
+	// external perturbation of the workload), so this changes nothing on
 	// arrival-free suffixes but saves most of the LP solves.
 	LazyResolve bool
 
@@ -37,8 +40,16 @@ type OnlineMWF struct {
 	plan []planPiece
 	// known tracks the job IDs seen by the last solve.
 	known map[int]bool
-	// solves counts inner exact LP-based solves, for the ablation report.
-	solves int
+	// solveAt and solveRem fingerprint the residual workload the cached
+	// plan was computed for: the solve time and every job's remaining
+	// fraction at that time. Later events are matched against the plan's
+	// own prediction evolved from this state.
+	solveAt  *big.Rat
+	solveRem map[int]*big.Rat
+	// solves counts inner exact LP-based solves, for the ablation report;
+	// cacheHits counts decision points served from the cached plan.
+	solves    int
+	cacheHits int
 }
 
 type planPiece struct {
@@ -73,12 +84,19 @@ func (p *OnlineMWF) Name() string {
 // Solves reports how many inner offline solves the last run performed.
 func (p *OnlineMWF) Solves() int { return p.solves }
 
+// CacheHits reports how many decision points were served from the cached
+// plan (LazyResolve only) instead of invoking the exact solver.
+func (p *OnlineMWF) CacheHits() int { return p.cacheHits }
+
 // Reset implements Policy.
 func (p *OnlineMWF) Reset() {
 	p.err = nil
 	p.plan = nil
 	p.known = nil
+	p.solveAt = nil
+	p.solveRem = nil
 	p.solves = 0
+	p.cacheHits = 0
 }
 
 // Err reports the first inner-solver failure, if any.
@@ -89,7 +107,8 @@ func (p *OnlineMWF) Assign(s *Snapshot) Allocation {
 	if len(s.Jobs) == 0 || p.err != nil {
 		return idleAllocation(s.M)
 	}
-	if p.LazyResolve && p.plan != nil && !p.hasNewJob(s) {
+	if p.LazyResolve && p.plan != nil && p.planPredicts(s) {
+		p.cacheHits++
 		return p.followPlan(s)
 	}
 	res, ids, err := p.resolve(s)
@@ -99,6 +118,13 @@ func (p *OnlineMWF) Assign(s *Snapshot) Allocation {
 		return idleAllocation(s.M)
 	}
 	p.known = make(map[int]bool, len(ids))
+	if p.LazyResolve {
+		p.solveAt = new(big.Rat).Set(s.Now)
+		p.solveRem = make(map[int]*big.Rat, len(s.Jobs))
+		for k := range s.Jobs {
+			p.solveRem[s.Jobs[k].ID] = new(big.Rat).Set(s.Jobs[k].Remaining)
+		}
+	}
 	for _, id := range ids {
 		p.known[id] = true
 	}
@@ -115,13 +141,65 @@ func (p *OnlineMWF) Assign(s *Snapshot) Allocation {
 	return p.followPlan(s)
 }
 
-func (p *OnlineMWF) hasNewJob(s *Snapshot) bool {
+// planPredicts reports whether the residual workload at s.Now matches what
+// the cached plan predicted: no unknown job has appeared, every live job's
+// remaining fraction equals the fingerprint state evolved along the plan,
+// and every job the plan still expected to be running is indeed live. On a
+// match the plan is still optimal and the solver can be skipped.
+func (p *OnlineMWF) planPredicts(s *Snapshot) bool {
+	live := make(map[int]*JobView, len(s.Jobs))
 	for k := range s.Jobs {
-		if !p.known[s.Jobs[k].ID] {
-			return true
+		jv := &s.Jobs[k]
+		if !p.known[jv.ID] {
+			return false
+		}
+		live[jv.ID] = jv
+	}
+	pred := p.predictedRemaining(s)
+	for id, rem := range pred {
+		jv := live[id]
+		if jv == nil {
+			// The job left the system: the plan must agree it is done.
+			if rem.Sign() > 0 {
+				return false
+			}
+			continue
+		}
+		if rem.Cmp(jv.Remaining) != 0 {
+			return false
 		}
 	}
-	return false
+	return true
+}
+
+// predictedRemaining evolves the fingerprint state from the solve time to
+// s.Now along the cached plan: each plan piece overlapping [solveAt, now)
+// consumes duration/c_{i,j} of its job.
+func (p *OnlineMWF) predictedRemaining(s *Snapshot) map[int]*big.Rat {
+	pred := make(map[int]*big.Rat, len(p.solveRem))
+	for id, rem := range p.solveRem {
+		pred[id] = new(big.Rat).Set(rem)
+	}
+	for i := range p.plan {
+		piece := &p.plan[i]
+		start, end := piece.start, piece.end
+		if start.Cmp(p.solveAt) < 0 {
+			start = p.solveAt
+		}
+		if end.Cmp(s.Now) > 0 {
+			end = s.Now
+		}
+		if start.Cmp(end) >= 0 {
+			continue
+		}
+		c, ok := s.Cost(piece.machine, piece.jobID)
+		if !ok || pred[piece.jobID] == nil {
+			continue
+		}
+		d := new(big.Rat).Sub(end, start)
+		pred[piece.jobID].Sub(pred[piece.jobID], d.Quo(d, c))
+	}
+	return pred
 }
 
 // followPlan applies the stored plan at s.Now: each machine runs the piece

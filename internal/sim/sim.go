@@ -83,135 +83,47 @@ type Result struct {
 // Run simulates the policy on the instance from time zero until every job
 // completes. It returns an error if the policy emits an invalid allocation
 // (unknown, unreleased, finished or ineligible job) or stalls (leaves work
-// undone with no upcoming event).
+// undone with no upcoming event). It is a closed-world replay built on the
+// same Engine that powers the divflowd scheduling service.
 func Run(inst *model.Instance, p Policy) (*Result, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
-	n, m := inst.N(), inst.M()
-	p.Reset()
-
-	remaining := make([]*big.Rat, n)
-	released := make([]bool, n)
-	done := make([]bool, n)
-	for j := range remaining {
-		remaining[j] = big.NewRat(1, 1)
-	}
-	now := new(big.Rat)
+	n := inst.N()
+	e := NewEngine(inst.M(), inst.Cost, p)
 	nextRelease := 0 // jobs are sorted by release date
-	sched := &schedule.Schedule{}
-	decisions := 0
-	doneCount := 0
-	lastPiece := make([]int, m) // last recorded piece per machine, -1 none
-	for i := range lastPiece {
-		lastPiece[i] = -1
-	}
 
-	for doneCount < n {
-		// Reveal everything released by `now`.
-		for nextRelease < n && inst.Jobs[nextRelease].Release.Cmp(now) <= 0 {
-			released[nextRelease] = true
+	for e.CompletedCount() < n {
+		// Reveal everything released by now.
+		for nextRelease < n && inst.Jobs[nextRelease].Release.Cmp(e.now) <= 0 {
+			job := &inst.Jobs[nextRelease]
+			if err := e.Add(nextRelease, job.Release, job.Weight, job.Size); err != nil {
+				return nil, err
+			}
 			nextRelease++
 		}
-		snap := &Snapshot{Now: new(big.Rat).Set(now), M: m, Cost: inst.Cost}
-		for j := 0; j < n; j++ {
-			if released[j] && !done[j] {
-				snap.Jobs = append(snap.Jobs, JobView{
-					ID:        j,
-					Release:   inst.Jobs[j].Release,
-					Weight:    inst.Jobs[j].Weight,
-					Size:      inst.Jobs[j].Size,
-					Remaining: new(big.Rat).Set(remaining[j]),
-				})
-			}
+		if err := e.Decide(); err != nil {
+			return nil, err
 		}
-		alloc := p.Assign(snap)
-		decisions++
-		if len(alloc.MachineJob) != m {
-			return nil, fmt.Errorf("sim: policy %s allocated %d machines, want %d", p.Name(), len(alloc.MachineJob), m)
-		}
-		// Validate the allocation and accumulate processing rates.
-		rate := make(map[int]*big.Rat) // job -> Σ 1/c_{i,j}
-		for i, j := range alloc.MachineJob {
-			if j < 0 {
-				continue
-			}
-			if j >= n || !released[j] || done[j] {
-				return nil, fmt.Errorf("sim: policy %s assigned machine %d an unavailable job %d", p.Name(), i, j)
-			}
-			c, ok := inst.Cost(i, j)
-			if !ok {
-				return nil, fmt.Errorf("sim: policy %s ran job %d on ineligible machine %d", p.Name(), j, i)
-			}
-			if rate[j] == nil {
-				rate[j] = new(big.Rat)
-			}
-			rate[j].Add(rate[j], new(big.Rat).Inv(c))
-		}
-
-		// Next event: earliest of next release, any completion under the
-		// current rates, and the policy's review point.
-		var dt *big.Rat
-		consider := func(cand *big.Rat) {
-			if cand == nil || cand.Sign() <= 0 {
-				return
-			}
-			if dt == nil || cand.Cmp(dt) < 0 {
-				dt = cand
-			}
-		}
+		// Next event: the engine's (completion or review point), capped by
+		// the next release.
+		next := e.NextEvent()
 		if nextRelease < n {
-			consider(new(big.Rat).Sub(inst.Jobs[nextRelease].Release, now))
-		}
-		for j, rt := range rate {
-			if rt.Sign() > 0 {
-				consider(new(big.Rat).Quo(remaining[j], rt))
+			r := inst.Jobs[nextRelease].Release
+			if next == nil || r.Cmp(next) < 0 {
+				next = r
 			}
 		}
-		if alloc.Review != nil {
-			consider(new(big.Rat).Sub(alloc.Review, now))
-		}
-		if dt == nil {
+		if next == nil || next.Cmp(e.now) <= 0 {
 			return nil, fmt.Errorf("sim: policy %s stalled at t=%v with %d jobs unfinished",
-				p.Name(), now.RatString(), n-doneCount)
+				p.Name(), e.now.RatString(), n-e.CompletedCount())
 		}
-
-		// Advance: record pieces, consume work. A machine continuing the
-		// same job across an event boundary extends its last piece, so
-		// piece counts reflect genuine preemptions/migrations rather than
-		// simulator event granularity.
-		end := new(big.Rat).Add(now, dt)
-		for i, j := range alloc.MachineJob {
-			if j < 0 {
-				continue
-			}
-			c, _ := inst.Cost(i, j)
-			frac := new(big.Rat).Quo(dt, c)
-			if k := lastPiece[i]; k >= 0 {
-				if pc := &sched.Pieces[k]; pc.Job == j && pc.End.Cmp(now) == 0 {
-					pc.End = new(big.Rat).Set(end)
-					pc.Fraction.Add(pc.Fraction, frac)
-					remaining[j].Sub(remaining[j], frac)
-					continue
-				}
-			}
-			sched.Add(i, j, now, end, frac)
-			lastPiece[i] = len(sched.Pieces) - 1
-			remaining[j].Sub(remaining[j], frac)
+		if _, err := e.AdvanceTo(next); err != nil {
+			return nil, err
 		}
-		for j := range rate {
-			if remaining[j].Sign() <= 0 {
-				if remaining[j].Sign() < 0 {
-					return nil, fmt.Errorf("sim: job %d over-processed (internal error)", j)
-				}
-				done[j] = true
-				doneCount++
-			}
-		}
-		now = end
 	}
 
-	return summarize(inst, p.Name(), sched, decisions)
+	return summarize(inst, p.Name(), e.Schedule(), e.Decisions())
 }
 
 func summarize(inst *model.Instance, name string, sched *schedule.Schedule, decisions int) (*Result, error) {
