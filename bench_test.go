@@ -89,7 +89,7 @@ func BenchmarkMaxWeightedFlow(b *testing.B) {
 	for _, shape := range []struct{ n, m int }{{4, 2}, {6, 3}, {8, 4}} {
 		b.Run(fmt.Sprintf("n%dm%d", shape.n, shape.m), func(b *testing.B) {
 			inst := benchConfig(shape.n, shape.m, 2)
-			var solves, milestones int
+			var solves, milestones, fallbacks int
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.MinMaxWeightedFlow(inst)
@@ -97,9 +97,11 @@ func BenchmarkMaxWeightedFlow(b *testing.B) {
 					b.Fatal(err)
 				}
 				solves, milestones = res.LPSolves, res.NumMilestones
+				fallbacks = res.Solver.Fallbacks + res.Solver.Crossovers
 			}
 			b.ReportMetric(float64(milestones), "milestones")
 			b.ReportMetric(float64(solves), "LP-solves")
+			b.ReportMetric(float64(fallbacks), "hybrid-fallbacks")
 		})
 	}
 }
@@ -235,6 +237,21 @@ func BenchmarkAblationLPBackend(b *testing.B) {
 			}
 		}
 	})
+	b.Run("hybrid", func(b *testing.B) {
+		p := build()
+		var fallbacks int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := lp.SolveHybrid(p)
+			if err != nil || sol.Status != lp.Optimal {
+				b.Fatalf("%v %v", err, sol)
+			}
+			if sol.Method != lp.MethodFloatVerified {
+				fallbacks++
+			}
+		}
+		b.ReportMetric(float64(fallbacks), "hybrid-fallbacks")
+	})
 	b.Run("float64", func(b *testing.B) {
 		p := build()
 		b.ReportAllocs()
@@ -244,6 +261,83 @@ func BenchmarkAblationLPBackend(b *testing.B) {
 				b.Fatalf("%v %v", err, sol)
 			}
 		}
+	})
+}
+
+// --- Warm starts: perturb-and-resolve with and without the previous basis ---
+
+func BenchmarkWarmStartResolve(b *testing.B) {
+	// The schedulable-capacity LP of the ablation benchmark, re-solved
+	// after a small RHS perturbation of one capacity row: the shape
+	// divflowd faces between events. The warm path re-verifies the previous
+	// optimal basis instead of re-searching.
+	build := func() *lp.Problem {
+		inst := benchConfig(8, 3, 6)
+		p := lp.NewProblem()
+		n, m := inst.N(), inst.M()
+		obj := p.AddVar("T", big.NewRat(1, 1))
+		one := big.NewRat(1, 1)
+		cols := make([][]int, m)
+		for i := 0; i < m; i++ {
+			cols[i] = make([]int, n)
+			var terms []lp.Term
+			for j := 0; j < n; j++ {
+				cols[i][j] = -1
+				if c, ok := inst.Cost(i, j); ok {
+					cols[i][j] = p.AddVar(fmt.Sprintf("a%d_%d", i, j), nil)
+					terms = append(terms, lp.Term{Col: cols[i][j], Coef: c})
+				}
+			}
+			terms = append(terms, lp.Term{Col: obj, Coef: big.NewRat(-1, 1)})
+			p.AddRow(fmt.Sprintf("cap%d", i), terms, lp.LE, new(big.Rat))
+		}
+		for j := 0; j < n; j++ {
+			var terms []lp.Term
+			for i := 0; i < m; i++ {
+				if cols[i][j] >= 0 {
+					terms = append(terms, lp.Term{Col: cols[i][j], Coef: one})
+				}
+			}
+			p.AddRow(fmt.Sprintf("done%d", j), terms, lp.EQ, one)
+		}
+		return p
+	}
+	perturb := func(p *lp.Problem, i int) *lp.Problem {
+		q := p.Clone()
+		q.SetRHS(0, big.NewRat(int64(i%7), 100))
+		return q
+	}
+	b.Run("cold", func(b *testing.B) {
+		p := build()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := lp.SolveHybrid(perturb(p, i))
+			if err != nil || sol.Status != lp.Optimal {
+				b.Fatalf("%v %v", err, sol)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		p := build()
+		base, err := lp.SolveHybrid(p)
+		if err != nil || base.Status != lp.Optimal {
+			b.Fatalf("%v %v", err, base)
+		}
+		basis := base.Basis
+		var warmHits int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sol, err := lp.SolveHybridWarm(perturb(p, i), basis)
+			if err != nil || sol.Status != lp.Optimal {
+				b.Fatalf("%v %v", err, sol)
+			}
+			if sol.Method.WarmStart() {
+				warmHits++
+			}
+			basis = sol.Basis
+		}
+		b.ReportMetric(float64(warmHits)/float64(b.N), "warm-hit-rate")
 	})
 }
 

@@ -1,0 +1,207 @@
+// Command benchjson runs the repository's LP benchmark suite and renders it
+// as machine-readable JSON, so the performance trajectory of the exact
+// solvers is committed alongside the code (BENCH_lp.json) instead of living
+// in commit messages. It records ns/op, B/op, allocs/op and every custom
+// metric the benchmarks report (LP-solves, hybrid-fallbacks, milestones,
+// warm-hit-rate, ...), and computes per-benchmark speedups against a
+// baseline section.
+//
+//	go run ./cmd/benchjson -out BENCH_lp.json                  # run suite, keep committed baseline
+//	go run ./cmd/benchjson -raw current.txt -out BENCH_lp.json # parse an existing run
+//	go run ./cmd/benchjson -baseline-raw seed.txt ...          # install a new baseline
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// defaultBench selects the LP-heavy benchmarks whose trajectory this file
+// tracks.
+const defaultBench = "BenchmarkMakespanLP|BenchmarkMaxWeightedFlow$|BenchmarkPreemptiveMWF|" +
+	"BenchmarkDeadlineFeasibility|BenchmarkAblationLPBackend|BenchmarkWarmStartResolve|" +
+	"BenchmarkAblationSearchStrategy|BenchmarkPreemptiveMakespan|BenchmarkOnlinePolicies/online-mwf"
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one labelled set of benchmark results.
+type Run struct {
+	Label      string      `json:"label"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the committed BENCH_lp.json document.
+type File struct {
+	Bench     string `json:"bench"`
+	Benchtime string `json:"benchtime"`
+	Baseline  *Run   `json:"baseline,omitempty"`
+	Current   *Run   `json:"current"`
+	// SpeedupNs maps benchmark name to baseline ns/op divided by current
+	// ns/op (>1 means faster now); AllocRatio likewise for allocs/op.
+	SpeedupNs  map[string]float64 `json:"speedup_ns_per_op,omitempty"`
+	AllocRatio map[string]float64 `json:"alloc_reduction,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBench parses `go test -bench` output into a Run.
+func parseBench(out []byte, label string) (*Run, error) {
+	run := &Run{Label: label}
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			run.CPU = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		run.Benchmarks = append(run.Benchmarks, b)
+	}
+	if len(run.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	return run, nil
+}
+
+// runSuite executes the benchmark suite in the current module.
+func runSuite(bench, benchtime string) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-bench", bench, "-benchmem", "-benchtime", benchtime, "-run", "^$", ".")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("benchjson: go test: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+func ratios(baseline, current *Run, pick func(Benchmark) float64) map[string]float64 {
+	if baseline == nil {
+		return nil
+	}
+	base := make(map[string]float64, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = pick(b)
+	}
+	out := make(map[string]float64)
+	for _, b := range current.Benchmarks {
+		if bv, ok := base[b.Name]; ok && bv > 0 && pick(b) > 0 {
+			out[b.Name] = round2(bv / pick(b))
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		bench       = flag.String("bench", defaultBench, "benchmark regex to run")
+		benchtime   = flag.String("benchtime", "10x", "benchtime passed to go test")
+		raw         = flag.String("raw", "", "parse this go-test output file instead of running the suite")
+		baselineRaw = flag.String("baseline-raw", "", "install a new baseline from this go-test output file")
+		label       = flag.String("label", "current", "label for the current run")
+		baseLabel   = flag.String("baseline-label", "baseline", "label when installing a new baseline")
+		out         = flag.String("out", "BENCH_lp.json", "output JSON path (existing baseline section is kept)")
+	)
+	flag.Parse()
+
+	var baseline *Run
+	if *baselineRaw != "" {
+		data, err := os.ReadFile(*baselineRaw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline, err = parseBench(data, *baseLabel)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if prev, err := os.ReadFile(*out); err == nil {
+		var f File
+		if err := json.Unmarshal(prev, &f); err == nil {
+			baseline = f.Baseline
+		}
+	}
+
+	var curOut []byte
+	var err error
+	if *raw != "" {
+		curOut, err = os.ReadFile(*raw)
+	} else {
+		curOut, err = runSuite(*bench, *benchtime)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	current, err := parseBench(curOut, *label)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f := File{
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Baseline:   baseline,
+		Current:    current,
+		SpeedupNs:  ratios(baseline, current, func(b Benchmark) float64 { return b.NsPerOp }),
+		AllocRatio: ratios(baseline, current, func(b Benchmark) float64 { return b.AllocsPerOp }),
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", *out, len(current.Benchmarks))
+}

@@ -26,6 +26,8 @@ import (
 	"syscall"
 	"time"
 
+	"math/big"
+
 	"divflow/internal/model"
 	"divflow/internal/server"
 )
@@ -38,6 +40,8 @@ func main() {
 		platform = flag.String("platform", "", "platform JSON describing the machine fleet (required)")
 		policy   = flag.String("policy", server.DefaultPolicy,
 			fmt.Sprintf("scheduling policy: %s", strings.Join(server.Policies(), ", ")))
+		retention = flag.String("retention", "",
+			"drop executed history older than this many seconds (exact rational, e.g. 3600); empty keeps everything")
 	)
 	flag.Parse()
 	if *platform == "" {
@@ -52,7 +56,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.New(server.Config{Machines: machines, Policy: *policy})
+	cfg := server.Config{Machines: machines, Policy: *policy}
+	if *retention != "" {
+		r, ok := new(big.Rat).SetString(*retention)
+		if !ok || r.Sign() <= 0 {
+			log.Fatalf("bad -retention %q: want a positive rational", *retention)
+		}
+		cfg.Retention = r
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,8 +7,10 @@ import (
 
 	"divflow/internal/affine"
 	"divflow/internal/intervals"
+	"divflow/internal/lp"
 	"divflow/internal/model"
 	"divflow/internal/schedule"
+	"divflow/internal/stats"
 )
 
 // Result is the outcome of max-weighted-flow minimization.
@@ -23,6 +25,20 @@ type Result struct {
 	NumMilestones int
 	// LPSolves counts exact LP solves performed (O(log NumMilestones)).
 	LPSolves int
+	// Solver tallies the hybrid-engine paths those solves took.
+	Solver stats.SolverTally
+	// Basis is the optimal basis of the final range LP; re-solvers of
+	// perturbed instances (the online adaptation) pass it back through
+	// SolveOptions.Warm to start from it instead of from scratch.
+	Basis *lp.Basis
+}
+
+// SolveOptions tunes the exact solvers without changing their results.
+type SolveOptions struct {
+	// Warm is the optimal basis of a previous, similarly-shaped solve. A
+	// compatible basis lets every range LP try an exact warm start; stale
+	// or mismatched bases are verified away, never trusted.
+	Warm *lp.Basis
 }
 
 // MinMaxWeightedFlow computes the exact optimal maximum weighted flow in the
@@ -30,7 +46,7 @@ type Result struct {
 // search locates the first milestone range on which LP (3) is feasible, and
 // the LP's minimal F on that range is the global optimum.
 func MinMaxWeightedFlow(inst *model.Instance) (*Result, error) {
-	return minMaxWeightedFlow(inst, nil, schedule.Divisible)
+	return minMaxWeightedFlow(inst, nil, schedule.Divisible, nil)
 }
 
 // MinMaxWeightedFlowPreemptive computes the exact optimal maximum weighted
@@ -38,7 +54,7 @@ func MinMaxWeightedFlow(inst *model.Instance) (*Result, error) {
 // LP gains the per-job per-interval bound (5b), and the schedule is rebuilt
 // with the Lawler–Labetoulle decomposition.
 func MinMaxWeightedFlowPreemptive(inst *model.Instance) (*Result, error) {
-	return minMaxWeightedFlow(inst, nil, schedule.Preemptive)
+	return minMaxWeightedFlow(inst, nil, schedule.Preemptive, nil)
 }
 
 // MinMaxWeightedFlowWithOrigins solves the same problem with each job's
@@ -48,6 +64,12 @@ func MinMaxWeightedFlowPreemptive(inst *model.Instance) (*Result, error) {
 // the scheduler re-solves the offline problem on the residual work, with
 // origins remembering how long each job has already been in the system.
 func MinMaxWeightedFlowWithOrigins(inst *model.Instance, origins []*big.Rat, mode schedule.Model) (*Result, error) {
+	return MinMaxWeightedFlowWithOptions(inst, origins, mode, nil)
+}
+
+// MinMaxWeightedFlowWithOptions is MinMaxWeightedFlowWithOrigins plus solver
+// options (warm-start basis reuse). The result is identical for any options.
+func MinMaxWeightedFlowWithOptions(inst *model.Instance, origins []*big.Rat, mode schedule.Model, opts *SolveOptions) (*Result, error) {
 	if len(origins) != inst.N() {
 		return nil, fmt.Errorf("core: %d origins for %d jobs", len(origins), inst.N())
 	}
@@ -56,20 +78,25 @@ func MinMaxWeightedFlowWithOrigins(inst *model.Instance, origins []*big.Rat, mod
 			return nil, fmt.Errorf("core: origin of job %d must exist and precede its release", j)
 		}
 	}
-	return minMaxWeightedFlow(inst, origins, mode)
+	return minMaxWeightedFlow(inst, origins, mode, opts)
 }
 
-func minMaxWeightedFlow(inst *model.Instance, origins []*big.Rat, mode schedule.Model) (*Result, error) {
+func minMaxWeightedFlow(inst *model.Instance, origins []*big.Rat, mode schedule.Model, opts *SolveOptions) (*Result, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
 	if origins == nil {
 		origins = releaseOrigins(inst)
 	}
+	var warm *lp.Basis
+	if opts != nil {
+		warm = opts.Warm
+	}
 	ms := milestonesWithOrigins(inst, origins)
 	ranges := ObjectiveRanges(ms)
 	dls := flowDeadlines(inst, origins)
 
+	var tally stats.SolverTally
 	solveOne := func(k int) (*rangeLP, *rangeSolution, error) {
 		rg := ranges[k]
 		var times []affine.Form
@@ -79,7 +106,7 @@ func minMaxWeightedFlow(inst *model.Instance, origins []*big.Rat, mode schedule.
 		}
 		ivs := intervals.Build(times, rg.Interior())
 		rl := newRangeLP(inst, mode, ivs, dls, rg)
-		sol, err := rl.solve()
+		sol, err := rl.solveWith(warm, &tally)
 		return rl, sol, err
 	}
 
@@ -120,6 +147,8 @@ func minMaxWeightedFlow(inst *model.Instance, origins []*big.Rat, mode schedule.
 		Range:         ranges[lo],
 		NumMilestones: len(ms),
 		LPSolves:      solves,
+		Solver:        tally,
+		Basis:         sol.basis,
 	}, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"divflow/internal/lp"
 	"divflow/internal/model"
 	"divflow/internal/schedule"
+	"divflow/internal/stats"
 )
 
 // rangeLP is the unified linear program underlying every result in the
@@ -55,6 +56,25 @@ type rangeLP struct {
 type rangeSolution struct {
 	F     *big.Rat       // optimal objective value within the range
 	alpha [][][]*big.Rat // [t][i][j] fractions, nil where no variable
+	basis *lp.Basis      // optimal basis, reusable as a later warm start
+}
+
+// recordSolve classifies one hybrid solve into the tally.
+func recordSolve(t *stats.SolverTally, warmTried bool, sol *lp.Solution) {
+	switch sol.Method {
+	case lp.MethodWarmVerified, lp.MethodWarmSimplex:
+		t.WarmHits++
+		return
+	case lp.MethodFloatVerified:
+		t.FloatVerified++
+	case lp.MethodCrossover:
+		t.Crossovers++
+	case lp.MethodExact:
+		t.Fallbacks++
+	}
+	if warmTried {
+		t.WarmMisses++
+	}
 }
 
 func newRangeLP(inst *model.Instance, mode schedule.Model, ivs []intervals.Interval,
@@ -158,12 +178,23 @@ func (r *rangeLP) build() {
 // solve builds and solves the LP, minimizing F. It returns (nil, nil) when
 // the range admits no feasible schedule.
 func (r *rangeLP) solve() (*rangeSolution, error) {
+	return r.solveWith(nil, nil)
+}
+
+// solveWith is solve with warm-start and accounting plumbing: warm is the
+// optimal basis of a previous, similarly-shaped solve (or nil), and each
+// solve's hybrid-engine path is recorded into tally (when non-nil). All
+// paths are exact, so callers that pass nothing lose only speed.
+func (r *rangeLP) solveWith(warm *lp.Basis, tally *stats.SolverTally) (*rangeSolution, error) {
 	if r.prob == nil {
 		r.build()
 	}
-	sol, err := lp.SolveRat(r.prob)
+	sol, err := lp.SolveHybridWarm(r.prob, warm)
 	if err != nil {
 		return nil, err
+	}
+	if tally != nil {
+		recordSolve(tally, warm != nil, sol)
 	}
 	switch sol.Status {
 	case lp.Optimal:
@@ -172,7 +203,7 @@ func (r *rangeLP) solve() (*rangeSolution, error) {
 	default:
 		return nil, fmt.Errorf("core: range LP reported %v", sol.Status)
 	}
-	out := &rangeSolution{F: new(big.Rat).Set(sol.X[r.fCol])}
+	out := &rangeSolution{F: new(big.Rat).Set(sol.X[r.fCol]), basis: sol.Basis}
 	n, m := r.inst.N(), r.inst.M()
 	out.alpha = make([][][]*big.Rat, len(r.ivs))
 	for t := range r.ivs {

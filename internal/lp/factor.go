@@ -1,0 +1,143 @@
+package lp
+
+import "math/big"
+
+// basisFactor is an exact dense LU factorization (with row pivoting) of the
+// m x m basis matrix B whose columns are the chosen columns of the standard
+// form: P·B = L·U with L unit lower triangular. It answers the two linear
+// systems the hybrid verifier needs — B x = b for the primal basic values
+// and Bᵀ y = c_B for the dual vector — in O(m²) rational operations after
+// the O(m³) factorization, far cheaper than pivoting a full tableau to the
+// same basis.
+type basisFactor struct {
+	m    int
+	lu   [][]*big.Rat // combined L\U, rows already permuted
+	perm []int        // perm[k] = original row index of permuted row k
+}
+
+// factorize builds the LU factors of the basis columns, or returns nil when
+// the chosen columns are singular (not a basis).
+func factorize(sf *stdForm, basis []int) *basisFactor {
+	m := sf.m
+	lu := make([][]*big.Rat, m)
+	for i := range lu {
+		lu[i] = make([]*big.Rat, m)
+		for k := range lu[i] {
+			lu[i][k] = new(big.Rat)
+		}
+	}
+	for k, col := range basis {
+		for t, r := range sf.colRows[col] {
+			lu[r][k].Set(sf.colVals[col][t])
+		}
+	}
+	f := &basisFactor{m: m, lu: lu, perm: make([]int, m)}
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	var tmp big.Rat
+	for k := 0; k < m; k++ {
+		// Pick the sparsest-looking nonzero pivot in the column: exact
+		// elimination suffers no instability, but small pivots keep the
+		// intermediate rationals short.
+		pivot := -1
+		best := 0
+		for i := k; i < m; i++ {
+			if lu[i][k].Sign() == 0 {
+				continue
+			}
+			sz := lu[i][k].Num().BitLen() + lu[i][k].Denom().BitLen()
+			if pivot == -1 || sz < best {
+				pivot, best = i, sz
+			}
+		}
+		if pivot == -1 {
+			return nil // singular
+		}
+		if pivot != k {
+			lu[k], lu[pivot] = lu[pivot], lu[k]
+			f.perm[k], f.perm[pivot] = f.perm[pivot], f.perm[k]
+		}
+		inv := new(big.Rat).Inv(lu[k][k])
+		for i := k + 1; i < m; i++ {
+			if lu[i][k].Sign() == 0 {
+				continue
+			}
+			factor := lu[i][k]
+			factor.Mul(factor, inv) // stored L entry
+			for j := k + 1; j < m; j++ {
+				if lu[k][j].Sign() == 0 {
+					continue
+				}
+				tmp.Mul(factor, lu[k][j])
+				lu[i][j].Sub(lu[i][j], &tmp)
+			}
+		}
+	}
+	return f
+}
+
+// solve returns x with B x = b.
+func (f *basisFactor) solve(b []*big.Rat) []*big.Rat {
+	m := f.m
+	x := make([]*big.Rat, m)
+	var tmp big.Rat
+	// Forward: L z = P b (L unit diagonal).
+	for i := 0; i < m; i++ {
+		x[i] = new(big.Rat).Set(b[f.perm[i]])
+		for j := 0; j < i; j++ {
+			if f.lu[i][j].Sign() == 0 || x[j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(f.lu[i][j], x[j])
+			x[i].Sub(x[i], &tmp)
+		}
+	}
+	// Backward: U x = z.
+	for i := m - 1; i >= 0; i-- {
+		for j := i + 1; j < m; j++ {
+			if f.lu[i][j].Sign() == 0 || x[j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(f.lu[i][j], x[j])
+			x[i].Sub(x[i], &tmp)
+		}
+		x[i].Quo(x[i], f.lu[i][i])
+	}
+	return x
+}
+
+// solveT returns y with Bᵀ y = c. With P·B = L·U we have Bᵀ = Uᵀ Lᵀ P, so
+// solve Uᵀ z = c forward, Lᵀ w = z backward, and y = Pᵀ w.
+func (f *basisFactor) solveT(c []*big.Rat) []*big.Rat {
+	m := f.m
+	w := make([]*big.Rat, m)
+	var tmp big.Rat
+	// Forward: Uᵀ z = c (Uᵀ lower triangular, diagonal from U).
+	for i := 0; i < m; i++ {
+		w[i] = new(big.Rat).Set(c[i])
+		for j := 0; j < i; j++ {
+			if f.lu[j][i].Sign() == 0 || w[j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(f.lu[j][i], w[j])
+			w[i].Sub(w[i], &tmp)
+		}
+		w[i].Quo(w[i], f.lu[i][i])
+	}
+	// Backward: Lᵀ w' = z (unit diagonal).
+	for i := m - 1; i >= 0; i-- {
+		for j := i + 1; j < m; j++ {
+			if f.lu[j][i].Sign() == 0 || w[j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(f.lu[j][i], w[j])
+			w[i].Sub(w[i], &tmp)
+		}
+	}
+	y := make([]*big.Rat, m)
+	for k := 0; k < m; k++ {
+		y[f.perm[k]] = w[k]
+	}
+	return y
+}

@@ -1,0 +1,301 @@
+package lp
+
+import "math/big"
+
+// Method reports which path of the hybrid engine produced a solution. Every
+// path ends in exact rational arithmetic, so the status and optimal
+// objective are exactly those SolveRat would report (degenerate instances
+// may surface a different, equally optimal vertex); the method only
+// reflects how much exact work was needed.
+type Method int
+
+const (
+	// MethodExact is the full two-phase exact simplex (SolveRat, or the
+	// hybrid driver's last-resort fallback).
+	MethodExact Method = iota
+	// MethodFloatVerified means the float64 simplex proposed a basis (or an
+	// infeasibility certificate) that exact refactorization verified — the
+	// common fast path: no exact pivots at all.
+	MethodFloatVerified
+	// MethodCrossover means the float basis was exactly feasible but not
+	// exactly optimal; the exact simplex finished from it.
+	MethodCrossover
+	// MethodWarmVerified means a caller-provided warm basis was still
+	// optimal under the perturbed data: verified with zero pivots.
+	MethodWarmVerified
+	// MethodWarmSimplex means the warm basis was still feasible and the
+	// exact simplex re-optimized from it.
+	MethodWarmSimplex
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodExact:
+		return "exact"
+	case MethodFloatVerified:
+		return "float-verified"
+	case MethodCrossover:
+		return "crossover"
+	case MethodWarmVerified:
+		return "warm-verified"
+	case MethodWarmSimplex:
+		return "warm-simplex"
+	default:
+		return "unknown"
+	}
+}
+
+// WarmStart reports whether the solve reused the caller's warm basis.
+func (m Method) WarmStart() bool { return m == MethodWarmVerified || m == MethodWarmSimplex }
+
+// Basis is a reusable handle to the optimal basis of a solved problem. It is
+// opaque: hand it back to SolveHybridWarm when re-solving a perturbed
+// version of the same problem (changed RHS via SetRHS, changed coefficients
+// on an identically-shaped clone) and the solver will try to start from it
+// instead of from scratch. A stale or mismatched basis costs only the failed
+// exact verification — correctness never depends on it.
+type Basis struct {
+	m, numCols, artStart int
+	cols                 []int
+}
+
+func newBasis(sf *stdForm, cols []int) *Basis {
+	return &Basis{
+		m:        sf.m,
+		numCols:  sf.numCols,
+		artStart: sf.artStart,
+		cols:     append([]int(nil), cols...),
+	}
+}
+
+// compatible reports whether the basis indexes the same standard-form shape.
+func (b *Basis) compatible(sf *stdForm) bool {
+	return b != nil && b.m == sf.m && b.numCols == sf.numCols && b.artStart == sf.artStart
+}
+
+// SolveHybrid solves the problem exactly, using the float64 simplex to guess
+// the optimal basis and exact rational refactorization to verify it:
+//
+//  1. The float simplex runs to (approximate) optimality.
+//  2. Its final basis is refactorized over big.Rat; exact primal feasibility
+//     and exact reduced-cost optimality are checked. If both hold, the exact
+//     solution is read off the factorization — no exact pivots at all.
+//  3. A float "infeasible" outcome is accepted only with an exact Farkas
+//     certificate derived from the phase-1 dual vector.
+//  4. On any check failure, the exact simplex finishes the job — from the
+//     float basis when it is exactly feasible (crossover), from scratch
+//     otherwise — so the status and exact optimal objective always equal
+//     SolveRat's (on degenerate instances the returned vertex may be a
+//     different, equally optimal one).
+func SolveHybrid(p *Problem) (*Solution, error) {
+	return SolveHybridWarm(p, nil)
+}
+
+// SolveHybridWarm is SolveHybrid with a warm-start basis from a previous
+// solve of a similarly-shaped problem. A compatible warm basis that is
+// still optimal settles the solve with one exact refactorization and zero
+// pivots; a stale one costs only that failed check — the float engine then
+// re-locates the optimum as usual, and the warm basis is retried as an
+// exact starting point only if the float basis itself fails verification.
+// Incompatible bases are ignored outright.
+func SolveHybridWarm(p *Problem, warm *Basis) (*Solution, error) {
+	sf, err := newStdForm(p)
+	if err != nil {
+		return nil, err
+	}
+	warmUsable := warm.compatible(sf) && sf.validBasis(warm.cols)
+	if warmUsable {
+		if sol := tryBasisExact(sf, warm.cols); sol != nil {
+			sol.Method = MethodWarmVerified
+			return sol, nil
+		}
+	}
+	run := runFloat(sf)
+	// A float basis identical to the already-rejected warm basis would just
+	// repeat the same exact checks; skip straight to the fallbacks.
+	sameAsWarm := func(basis []int) bool {
+		if !warmUsable || len(basis) != len(warm.cols) {
+			return false
+		}
+		for i, c := range basis {
+			if warm.cols[i] != c {
+				return false
+			}
+		}
+		return true
+	}
+	switch run.status {
+	case Optimal:
+		if sf.validBasis(run.basis) && !sameAsWarm(run.basis) {
+			if sol := tryBasisExact(sf, run.basis); sol != nil {
+				sol.Method = MethodFloatVerified
+				return sol, nil
+			}
+			if sol := finishFromBasis(sf, run.basis); sol != nil {
+				sol.Method = MethodCrossover
+				return sol, nil
+			}
+		}
+	case Infeasible:
+		if sf.validBasis(run.basis) && certifyInfeasible(sf, run.basis) {
+			return &Solution{Status: Infeasible, Method: MethodFloatVerified}, nil
+		}
+	}
+	// The float engine failed to hand over a verifiable answer. A warm
+	// basis that is still exactly feasible beats a cold start: re-optimize
+	// from it.
+	if warmUsable {
+		if sol := finishFromBasis(sf, warm.cols); sol != nil {
+			sol.Method = MethodWarmSimplex
+			return sol, nil
+		}
+	}
+	// Unbounded, stalled, or failed verification: full exact fallback.
+	sol, err := solveRatCold(sf)
+	if err != nil {
+		return nil, err
+	}
+	sol.Method = MethodExact
+	return sol, nil
+}
+
+// tryBasisExact refactorizes the candidate basis over the rationals and
+// returns the exact optimal solution when the basis is exactly primal
+// feasible and exactly dual optimal (all reduced costs >= 0), nil otherwise.
+// Artificial columns may sit in the basis only at value zero (redundant
+// rows).
+func tryBasisExact(sf *stdForm, basis []int) *Solution {
+	sf.columns()
+	f := factorize(sf, basis)
+	if f == nil {
+		return nil
+	}
+	xB := f.solve(sf.rhs)
+	for k, v := range xB {
+		if v.Sign() < 0 {
+			return nil // not primal feasible
+		}
+		if basis[k] >= sf.artStart && v.Sign() != 0 {
+			return nil // an artificial carries value: not a solution of p
+		}
+	}
+	cB := make([]*big.Rat, sf.m)
+	for k, c := range basis {
+		cB[k] = sf.cost[c]
+	}
+	y := f.solveT(cB)
+	inBasis := make([]bool, sf.numCols)
+	for _, c := range basis {
+		inBasis[c] = true
+	}
+	for j := 0; j < sf.artStart; j++ {
+		if inBasis[j] {
+			continue // basic columns have reduced cost exactly 0
+		}
+		d := sf.colDot(y, j)
+		d.Sub(sf.cost[j], d)
+		if d.Sign() < 0 {
+			return nil // not dual optimal
+		}
+	}
+	x := make([]*big.Rat, sf.p.numVars)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	obj := new(big.Rat)
+	var tmp big.Rat
+	for k, c := range basis {
+		if c < sf.p.numVars {
+			x[c].Set(xB[k])
+		}
+		if cB[k].Sign() != 0 {
+			tmp.Mul(cB[k], xB[k])
+			obj.Add(obj, &tmp)
+		}
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x, Basis: newBasis(sf, basis)}
+}
+
+// finishFromBasis pivots an exact tableau to the candidate basis and, when
+// that basis is exactly primal feasible, lets the exact simplex finish from
+// there. Returns nil when the basis is singular or infeasible (the caller
+// falls back to a cold start).
+func finishFromBasis(sf *stdForm, basis []int) *Solution {
+	t, ok := newWarmRatTableau(sf, basis)
+	if !ok {
+		return nil
+	}
+	for r := range t.rhs {
+		if t.rhs[r].Sign() < 0 {
+			return nil // not primal feasible at this basis
+		}
+		if t.basis[r] >= sf.artStart && t.rhs[r].Sign() != 0 {
+			return nil // a basic artificial carries value
+		}
+	}
+	// Basic artificials at zero are pivoted out (or proven stuck on
+	// redundant rows) exactly as after phase 1.
+	t.evictArtificials()
+	t.setObjective(sf.cost)
+	switch t.iterate() {
+	case Optimal:
+		return t.solution()
+	case Unbounded:
+		// From an exactly feasible basis, exact pivoting to an unbounded
+		// ray is a proof of unboundedness.
+		return &Solution{Status: Unbounded}
+	}
+	return nil
+}
+
+// certifyInfeasible checks, exactly, whether the dual vector of the float
+// phase-1 basis is a Farkas certificate of infeasibility: y with yᵀA_j <= 0
+// for every real (non-artificial) column and yᵀb > 0. If it is, no x >= 0
+// satisfies Ax = b, because 0 < yᵀb = yᵀAx = Σ_j (yᵀA_j) x_j <= 0 would be a
+// contradiction.
+func certifyInfeasible(sf *stdForm, basis []int) bool {
+	hasArt := false
+	for _, c := range basis {
+		if c >= sf.artStart {
+			hasArt = true
+			break
+		}
+	}
+	if !hasArt {
+		return false // no artificial left: nothing suggests infeasibility
+	}
+	sf.columns()
+	f := factorize(sf, basis)
+	if f == nil {
+		return false
+	}
+	one := big.NewRat(1, 1)
+	cB := make([]*big.Rat, sf.m)
+	for k, c := range basis {
+		if c >= sf.artStart {
+			cB[k] = one
+		} else {
+			cB[k] = ratZero
+		}
+	}
+	y := f.solveT(cB)
+	yb := new(big.Rat)
+	var tmp big.Rat
+	for i, b := range sf.rhs {
+		if y[i].Sign() == 0 || b.Sign() == 0 {
+			continue
+		}
+		tmp.Mul(y[i], b)
+		yb.Add(yb, &tmp)
+	}
+	if yb.Sign() <= 0 {
+		return false
+	}
+	for j := 0; j < sf.artStart; j++ {
+		if sf.colDot(y, j).Sign() > 0 {
+			return false
+		}
+	}
+	return true
+}

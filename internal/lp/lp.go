@@ -1,16 +1,25 @@
 // Package lp provides linear-programming solvers used by the offline
 // scheduling algorithms of Legrand, Su and Vivien (RR-5386).
 //
-// Two solvers are provided over the same Problem representation:
+// Three solvers are provided over the same Problem representation:
 //
-//   - SolveRat: an exact two-phase primal simplex over math/big.Rat with
-//     Bland's anti-cycling rule. The paper's polynomial-time optimality
-//     arguments rely on exact rational arithmetic (the binary search over
-//     milestones must terminate on exact values), so every offline solver in
-//     this repository uses SolveRat.
-//   - SolveFloat: a float64 tableau simplex with epsilon tolerances, used
-//     for large-scale benchmarks and for the online simulator's frequent
-//     re-solves, where exactness is not part of the reproduced claim.
+//   - SolveHybrid (and SolveHybridWarm): the default exact engine. A
+//     float64 simplex guesses the optimal basis, which is then exactly
+//     refactorized over math/big.Rat and verified (primal feasibility,
+//     reduced-cost optimality, or a Farkas infeasibility certificate); on
+//     any verification failure the exact simplex finishes the job, so the
+//     status and exact optimal objective always equal SolveRat's. The paper's
+//     polynomial-time optimality arguments rely on exact rational
+//     arithmetic (the binary search over milestones must terminate on exact
+//     values), and this engine preserves that exactness while paying
+//     rational-arithmetic prices only to check, not to search.
+//   - SolveRat: the exact two-phase primal simplex over big.Rat, with
+//     Dantzig pricing degrading to Bland's anti-cycling rule under
+//     sustained degeneracy. The reference implementation the hybrid engine
+//     falls back to.
+//   - SolveFloat: the float64 tableau simplex with epsilon tolerances, used
+//     standalone for large-scale estimates where exactness is not part of
+//     the reproduced claim.
 //
 // Problems are stated in the general form
 //
@@ -120,6 +129,39 @@ func (p *Problem) AddRow(name string, terms []Term, sense Sense, rhs *big.Rat) {
 	p.rows = append(p.rows, Row{Terms: cp, Sense: sense, RHS: new(big.Rat).Set(rhs), Name: name})
 }
 
+// Clone returns a deep copy of the problem. Perturb-and-resolve flows clone
+// the base problem, adjust it (SetRHS, SetObjective), and re-solve with the
+// previous solution's Basis as a warm start.
+func (p *Problem) Clone() *Problem {
+	cp := &Problem{
+		numVars:   p.numVars,
+		varNames:  append([]string(nil), p.varNames...),
+		objective: make([]*big.Rat, len(p.objective)),
+		rows:      make([]Row, len(p.rows)),
+	}
+	for j, c := range p.objective {
+		cp.objective[j] = new(big.Rat).Set(c)
+	}
+	for i, r := range p.rows {
+		terms := make([]Term, len(r.Terms))
+		for k, t := range r.Terms {
+			terms[k] = Term{Col: t.Col, Coef: new(big.Rat).Set(t.Coef)}
+		}
+		cp.rows[i] = Row{Terms: terms, Sense: r.Sense, RHS: new(big.Rat).Set(r.RHS), Name: r.Name}
+	}
+	return cp
+}
+
+// SetRHS replaces the right-hand side of row i. Flipping the sign of an
+// inequality's RHS changes the row's standard-form normalization and hence
+// the meaning of the slack/artificial columns a pre-change Basis refers to;
+// such a basis is at best rejected cheaply, at worst tried and discarded by
+// SolveHybridWarm's exact verification — which, not the shape check, is
+// what protects correctness.
+func (p *Problem) SetRHS(i int, rhs *big.Rat) {
+	p.rows[i].RHS = new(big.Rat).Set(rhs)
+}
+
 // Status reports the outcome of a solve.
 type Status int
 
@@ -149,6 +191,12 @@ type Solution struct {
 	Status    Status
 	Objective *big.Rat   // valid when Status == Optimal
 	X         []*big.Rat // primal values, len == NumVars, valid when Optimal
+	// Basis is a reusable handle to the optimal basis (valid when Optimal
+	// and solved through this package's simplex paths); pass it to
+	// SolveHybridWarm to warm-start a perturbed re-solve.
+	Basis *Basis
+	// Method reports which hybrid-engine path produced the result.
+	Method Method
 }
 
 // Value returns the primal value of column col.

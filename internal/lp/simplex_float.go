@@ -11,140 +11,127 @@ const (
 	// Dantzig pricing rule is abandoned in favour of Bland's rule, which
 	// cannot cycle.
 	blandTrigger = 20
+	// stallFactor multiplies the tableau perimeter once more to give a hard
+	// iteration cap: float arithmetic under epsilon tolerances can stall in
+	// ways exact arithmetic cannot, and the hybrid driver would rather fall
+	// back to the exact solver than spin.
+	stallFactor = 200
 )
+
+// floatStalled is the internal status for a float solve that hit its
+// iteration cap; it never escapes this package.
+const floatStalled = Status(-1)
 
 // SolveFloat solves the problem with a float64 two-phase tableau simplex.
 // Dantzig (most-negative reduced cost) pricing is used initially, falling
 // back to Bland's rule when the iteration count suggests cycling. The result
-// carries the usual caveats of floating-point LP; offline solvers in this
-// repository use SolveRat instead.
+// carries the usual caveats of floating-point LP; exact callers go through
+// SolveHybrid (which verifies float results exactly) or SolveRat instead.
 func SolveFloat(p *Problem) (*FloatSolution, error) {
-	t, err := newFloatTableau(p)
+	sf, err := newStdForm(p)
 	if err != nil {
 		return nil, err
 	}
-	if t.numArt > 0 {
+	run := runFloat(sf)
+	switch run.status {
+	case Optimal, Infeasible, Unbounded:
+	case floatStalled:
+		return nil, fmt.Errorf("lp: float simplex stalled after %d iterations", run.iterations)
+	default:
+		return nil, fmt.Errorf("lp: float simplex reported %v", run.status)
+	}
+	return &FloatSolution{Status: run.status, Objective: run.objective, X: run.x}, nil
+}
+
+// floatRun is the full outcome of a float solve, including the final basis
+// the hybrid driver verifies exactly. For an Infeasible outcome the basis is
+// the phase-1 optimal basis, whose dual vector is a Farkas infeasibility
+// certificate candidate.
+type floatRun struct {
+	status     Status
+	objective  float64
+	x          []float64 // structural values, valid when Optimal
+	basis      []int     // basic column per row at termination
+	iterations int
+}
+
+// runFloat executes the two-phase float simplex over the standard form.
+func runFloat(sf *stdForm) *floatRun {
+	t := newFloatTableau(sf)
+	out := &floatRun{}
+	if sf.numArt > 0 {
 		phase1 := make([]float64, t.numCols)
-		for j := t.artStart; j < t.numCols; j++ {
+		for j := sf.artStart; j < t.numCols; j++ {
 			phase1[j] = 1
 		}
 		t.setObjective(phase1)
 		if status := t.iterate(); status != Optimal {
-			return nil, fmt.Errorf("lp: float phase 1 reported %v", status)
+			// Phase 1 is bounded below by 0; "unbounded" here is a float
+			// artifact, so report a stall rather than a wrong status.
+			out.status, out.basis, out.iterations = floatStalled, t.basis, t.iterations
+			return out
 		}
 		if t.objectiveValue() > floatEps*float64(len(t.rowsData)+1) {
-			return &FloatSolution{Status: Infeasible}, nil
+			out.status, out.basis, out.iterations = Infeasible, t.basis, t.iterations
+			return out
 		}
 		t.evictArtificials()
 	}
 	phase2 := make([]float64, t.numCols)
-	for j := 0; j < p.numVars; j++ {
-		f, _ := p.objective[j].Float64()
-		phase2[j] = f
+	for j := 0; j < sf.p.numVars; j++ {
+		phase2[j], _ = sf.p.objective[j].Float64()
 	}
 	t.setObjective(phase2)
-	switch status := t.iterate(); status {
-	case Optimal:
-	case Unbounded:
-		return &FloatSolution{Status: Unbounded}, nil
-	default:
-		return nil, fmt.Errorf("lp: float phase 2 reported %v", status)
+	status := t.iterate()
+	out.status, out.basis, out.iterations = status, t.basis, t.iterations
+	if status != Optimal {
+		return out
 	}
-	x := make([]float64, p.numVars)
+	out.objective = t.objectiveValue()
+	out.x = make([]float64, sf.p.numVars)
 	for r, bv := range t.basis {
-		if bv < p.numVars {
-			x[bv] = t.rhsData[r]
+		if bv < sf.p.numVars {
+			out.x[bv] = t.rhsData[r]
 		}
 	}
-	return &FloatSolution{Status: Optimal, Objective: t.objectiveValue(), X: x}, nil
+	return out
 }
 
 type floatTableau struct {
-	numCols  int
-	artStart int
-	numArt   int
-	rowsData [][]float64
-	rhsData  []float64
-	basis    []int
-	banned   []bool
-	obj      []float64
-	objRHS   float64
+	numCols    int
+	artStart   int
+	rowsData   [][]float64
+	rhsData    []float64
+	basis      []int
+	banned     []bool
+	obj        []float64
+	objRHS     float64
+	iterations int
 }
 
-func newFloatTableau(p *Problem) (*floatTableau, error) {
-	m := len(p.rows)
-	numSlack, numArt := 0, 0
-	for _, r := range p.rows {
-		sense := r.Sense
-		if r.RHS.Sign() < 0 {
-			sense = flip(sense)
-		}
-		switch sense {
-		case LE:
-			numSlack++
-		case GE:
-			numSlack++
-			numArt++
-		case EQ:
-			numArt++
-		}
-	}
-	numCols := p.numVars + numSlack + numArt
+// newFloatTableau converts the standard form to float64.
+func newFloatTableau(sf *stdForm) *floatTableau {
 	t := &floatTableau{
-		numCols:  numCols,
-		artStart: p.numVars + numSlack,
-		numArt:   numArt,
-		rowsData: make([][]float64, m),
-		rhsData:  make([]float64, m),
-		basis:    make([]int, m),
-		banned:   make([]bool, numCols),
+		numCols:  sf.numCols,
+		artStart: sf.artStart,
+		rowsData: make([][]float64, sf.m),
+		rhsData:  make([]float64, sf.m),
+		basis:    append([]int(nil), sf.basis0...),
+		banned:   make([]bool, sf.numCols),
 	}
-	for j := t.artStart; j < numCols; j++ {
+	for j := sf.artStart; j < sf.numCols; j++ {
 		t.banned[j] = true
 	}
-	slack := p.numVars
-	art := t.artStart
-	for i, r := range p.rows {
-		row := make([]float64, numCols)
-		neg := r.RHS.Sign() < 0
-		sense := r.Sense
-		if neg {
-			sense = flip(sense)
-		}
-		for _, term := range r.Terms {
-			if row[term.Col] != 0 {
-				return nil, fmt.Errorf("lp: row %q mentions column %d twice", r.Name, term.Col)
-			}
-			f, _ := term.Coef.Float64()
-			if neg {
-				f = -f
-			}
-			row[term.Col] = f
-		}
-		b, _ := r.RHS.Float64()
-		if neg {
-			b = -b
-		}
-		switch sense {
-		case LE:
-			row[slack] = 1
-			t.basis[i] = slack
-			slack++
-		case GE:
-			row[slack] = -1
-			slack++
-			row[art] = 1
-			t.basis[i] = art
-			art++
-		case EQ:
-			row[art] = 1
-			t.basis[i] = art
-			art++
+	for i := range sf.rows {
+		row := make([]float64, sf.numCols)
+		src := &sf.rows[i]
+		for k, j := range src.ind {
+			row[j], _ = src.val[k].Float64()
 		}
 		t.rowsData[i] = row
-		t.rhsData[i] = b
+		t.rhsData[i], _ = sf.rhs[i].Float64()
 	}
-	return t, nil
+	return t
 }
 
 func (t *floatTableau) setObjective(c []float64) {
@@ -167,8 +154,14 @@ func (t *floatTableau) setObjective(c []float64) {
 func (t *floatTableau) objectiveValue() float64 { return -t.objRHS }
 
 func (t *floatTableau) iterate() Status {
-	maxDantzig := blandTrigger * (len(t.rowsData) + t.numCols)
+	perimeter := len(t.rowsData) + t.numCols
+	maxDantzig := blandTrigger * perimeter
+	maxIter := stallFactor * perimeter
 	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return floatStalled
+		}
+		t.iterations++
 		bland := iter > maxDantzig
 		enter := -1
 		best := -floatEps

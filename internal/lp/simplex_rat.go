@@ -6,24 +6,36 @@ import (
 )
 
 // SolveRat solves the problem exactly with a two-phase primal simplex over
-// big.Rat. Bland's rule is used for both the entering and leaving variable,
-// which guarantees termination (no cycling) and hence, together with the
-// rationality of all data, the exactness the paper's Theorems 1 and 2 rely
-// on.
+// big.Rat. Pricing is Dantzig's rule (most negative reduced cost), degrading
+// permanently to Bland's rule once a run of consecutive degenerate pivots
+// suggests cycling — Bland's rule cannot cycle, so termination stays
+// guaranteed while the common case keeps the much better-behaved pivot
+// counts of Dantzig pricing. The tableau is stored sparsely with a big.Rat
+// free list, so pivots cost (and allocate) proportionally to the nonzeros
+// they touch.
 func SolveRat(p *Problem) (*Solution, error) {
-	t, err := newRatTableau(p)
+	sf, err := newStdForm(p)
 	if err != nil {
 		return nil, err
 	}
+	return solveRatCold(sf)
+}
+
+// solveRatCold runs the classic two-phase method from the all-slack/
+// artificial starting basis.
+func solveRatCold(sf *stdForm) (*Solution, error) {
+	t := newRatTableau(sf)
 
 	// Phase 1: minimize the sum of artificial variables.
-	if t.numArt > 0 {
+	if sf.numArt > 0 {
 		phase1 := make([]*big.Rat, t.numCols)
+		one := big.NewRat(1, 1)
 		for j := range phase1 {
-			phase1[j] = new(big.Rat)
-		}
-		for j := t.artStart; j < t.artStart+t.numArt; j++ {
-			phase1[j].SetInt64(1)
+			if j >= sf.artStart {
+				phase1[j] = one
+			} else {
+				phase1[j] = ratZero
+			}
 		}
 		t.setObjective(phase1)
 		if status := t.iterate(); status != Optimal {
@@ -37,15 +49,7 @@ func SolveRat(p *Problem) (*Solution, error) {
 	}
 
 	// Phase 2: original objective, artificial columns banned.
-	phase2 := make([]*big.Rat, t.numCols)
-	for j := range phase2 {
-		if j < p.numVars {
-			phase2[j] = new(big.Rat).Set(p.objective[j])
-		} else {
-			phase2[j] = new(big.Rat)
-		}
-	}
-	t.setObjective(phase2)
+	t.setObjective(sf.cost)
 	switch status := t.iterate(); status {
 	case Optimal:
 	case Unbounded:
@@ -53,128 +57,62 @@ func SolveRat(p *Problem) (*Solution, error) {
 	default:
 		return nil, fmt.Errorf("lp: phase 2 reported %v", status)
 	}
-
-	x := make([]*big.Rat, p.numVars)
-	for j := range x {
-		x[j] = new(big.Rat)
-	}
-	for r, bv := range t.basis {
-		if bv < p.numVars {
-			x[bv].Set(t.rhs[r])
-		}
-	}
-	return &Solution{Status: Optimal, Objective: t.objectiveValue(), X: x}, nil
+	return t.solution(), nil
 }
 
-// ratTableau is a dense simplex tableau over exact rationals.
+// ratTableau is a sparse simplex tableau over exact rationals.
 type ratTableau struct {
-	numCols  int // structural + slack + artificial columns
-	artStart int // first artificial column, == numCols-numArt
-	numArt   int
-	rows     [][]*big.Rat // len(rows) x numCols, current (pivoted) form
-	rhs      []*big.Rat   // len(rows), always >= 0 at a feasible basis
-	basis    []int        // basic column of each row
-	banned   []bool       // columns that may never enter the basis
-	obj      []*big.Rat   // reduced-cost row, len numCols
-	objRHS   *big.Rat     // negated objective value
+	sf      *stdForm
+	numCols int
+	rows    []spVec    // current (pivoted) rows, sparse
+	rhs     []*big.Rat // always >= 0 at a feasible basis
+	basis   []int      // basic column of each row
+	banned  []bool     // columns that may never enter the basis
+	obj     []*big.Rat // reduced-cost row, dense (fills in quickly)
+	objRHS  *big.Rat   // negated objective value
+	pool    ratPool
+	// Scratch buffers for the sparse row merge of pivot().
+	scratchInd []int
+	scratchVal []*big.Rat
+	// bland latches once the degeneracy heuristic trips: from then on
+	// Bland's anti-cycling rule picks the entering column.
+	bland bool
+	degen int // consecutive degenerate pivots under Dantzig pricing
 }
 
-// newRatTableau converts p to standard equality form with slack, surplus and
-// artificial variables and an all-basic starting point.
-func newRatTableau(p *Problem) (*ratTableau, error) {
-	m := len(p.rows)
-	// First pass: count auxiliary columns. Rows are normalized to RHS >= 0.
-	numSlack, numArt := 0, 0
-	for _, r := range p.rows {
-		sense := r.Sense
-		if r.RHS.Sign() < 0 {
-			sense = flip(sense)
-		}
-		switch sense {
-		case LE:
-			numSlack++
-		case GE:
-			numSlack++
-			numArt++
-		case EQ:
-			numArt++
-		}
-	}
-	numCols := p.numVars + numSlack + numArt
+// newRatTableau copies the standard form into a mutable tableau positioned
+// at its initial slack/artificial basis.
+func newRatTableau(sf *stdForm) *ratTableau {
 	t := &ratTableau{
-		numCols:  numCols,
-		artStart: p.numVars + numSlack,
-		numArt:   numArt,
-		rows:     make([][]*big.Rat, m),
-		rhs:      make([]*big.Rat, m),
-		basis:    make([]int, m),
-		banned:   make([]bool, numCols),
-		objRHS:   new(big.Rat),
+		sf:      sf,
+		numCols: sf.numCols,
+		rows:    make([]spVec, sf.m),
+		rhs:     make([]*big.Rat, sf.m),
+		basis:   append([]int(nil), sf.basis0...),
+		banned:  make([]bool, sf.numCols),
+		objRHS:  new(big.Rat),
 	}
-	for j := t.artStart; j < numCols; j++ {
+	for j := sf.artStart; j < sf.numCols; j++ {
 		t.banned[j] = true // artificials may never re-enter after phase 1
 	}
-
-	slack := p.numVars
-	art := t.artStart
-	for i, r := range p.rows {
-		row := make([]*big.Rat, numCols)
-		for j := range row {
-			row[j] = new(big.Rat)
+	for i := range sf.rows {
+		src := &sf.rows[i]
+		row := spVec{
+			ind: append([]int(nil), src.ind...),
+			val: make([]*big.Rat, len(src.val)),
 		}
-		neg := r.RHS.Sign() < 0
-		sense := r.Sense
-		if neg {
-			sense = flip(sense)
-		}
-		for _, term := range r.Terms {
-			if row[term.Col].Sign() != 0 {
-				return nil, fmt.Errorf("lp: row %q mentions column %d twice", r.Name, term.Col)
-			}
-			row[term.Col].Set(term.Coef)
-			if neg {
-				row[term.Col].Neg(row[term.Col])
-			}
-		}
-		b := new(big.Rat).Set(r.RHS)
-		if neg {
-			b.Neg(b)
-		}
-		switch sense {
-		case LE:
-			row[slack].SetInt64(1)
-			t.basis[i] = slack
-			slack++
-		case GE:
-			row[slack].SetInt64(-1)
-			slack++
-			row[art].SetInt64(1)
-			t.basis[i] = art
-			art++
-		case EQ:
-			row[art].SetInt64(1)
-			t.basis[i] = art
-			art++
+		for k, v := range src.val {
+			row.val[k] = new(big.Rat).Set(v)
 		}
 		t.rows[i] = row
-		t.rhs[i] = b
+		t.rhs[i] = new(big.Rat).Set(sf.rhs[i])
 	}
-	return t, nil
+	return t
 }
 
-func flip(s Sense) Sense {
-	switch s {
-	case LE:
-		return GE
-	case GE:
-		return LE
-	default:
-		return EQ
-	}
-}
-
-// setObjective installs c as the objective and eliminates the basic columns
-// from the reduced-cost row, so obj[j] holds c_j - z_j afterwards.
+// setObjective installs c (dense, len numCols, read-only) as the objective
+// and eliminates the basic columns, so obj[j] holds the reduced cost c_j −
+// z_j afterwards.
 func (t *ratTableau) setObjective(c []*big.Rat) {
 	t.obj = make([]*big.Rat, t.numCols)
 	for j := range t.obj {
@@ -187,11 +125,10 @@ func (t *ratTableau) setObjective(c []*big.Rat) {
 			continue
 		}
 		factor.Set(t.obj[bv])
-		for j := 0; j < t.numCols; j++ {
-			if t.rows[r][j].Sign() != 0 {
-				tmp.Mul(&factor, t.rows[r][j])
-				t.obj[j].Sub(t.obj[j], &tmp)
-			}
+		row := &t.rows[r]
+		for k, j := range row.ind {
+			tmp.Mul(&factor, row.val[k])
+			t.obj[j].Sub(t.obj[j], &tmp)
 		}
 		tmp.Mul(&factor, t.rhs[r])
 		t.objRHS.Sub(t.objRHS, &tmp)
@@ -203,16 +140,33 @@ func (t *ratTableau) objectiveValue() *big.Rat {
 	return new(big.Rat).Neg(t.objRHS)
 }
 
-// iterate runs primal simplex pivots under Bland's rule until optimality or
-// unboundedness.
+// degenLimit bounds the consecutive degenerate pivots tolerated under
+// Dantzig pricing before switching to Bland's rule. Any finite bound
+// preserves termination (non-degenerate pivots strictly decrease the
+// objective, so only an unbroken degenerate run can cycle).
+func (t *ratTableau) degenLimit() int { return 2*len(t.rows) + 16 }
+
+// iterate runs primal simplex pivots until optimality or unboundedness.
 func (t *ratTableau) iterate() Status {
 	for {
-		// Entering column: smallest index with negative reduced cost.
 		enter := -1
-		for j := 0; j < t.numCols; j++ {
-			if !t.banned[j] && t.obj[j].Sign() < 0 {
-				enter = j
-				break
+		if t.bland {
+			for j := 0; j < t.numCols; j++ {
+				if !t.banned[j] && t.obj[j].Sign() < 0 {
+					enter = j
+					break
+				}
+			}
+		} else {
+			var most *big.Rat
+			for j := 0; j < t.numCols; j++ {
+				if t.banned[j] || t.obj[j].Sign() >= 0 {
+					continue
+				}
+				if most == nil || t.obj[j].Cmp(most) < 0 {
+					most = t.obj[j]
+					enter = j
+				}
 			}
 		}
 		if enter == -1 {
@@ -220,11 +174,10 @@ func (t *ratTableau) iterate() Status {
 		}
 		// Leaving row: minimum ratio; ties broken by smallest basic column.
 		leave := -1
-		var best big.Rat
-		var ratio big.Rat
+		var best, ratio big.Rat
 		for r := 0; r < len(t.rows); r++ {
-			a := t.rows[r][enter]
-			if a.Sign() <= 0 {
+			a := t.rows[r].get(enter)
+			if a == nil || a.Sign() <= 0 {
 				continue
 			}
 			ratio.Quo(t.rhs[r], a)
@@ -237,19 +190,27 @@ func (t *ratTableau) iterate() Status {
 		if leave == -1 {
 			return Unbounded
 		}
+		if !t.bland {
+			if t.rhs[leave].Sign() == 0 {
+				t.degen++
+				if t.degen > t.degenLimit() {
+					t.bland = true
+				}
+			} else {
+				t.degen = 0
+			}
+		}
 		t.pivot(leave, enter)
 	}
 }
 
 // pivot makes column enter basic in row leave.
 func (t *ratTableau) pivot(leave, enter int) {
-	prow := t.rows[leave]
-	pval := new(big.Rat).Set(prow[enter])
+	prow := &t.rows[leave]
+	pval := prow.get(enter)
 	inv := new(big.Rat).Inv(pval)
-	for j := 0; j < t.numCols; j++ {
-		if prow[j].Sign() != 0 {
-			prow[j].Mul(prow[j], inv)
-		}
+	for _, v := range prow.val {
+		v.Mul(v, inv)
 	}
 	t.rhs[leave].Mul(t.rhs[leave], inv)
 
@@ -258,32 +219,69 @@ func (t *ratTableau) pivot(leave, enter int) {
 		if r == leave {
 			continue
 		}
-		row := t.rows[r]
-		if row[enter].Sign() == 0 {
+		f := t.rows[r].get(enter)
+		if f == nil {
 			continue
 		}
-		factor.Set(row[enter])
-		for j := 0; j < t.numCols; j++ {
-			if prow[j].Sign() != 0 {
-				tmp.Mul(&factor, prow[j])
-				row[j].Sub(row[j], &tmp)
-			}
-		}
+		factor.Set(f)
+		t.axpyRow(r, &factor, prow)
 		tmp.Mul(&factor, t.rhs[leave])
 		t.rhs[r].Sub(t.rhs[r], &tmp)
 	}
-	if t.obj[enter].Sign() != 0 {
+	if t.obj != nil && t.obj[enter].Sign() != 0 {
 		factor.Set(t.obj[enter])
-		for j := 0; j < t.numCols; j++ {
-			if prow[j].Sign() != 0 {
-				tmp.Mul(&factor, prow[j])
-				t.obj[j].Sub(t.obj[j], &tmp)
-			}
+		for k, j := range prow.ind {
+			tmp.Mul(&factor, prow.val[k])
+			t.obj[j].Sub(t.obj[j], &tmp)
 		}
 		tmp.Mul(&factor, t.rhs[leave])
 		t.objRHS.Sub(t.objRHS, &tmp)
 	}
 	t.basis[leave] = enter
+}
+
+// axpyRow computes rows[r] -= factor · prow with a sparse merge, recycling
+// cancelled entries through the pool. factor is nonzero.
+func (t *ratTableau) axpyRow(r int, factor *big.Rat, prow *spVec) {
+	a := &t.rows[r]
+	if cap(t.scratchInd) < t.numCols {
+		t.scratchInd = make([]int, 0, t.numCols)
+		t.scratchVal = make([]*big.Rat, 0, t.numCols)
+	}
+	oi := t.scratchInd[:0]
+	ov := t.scratchVal[:0]
+	var tmp big.Rat
+	i, j := 0, 0
+	for i < len(a.ind) || j < len(prow.ind) {
+		switch {
+		case j >= len(prow.ind) || (i < len(a.ind) && a.ind[i] < prow.ind[j]):
+			oi = append(oi, a.ind[i])
+			ov = append(ov, a.val[i])
+			i++
+		case i >= len(a.ind) || a.ind[i] > prow.ind[j]:
+			nv := t.pool.get()
+			nv.Mul(factor, prow.val[j])
+			nv.Neg(nv)
+			oi = append(oi, prow.ind[j])
+			ov = append(ov, nv)
+			j++
+		default:
+			tmp.Mul(factor, prow.val[j])
+			a.val[i].Sub(a.val[i], &tmp)
+			if a.val[i].Sign() != 0 {
+				oi = append(oi, a.ind[i])
+				ov = append(ov, a.val[i])
+			} else {
+				t.pool.put(a.val[i])
+			}
+			i++
+			j++
+		}
+	}
+	// Copy the merged entries back into the row (pointer copies only); the
+	// scratch buffers keep their full capacity for the next merge.
+	a.ind = append(a.ind[:0], oi...)
+	a.val = append(a.val[:0], ov...)
 }
 
 // evictArtificials pivots basic artificial variables (necessarily at value
@@ -293,14 +291,80 @@ func (t *ratTableau) pivot(leave, enter int) {
 // ratio on them is zero.
 func (t *ratTableau) evictArtificials() {
 	for r, bv := range t.basis {
-		if bv < t.artStart {
+		if bv < t.sf.artStart {
 			continue
 		}
-		for j := 0; j < t.artStart; j++ {
-			if t.rows[r][j].Sign() != 0 {
+		row := &t.rows[r]
+		for k, j := range row.ind {
+			if j < t.sf.artStart && row.val[k].Sign() != 0 {
 				t.pivot(r, j)
 				break
 			}
 		}
 	}
+}
+
+// solution extracts the optimal solution and its basis handle.
+func (t *ratTableau) solution() *Solution {
+	p := t.sf.p
+	x := make([]*big.Rat, p.numVars)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for r, bv := range t.basis {
+		if bv < p.numVars {
+			x[bv].Set(t.rhs[r])
+		}
+	}
+	return &Solution{
+		Status:    Optimal,
+		Objective: t.objectiveValue(),
+		X:         x,
+		Basis:     newBasis(t.sf, t.basis),
+	}
+}
+
+// newWarmRatTableau positions a tableau at the given basis by Gauss–Jordan
+// pivoting (m sparse pivots, no objective yet). It reports ok=false when the
+// columns are singular. The resulting right-hand side may be negative — the
+// caller must check feasibility before running the primal simplex.
+func newWarmRatTableau(sf *stdForm, basis []int) (*ratTableau, bool) {
+	t := newRatTableau(sf)
+	assigned := make([]bool, sf.m)
+	// Columns already basic in the initial tableau keep their row for free.
+	rowOf := make(map[int]int, sf.m)
+	for r, bv := range t.basis {
+		rowOf[bv] = r
+	}
+	var rest []int
+	for _, c := range basis {
+		if r, ok := rowOf[c]; ok && !assigned[r] {
+			assigned[r] = true
+			continue
+		}
+		rest = append(rest, c)
+	}
+	for _, c := range rest {
+		pivotRow := -1
+		best := 0
+		for r := 0; r < sf.m; r++ {
+			if assigned[r] {
+				continue
+			}
+			v := t.rows[r].get(c)
+			if v == nil || v.Sign() == 0 {
+				continue
+			}
+			sz := v.Num().BitLen() + v.Denom().BitLen()
+			if pivotRow == -1 || sz < best {
+				pivotRow, best = r, sz
+			}
+		}
+		if pivotRow == -1 {
+			return nil, false // c is spanned by the columns already placed
+		}
+		t.pivot(pivotRow, c)
+		assigned[pivotRow] = true
+	}
+	return t, true
 }

@@ -1,0 +1,197 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// stdForm is the standard equality form shared by every solver in this
+// package:
+//
+//	min c.x   subject to   A x = b,   x >= 0,   b >= 0
+//
+// with the column layout [structural | slack/surplus | artificial]. Rows
+// whose RHS is negative are negated (flipping their sense), LE rows gain a
+// +1 slack, GE rows a -1 surplus plus a +1 artificial, EQ rows a +1
+// artificial. Building it once per solve gives the float simplex, the exact
+// simplex and the hybrid verifier an identical column numbering, so a basis
+// discovered by one can be handed to another.
+type stdForm struct {
+	p        *Problem
+	m        int // number of rows
+	numCols  int // structural + slack + artificial
+	artStart int // first artificial column
+	numArt   int
+
+	rows   []spVec    // sparse rows over all columns (artificials included)
+	rhs    []*big.Rat // normalized, >= 0
+	basis0 []int      // initial basic column per row (slack or artificial)
+	cost   []*big.Rat // phase-2 objective, dense over all columns
+
+	// Column-major view of the matrix for dot products against dual
+	// vectors: colRows[j] lists the rows where column j is nonzero and
+	// colVals[j] the corresponding values (aliases of rows' entries).
+	// Built lazily by columns() — only the hybrid verifier needs it.
+	colRows [][]int32
+	colVals [][]*big.Rat
+}
+
+// newStdForm normalizes p. It fails only on malformed rows (a column
+// mentioned twice).
+func newStdForm(p *Problem) (*stdForm, error) {
+	m := len(p.rows)
+	numSlack, numArt := 0, 0
+	for _, r := range p.rows {
+		sense := r.Sense
+		if r.RHS.Sign() < 0 {
+			sense = flip(sense)
+		}
+		switch sense {
+		case LE, GE:
+			numSlack++
+			if sense == GE {
+				numArt++
+			}
+		case EQ:
+			numArt++
+		}
+	}
+	numCols := p.numVars + numSlack + numArt
+	sf := &stdForm{
+		p:        p,
+		m:        m,
+		numCols:  numCols,
+		artStart: p.numVars + numSlack,
+		numArt:   numArt,
+		rows:     make([]spVec, m),
+		rhs:      make([]*big.Rat, m),
+		basis0:   make([]int, m),
+		cost:     make([]*big.Rat, numCols),
+	}
+	for j := 0; j < numCols; j++ {
+		if j < p.numVars {
+			sf.cost[j] = p.objective[j]
+		} else {
+			sf.cost[j] = ratZero
+		}
+	}
+
+	slack := p.numVars
+	art := sf.artStart
+	one := big.NewRat(1, 1)
+	negOne := big.NewRat(-1, 1)
+	for i, r := range p.rows {
+		neg := r.RHS.Sign() < 0
+		sense := r.Sense
+		if neg {
+			sense = flip(sense)
+		}
+		terms := make([]Term, len(r.Terms))
+		copy(terms, r.Terms)
+		sort.Slice(terms, func(a, b int) bool { return terms[a].Col < terms[b].Col })
+		row := spVec{
+			ind: make([]int, 0, len(terms)+2),
+			val: make([]*big.Rat, 0, len(terms)+2),
+		}
+		for k, t := range terms {
+			if k > 0 && terms[k-1].Col == t.Col {
+				return nil, fmt.Errorf("lp: row %q mentions column %d twice", r.Name, t.Col)
+			}
+			v := t.Coef
+			if neg {
+				v = new(big.Rat).Neg(v)
+			}
+			row.ind = append(row.ind, t.Col)
+			row.val = append(row.val, v)
+		}
+		b := r.RHS
+		if neg {
+			b = new(big.Rat).Neg(b)
+		}
+		switch sense {
+		case LE:
+			row.ind = append(row.ind, slack)
+			row.val = append(row.val, one)
+			sf.basis0[i] = slack
+			slack++
+		case GE:
+			row.ind = append(row.ind, slack)
+			row.val = append(row.val, negOne)
+			slack++
+			row.ind = append(row.ind, art)
+			row.val = append(row.val, one)
+			sf.basis0[i] = art
+			art++
+		case EQ:
+			row.ind = append(row.ind, art)
+			row.val = append(row.val, one)
+			sf.basis0[i] = art
+			art++
+		}
+		sf.rows[i] = row
+		sf.rhs[i] = b
+	}
+
+	return sf, nil
+}
+
+// columns builds (once) the column-major view of the matrix.
+func (sf *stdForm) columns() {
+	if sf.colRows != nil {
+		return
+	}
+	sf.colRows = make([][]int32, sf.numCols)
+	sf.colVals = make([][]*big.Rat, sf.numCols)
+	for i := range sf.rows {
+		row := &sf.rows[i]
+		for k, j := range row.ind {
+			sf.colRows[j] = append(sf.colRows[j], int32(i))
+			sf.colVals[j] = append(sf.colVals[j], row.val[k])
+		}
+	}
+}
+
+var ratZero = new(big.Rat)
+
+// flip mirrors a sense across a row negation.
+func flip(s Sense) Sense {
+	switch s {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// colDot returns y . A_j over the sparse column j.
+func (sf *stdForm) colDot(y []*big.Rat, j int) *big.Rat {
+	out := new(big.Rat)
+	var tmp big.Rat
+	for k, r := range sf.colRows[j] {
+		if y[r].Sign() == 0 {
+			continue
+		}
+		tmp.Mul(y[r], sf.colVals[j][k])
+		out.Add(out, &tmp)
+	}
+	return out
+}
+
+// validBasis reports whether basis could index a basis of this form: one
+// column per row, all in range, no duplicates.
+func (sf *stdForm) validBasis(basis []int) bool {
+	if len(basis) != sf.m {
+		return false
+	}
+	seen := make(map[int]bool, len(basis))
+	for _, c := range basis {
+		if c < 0 || c >= sf.numCols || seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	return true
+}

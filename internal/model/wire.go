@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+
+	"divflow/internal/stats"
 )
 
 // Wire-format types of the divflowd HTTP API. All rationals travel as
@@ -114,6 +116,12 @@ type StatsResponse struct {
 	Events        int `json:"events"`
 	LPSolves      int `json:"lpSolves"`
 	PlanCacheHits int `json:"planCacheHits"`
+	// Solver breaks the LP solves down by the hybrid engine's path: how
+	// many were settled by the float simplex plus an exact verification,
+	// how many needed exact crossover pivots or a full exact fallback, and
+	// how often a previous optimal basis warm-started a re-solve. All paths
+	// are exact; the split is a performance, not a correctness, signal.
+	Solver stats.SolverTally `json:"solver"`
 	// ArrivalBatches counts scheduler wake-ups that admitted jobs and
 	// BatchedArrivals the jobs admitted by them, so BatchedArrivals >
 	// ArrivalBatches means several arrivals shared one re-solve;
@@ -127,8 +135,13 @@ type StatsResponse struct {
 	MaxStretch      string  `json:"maxStretch,omitempty"`
 	MeanFlow        float64 `json:"meanFlow,omitempty"`
 	P95Flow         float64 `json:"p95Flow,omitempty"`
-	Stalled         bool    `json:"stalled,omitempty"`
-	LastError       string  `json:"lastError,omitempty"`
+	// CompactedJobs counts completed jobs whose records and schedule pieces
+	// were dropped by the retention policy; their flow/stretch contributions
+	// remain in the aggregates above. P95Flow is estimated over a bounded
+	// window of the most recent completions.
+	CompactedJobs int    `json:"compactedJobs,omitempty"`
+	Stalled       bool   `json:"stalled,omitempty"`
+	LastError     string `json:"lastError,omitempty"`
 }
 
 // ScheduleResponse is the body of GET /v1/schedule: the executed Gantt so

@@ -65,7 +65,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	// Copy the status under the lock, write to the network after releasing
 	// it: a slow client must never block the scheduling loop.
 	s.mu.Lock()
-	known := err == nil && id >= 0 && id < len(s.records)
+	known := err == nil && id >= 0 && id < len(s.records) && s.records[id] != nil
 	var st model.JobStatus
 	if known {
 		st = s.jobStatusLocked(id)
@@ -163,33 +163,18 @@ func (s *Server) Stats() model.StatsResponse {
 	if s.mwf != nil {
 		resp.LPSolves = s.mwf.Solves()
 		resp.PlanCacheHits = s.mwf.CacheHits()
+		resp.Solver = s.mwf.SolverTally()
 	}
 	if s.lastErr != nil {
 		resp.LastError = s.lastErr.Error()
 	}
-	var maxWF, maxStretch *big.Rat
-	var flows []float64
-	for _, rec := range s.records {
-		if rec.completed == nil {
-			continue
-		}
-		flow := new(big.Rat).Sub(rec.completed, rec.release)
-		wf := new(big.Rat).Mul(rec.weight, flow)
-		if maxWF == nil || wf.Cmp(maxWF) > 0 {
-			maxWF = wf
-		}
-		st := new(big.Rat).Quo(flow, rec.size)
-		if maxStretch == nil || st.Cmp(maxStretch) > 0 {
-			maxStretch = st
-		}
-		f, _ := flow.Float64()
-		flows = append(flows, f)
-	}
-	if maxWF != nil {
-		resp.MaxWeightedFlow = maxWF.RatString()
-		resp.MaxStretch = maxStretch.RatString()
-		resp.MeanFlow = stats.Mean(flows)
-		resp.P95Flow = stats.Percentile(flows, 95)
+	resp.CompactedJobs = s.compactedJobs
+	if s.doneCount > 0 {
+		resp.MaxWeightedFlow = s.maxWF.RatString()
+		resp.MaxStretch = s.maxStretch.RatString()
+		mean := new(big.Rat).Quo(s.flowSum, big.NewRat(int64(s.doneCount), 1))
+		resp.MeanFlow, _ = mean.Float64()
+		resp.P95Flow = stats.Percentile(s.recentFlows, 95)
 	}
 	return resp
 }

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+)
+
+// TestRetentionCompaction drives a retention-bounded server through many
+// waves of traffic on a virtual clock: executed pieces and job records from
+// before the retention window must be compacted away (bounding memory),
+// while the all-time aggregates keep reporting the compacted jobs' flows.
+func TestRetentionCompaction(t *testing.T) {
+	vc := NewVirtualClock()
+	srv, err := New(Config{
+		Machines:  testFleet(),
+		Clock:     vc,
+		Retention: big.NewRat(10, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Start()
+
+	// Each wave: one size-4 job shared by both machines (rate 3), flow 4/3,
+	// then 20 virtual seconds of quiet — far past the 10s retention, so by
+	// the time the next wave arrives the previous one is compactable.
+	const waves = 8
+	for w := 0; w < waves; w++ {
+		postJob(t, ts.URL, model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
+		drive(t, vc, func() bool { return srv.Stats().JobsCompleted == w+1 })
+		vc.Advance(big.NewRat(int64((w+1)*20), 1))
+	}
+	// One trailing submission wakes the loop at t = 8*20 so the final
+	// compaction pass runs, then let it finish.
+	postJob(t, ts.URL, model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == waves+1 })
+
+	var st model.StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.JobsCompleted != waves+1 {
+		t.Fatalf("jobsCompleted = %d, want %d", st.JobsCompleted, waves+1)
+	}
+	if st.CompactedJobs < waves-1 {
+		t.Errorf("compactedJobs = %d, want >= %d", st.CompactedJobs, waves-1)
+	}
+	// Aggregates survive compaction: every wave contributed flow 4/3.
+	if st.MaxWeightedFlow != "4/3" || st.MaxStretch != "1/3" {
+		t.Errorf("maxWeightedFlow=%s maxStretch=%s, want 4/3 and 1/3", st.MaxWeightedFlow, st.MaxStretch)
+	}
+	if want := 4.0 / 3.0; st.MeanFlow < want-1e-9 || st.MeanFlow > want+1e-9 {
+		t.Errorf("meanFlow = %v, want %v", st.MeanFlow, want)
+	}
+
+	// Compacted jobs are gone from the per-job API...
+	resp, err := http.Get(ts.URL + "/v1/jobs/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET compacted job = %d, want 404", resp.StatusCode)
+	}
+	// ...and their pieces from the schedule: memory is bounded by the
+	// retention window, not by service lifetime.
+	var schedResp model.ScheduleResponse
+	getJSON(t, ts.URL+"/v1/schedule", &schedResp)
+	var sched schedule.Schedule
+	if err := json.Unmarshal(schedResp.Schedule, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Pieces) > 2*len(testFleet()) {
+		t.Errorf("%d pieces retained, want at most the last wave's", len(sched.Pieces))
+	}
+	horizon := new(big.Rat).Sub(vc.Now(), big.NewRat(10, 1))
+	for _, pc := range sched.Pieces {
+		if pc.End.Cmp(horizon) <= 0 {
+			t.Errorf("piece ending at %v predates the retention horizon %v", pc.End, horizon)
+		}
+	}
+
+	srv.mu.Lock()
+	retained := 0
+	for _, rec := range srv.records {
+		if rec != nil {
+			retained++
+		}
+	}
+	srv.mu.Unlock()
+	if retained > 2 {
+		t.Errorf("%d job records retained, want memory bounded by the retention window", retained)
+	}
+}
+
+// TestRetentionKeepsRecentWork: jobs inside the retention window must stay
+// queryable even while older ones are being compacted.
+func TestRetentionKeepsRecentWork(t *testing.T) {
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: testFleet(), Clock: vc, Retention: big.NewRat(1000, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Start()
+
+	id := postJob(t, ts.URL, model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 1 })
+
+	var st model.JobStatus
+	getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, id.ID), &st)
+	if st.State != StateDone || st.Flow != "4/3" {
+		t.Errorf("recent job: state=%s flow=%s, want done 4/3", st.State, st.Flow)
+	}
+	if srv.Stats().CompactedJobs != 0 {
+		t.Errorf("compactedJobs = %d inside the window, want 0", srv.Stats().CompactedJobs)
+	}
+}

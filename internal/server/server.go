@@ -42,6 +42,15 @@ type Config struct {
 	Policy string
 	// Clock defaults to a fresh RealClock.
 	Clock Clock
+	// Retention, when positive, bounds the execution history kept in
+	// memory: executed schedule pieces that ended more than Retention ago
+	// and the records of jobs completed more than Retention ago are
+	// compacted away, with the aggregate flow/stretch statistics they
+	// contributed cached so GET /v1/stats keeps reporting all-time values.
+	// Compacted jobs vanish from GET /v1/jobs/{id} and their pieces from
+	// GET /v1/schedule. Nil (or zero) keeps everything forever — a
+	// long-running daemon under sustained traffic should set it.
+	Retention *big.Rat
 }
 
 // jobRecord is the server-side state of one submitted job.
@@ -78,6 +87,22 @@ type Server struct {
 	stalled         bool
 	lastErr         error
 
+	// Completed-job statistics are accumulated at completion time, not
+	// recomputed from records, so compaction can forget the records without
+	// losing the all-time aggregates.
+	doneCount  int
+	flowSum    *big.Rat
+	maxWF      *big.Rat
+	maxStretch *big.Rat
+	// recentFlows is a bounded ring of the latest completions' float flows,
+	// backing the P95 estimate with bounded memory.
+	recentFlows []float64
+	flowPos     int
+
+	retention     *big.Rat
+	lastCompact   *big.Rat // horizon of the last compaction
+	compactedJobs int
+
 	started bool
 	closed  bool
 	wake    chan struct{}
@@ -108,9 +133,14 @@ func New(cfg Config) (*Server, error) {
 		clock:    clock,
 		machines: append([]model.Machine(nil), cfg.Machines...),
 		policy:   pol,
+		flowSum:  new(big.Rat),
 		wake:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
 		stopped:  make(chan struct{}),
+	}
+	if cfg.Retention != nil && cfg.Retention.Sign() > 0 {
+		s.retention = new(big.Rat).Set(cfg.Retention)
+		s.lastCompact = new(big.Rat)
 	}
 	s.mwf, _ = pol.(*sim.OnlineMWF)
 	s.eligible = make([]map[int]bool, len(s.machines))
@@ -258,6 +288,7 @@ func (s *Server) process() {
 		s.fail(err)
 		return
 	}
+	s.compact(now)
 	if len(s.pending) == 0 {
 		return
 	}
@@ -289,8 +320,57 @@ func (s *Server) step(t *big.Rat) bool {
 	for _, id := range done {
 		s.records[id].state = StateDone
 		s.records[id].completed = s.eng.Completion(id)
+		s.recordCompletion(s.records[id])
 	}
 	return s.decide()
+}
+
+// maxRecentFlows bounds the sample backing the P95 flow estimate.
+const maxRecentFlows = 4096
+
+// recordCompletion folds one finished job into the all-time aggregates, so
+// later compaction of its record loses no statistics. Callers hold s.mu.
+func (s *Server) recordCompletion(rec *jobRecord) {
+	s.doneCount++
+	flow := new(big.Rat).Sub(rec.completed, rec.release)
+	s.flowSum.Add(s.flowSum, flow)
+	wf := new(big.Rat).Mul(rec.weight, flow)
+	if s.maxWF == nil || wf.Cmp(s.maxWF) > 0 {
+		s.maxWF = wf
+	}
+	st := new(big.Rat).Quo(flow, rec.size)
+	if s.maxStretch == nil || st.Cmp(s.maxStretch) > 0 {
+		s.maxStretch = st
+	}
+	f, _ := flow.Float64()
+	if len(s.recentFlows) < maxRecentFlows {
+		s.recentFlows = append(s.recentFlows, f)
+	} else {
+		s.recentFlows[s.flowPos] = f
+		s.flowPos = (s.flowPos + 1) % maxRecentFlows
+	}
+}
+
+// compact enforces the retention bound: everything that finished more than
+// retention before now is dropped from the engine's executed trace and from
+// the per-job records (their statistics were already aggregated at
+// completion). Callers hold s.mu.
+func (s *Server) compact(now *big.Rat) {
+	if s.retention == nil {
+		return
+	}
+	horizon := new(big.Rat).Sub(now, s.retention)
+	if horizon.Sign() <= 0 || horizon.Cmp(s.lastCompact) <= 0 {
+		return
+	}
+	s.lastCompact = horizon
+	for _, id := range s.eng.Compact(horizon) {
+		s.records[id] = nil
+		s.compactedJobs++
+		for i := range s.eligible {
+			delete(s.eligible[i], id)
+		}
+	}
 }
 
 // decide runs the policy and flags a stall (live work but no upcoming

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"divflow/internal/model"
+	"divflow/internal/workload"
+)
+
+// TestSolverCountersOverHTTP: GET /v1/stats must break the exact LP solves
+// down by hybrid-engine path (float-verified vs crossover vs exact
+// fallback) and report warm-start basis reuse. The every-event online-mwf
+// policy re-solves perturbed residual LPs constantly, so warm starts must
+// land some of the time.
+func TestSolverCountersOverHTTP(t *testing.T) {
+	cfg := workload.Default()
+	cfg.Jobs = 10
+	cfg.Machines = 2
+	cfg.Databanks = 2
+	cfg.Seed = 21
+	inst := workload.MustGenerate(cfg)
+
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: inst.Machines, Policy: "online-mwf", Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Two waves so re-solves see both arrivals and completion-perturbed
+	// residual workloads.
+	reqs := submitRequests(inst)
+	for _, req := range reqs[:5] {
+		postJob(t, ts.URL, req)
+	}
+	srv.Start()
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 5 })
+	for _, req := range reqs[5:] {
+		postJob(t, ts.URL, req)
+	}
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == len(reqs) })
+
+	var st model.StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Stalled || st.LastError != "" {
+		t.Fatalf("service unhealthy: stalled=%v err=%q", st.Stalled, st.LastError)
+	}
+	tally := st.Solver
+	if tally.Total() == 0 {
+		t.Fatal("solver tally empty: hybrid accounting not wired to /v1/stats")
+	}
+	// Every policy-level solve runs >= 1 range LP, so the tally must cover
+	// at least the reported LP solves, split across the recorded paths.
+	if tally.Total() < st.LPSolves {
+		t.Errorf("solver tally total %d < lpSolves %d", tally.Total(), st.LPSolves)
+	}
+	if got := tally.FloatVerified + tally.Crossovers + tally.Fallbacks + tally.WarmHits; got != tally.Total() {
+		t.Errorf("tally inconsistent: %+v", tally)
+	}
+	if tally.FloatVerified == 0 {
+		t.Errorf("no float-verified solves: the hybrid fast path never fired (%+v)", tally)
+	}
+	if tally.WarmHits == 0 {
+		t.Errorf("no warm-start hits across %d solves of perturbed residual LPs (%+v)", st.LPSolves, tally)
+	}
+	validateService(t, ts.URL, inst.Machines, len(reqs))
+}

@@ -161,6 +161,51 @@ func (e *Engine) Add(id int, release, weight, size *big.Rat) error {
 	return nil
 }
 
+// Compact drops execution history from before horizon: executed schedule
+// pieces that ended at or before it, and completed jobs whose completion
+// time is at or before it (neither can influence any future decision —
+// policies only see live jobs, and finished pieces never change). It
+// returns the IDs of the forgotten jobs so the caller can release its own
+// per-job state. Live jobs are never touched; the horizon should not exceed
+// the current time, or the piece a machine is still extending would be
+// split. After compaction the executed trace no longer accounts for the
+// forgotten jobs' work, so it only validates against the retained window.
+func (e *Engine) Compact(horizon *big.Rat) []int {
+	keep := e.sched.Pieces[:0]
+	remap := make(map[int]int, len(e.lastPiece))
+	for k := range e.sched.Pieces {
+		pc := &e.sched.Pieces[k]
+		if pc.End.Cmp(horizon) <= 0 {
+			continue
+		}
+		remap[k] = len(keep)
+		keep = append(keep, *pc)
+	}
+	// Zero the tail so dropped pieces' rationals can be collected.
+	for k := len(keep); k < len(e.sched.Pieces); k++ {
+		e.sched.Pieces[k] = schedule.Piece{}
+	}
+	e.sched.Pieces = keep
+	for i, k := range e.lastPiece {
+		if k < 0 {
+			continue
+		}
+		if nk, ok := remap[k]; ok {
+			e.lastPiece[i] = nk
+		} else {
+			e.lastPiece[i] = -1
+		}
+	}
+	var forgotten []int
+	for id, j := range e.jobs {
+		if j.completed != nil && j.completed.Cmp(horizon) <= 0 {
+			forgotten = append(forgotten, id)
+			delete(e.jobs, id)
+		}
+	}
+	return forgotten
+}
+
 // Snapshot builds the policy-visible view of the current state.
 func (e *Engine) Snapshot() *Snapshot {
 	snap := &Snapshot{Now: e.Now(), M: e.m, Cost: e.cost}

@@ -5,8 +5,10 @@ import (
 	"math/big"
 
 	"divflow/internal/core"
+	"divflow/internal/lp"
 	"divflow/internal/model"
 	"divflow/internal/schedule"
+	"divflow/internal/stats"
 )
 
 // OnlineMWF is the online adaptation of the paper's offline algorithm
@@ -50,6 +52,13 @@ type OnlineMWF struct {
 	// cacheHits counts decision points served from the cached plan.
 	solves    int
 	cacheHits int
+	// basis is the optimal basis of the previous solve's final range LP,
+	// offered to the next solve as a warm start (the residual LPs of
+	// consecutive events are small perturbations of each other whenever the
+	// job set is unchanged); tally aggregates the hybrid-engine paths all
+	// inner LP solves took.
+	basis *lp.Basis
+	tally stats.SolverTally
 }
 
 type planPiece struct {
@@ -88,6 +97,11 @@ func (p *OnlineMWF) Solves() int { return p.solves }
 // plan (LazyResolve only) instead of invoking the exact solver.
 func (p *OnlineMWF) CacheHits() int { return p.cacheHits }
 
+// SolverTally reports, for the last run, how the inner exact LP solves were
+// settled by the hybrid engine (float-verified vs crossover vs full exact
+// fallback) and how often the previous optimal basis warm-started one.
+func (p *OnlineMWF) SolverTally() stats.SolverTally { return p.tally }
+
 // Reset implements Policy.
 func (p *OnlineMWF) Reset() {
 	p.err = nil
@@ -97,6 +111,8 @@ func (p *OnlineMWF) Reset() {
 	p.solveRem = nil
 	p.solves = 0
 	p.cacheHits = 0
+	p.basis = nil
+	p.tally = stats.SolverTally{}
 }
 
 // Err reports the first inner-solver failure, if any.
@@ -265,10 +281,12 @@ func (p *OnlineMWF) resolve(s *Snapshot) (*core.Result, []int, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := core.MinMaxWeightedFlowWithOrigins(inst, origins, p.Mode)
+	res, err := core.MinMaxWeightedFlowWithOptions(inst, origins, p.Mode, &core.SolveOptions{Warm: p.basis})
 	if err != nil {
 		return nil, nil, err
 	}
+	p.basis = res.Basis
+	p.tally.Merge(res.Solver)
 	return res, ids, nil
 }
 

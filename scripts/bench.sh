@@ -1,0 +1,11 @@
+#!/bin/sh
+# Runs the LP benchmark suite and refreshes the committed BENCH_lp.json,
+# preserving its baseline section so every run shows the trajectory against
+# the pre-hybrid seed. Usage:
+#
+#   scripts/bench.sh [benchtime]          # default 10x
+#
+set -eu
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-10x}"
+go run ./cmd/benchjson -benchtime "$BENCHTIME" -label "$(git rev-parse --short HEAD 2>/dev/null || echo dev)" -out BENCH_lp.json
