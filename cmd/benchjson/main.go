@@ -1,12 +1,13 @@
-// Command benchjson runs the repository's LP benchmark suite and renders it
-// as machine-readable JSON, so the performance trajectory of the exact
-// solvers is committed alongside the code (BENCH_lp.json) instead of living
+// Command benchjson runs a benchmark suite of this repository and renders it
+// as machine-readable JSON, so performance trajectories are committed
+// alongside the code (BENCH_lp.json for the exact solvers,
+// BENCH_server.json for the sharded service throughput) instead of living
 // in commit messages. It records ns/op, B/op, allocs/op and every custom
-// metric the benchmarks report (LP-solves, hybrid-fallbacks, milestones,
-// warm-hit-rate, ...), and computes per-benchmark speedups against a
-// baseline section.
+// metric the benchmarks report (LP-solves, hybrid-fallbacks, jobs/s, ...),
+// and computes per-benchmark speedups against a baseline section.
 //
-//	go run ./cmd/benchjson -out BENCH_lp.json                  # run suite, keep committed baseline
+//	go run ./cmd/benchjson -out BENCH_lp.json                  # run LP suite, keep committed baseline
+//	go run ./cmd/benchjson -pkg ./internal/server -bench BenchmarkServerThroughput -out BENCH_server.json
 //	go run ./cmd/benchjson -raw current.txt -out BENCH_lp.json # parse an existing run
 //	go run ./cmd/benchjson -baseline-raw seed.txt ...          # install a new baseline
 package main
@@ -107,9 +108,10 @@ func parseBench(out []byte, label string) (*Run, error) {
 	return run, nil
 }
 
-// runSuite executes the benchmark suite in the current module.
-func runSuite(bench, benchtime string) ([]byte, error) {
-	cmd := exec.Command("go", "test", "-bench", bench, "-benchmem", "-benchtime", benchtime, "-run", "^$", ".")
+// runSuite executes the benchmark suite in the given package of the current
+// module.
+func runSuite(bench, benchtime, pkg string) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-bench", bench, "-benchmem", "-benchtime", benchtime, "-run", "^$", pkg)
 	var out bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = os.Stderr
@@ -146,6 +148,7 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	var (
 		bench       = flag.String("bench", defaultBench, "benchmark regex to run")
+		pkg         = flag.String("pkg", ".", "package to benchmark (e.g. ./internal/server)")
 		benchtime   = flag.String("benchtime", "10x", "benchtime passed to go test")
 		raw         = flag.String("raw", "", "parse this go-test output file instead of running the suite")
 		baselineRaw = flag.String("baseline-raw", "", "install a new baseline from this go-test output file")
@@ -177,7 +180,7 @@ func main() {
 	if *raw != "" {
 		curOut, err = os.ReadFile(*raw)
 	} else {
-		curOut, err = runSuite(*bench, *benchtime)
+		curOut, err = runSuite(*bench, *benchtime, *pkg)
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -1,7 +1,11 @@
 // Command divflowd is the divflow scheduling daemon: it owns a machine
 // fleet described by a platform JSON, accepts divisible-job submissions
 // over HTTP, and schedules them online with the paper's exact
-// max-weighted-flow machinery (or a classical heuristic).
+// max-weighted-flow machinery (or a classical heuristic). The fleet runs
+// partitioned into independent scheduling shards — by databank-connectivity
+// components, or -shards N (or the platform's "shards" field) for uniform
+// fleets — with submissions routed to the eligible shard with the least
+// exact residual work.
 //
 //	divflowd -platform testdata/platform.json -addr :8080
 //
@@ -42,6 +46,8 @@ func main() {
 			fmt.Sprintf("scheduling policy: %s", strings.Join(server.Policies(), ", ")))
 		retention = flag.String("retention", "",
 			"drop executed history older than this many seconds (exact rational, e.g. 3600); empty keeps everything")
+		shards = flag.Int("shards", 0,
+			"number of scheduling shards (round-robin over the fleet); 0 partitions by databank-connectivity components (or the platform's \"shards\" field)")
 	)
 	flag.Parse()
 	if *platform == "" {
@@ -52,11 +58,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	machines, err := model.ParsePlatform(data)
+	plat, err := model.ParsePlatformConfig(data)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := server.Config{Machines: machines, Policy: *policy}
+	machines := plat.Machines
+	if *shards < 0 {
+		log.Fatalf("bad -shards %d: want >= 0", *shards)
+	}
+	cfg := server.Config{Machines: machines, Policy: *policy, Shards: plat.Shards}
+	if *shards > 0 {
+		cfg.Shards = *shards
+	}
 	if *retention != "" {
 		r, ok := new(big.Rat).SetString(*retention)
 		if !ok || r.Sign() <= 0 {
@@ -81,7 +94,7 @@ func main() {
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
 	}()
-	log.Printf("serving %d machines on %s (policy %s)", len(machines), *addr, *policy)
+	log.Printf("serving %d machines in %d shards on %s (policy %s)", len(machines), srv.ShardCount(), *addr, *policy)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -101,6 +101,30 @@ type JobStatus struct {
 	Stretch      string `json:"stretch,omitempty"`
 }
 
+// ShardStats is the per-shard breakdown inside StatsResponse: one entry per
+// scheduling shard of a partitioned divflowd instance. Counters have the
+// same meaning as their aggregate counterparts; Backlog is the shard's exact
+// residual work (accepted job sizes minus completed ones), the quantity the
+// router minimizes when placing a submission eligible on several shards.
+type ShardStats struct {
+	Shard           int      `json:"shard"`
+	Machines        []string `json:"machines"`
+	Now             string   `json:"now"`
+	JobsAccepted    int      `json:"jobsAccepted"`
+	JobsLive        int      `json:"jobsLive"`
+	JobsCompleted   int      `json:"jobsCompleted"`
+	Events          int      `json:"events"`
+	LPSolves        int      `json:"lpSolves"`
+	PlanCacheHits   int      `json:"planCacheHits"`
+	ArrivalBatches  int      `json:"arrivalBatches"`
+	BatchedArrivals int      `json:"batchedArrivals"`
+	LargestBatch    int      `json:"largestBatch"`
+	CompactedJobs   int      `json:"compactedJobs,omitempty"`
+	Backlog         string   `json:"backlog"`
+	Stalled         bool     `json:"stalled,omitempty"`
+	LastError       string   `json:"lastError,omitempty"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Policy        string `json:"policy"`
@@ -142,6 +166,10 @@ type StatsResponse struct {
 	CompactedJobs int    `json:"compactedJobs,omitempty"`
 	Stalled       bool   `json:"stalled,omitempty"`
 	LastError     string `json:"lastError,omitempty"`
+	// ShardCount is the number of scheduling shards the fleet is partitioned
+	// into; Shards breaks the aggregate counters above down per shard.
+	ShardCount int          `json:"shardCount"`
+	Shards     []ShardStats `json:"shards,omitempty"`
 }
 
 // ScheduleResponse is the body of GET /v1/schedule: the executed Gantt so
@@ -153,18 +181,44 @@ type ScheduleResponse struct {
 	Schedule json.RawMessage `json:"schedule"`
 }
 
-// ParsePlatform decodes a platform document — the machine fleet a divflowd
-// instance owns — encoded as {"machines":[{"name","inverseSpeed","databanks"}]}.
-// Every machine needs a strictly positive inverseSpeed.
+// Platform is a parsed platform document: the machine fleet a divflowd
+// instance owns, plus optional service-level scheduling configuration.
+type Platform struct {
+	Machines []Machine
+	// Shards, when positive, fixes the number of scheduling shards the fleet
+	// is split into (round-robin), overriding the default partition by
+	// databank-connectivity components. Useful for uniform fleets where every
+	// machine hosts everything and the connectivity partition degenerates to
+	// a single shard.
+	Shards int
+}
+
+// ParsePlatform decodes a platform document's machine fleet — encoded as
+// {"machines":[{"name","inverseSpeed","databanks"}]}. Every machine needs a
+// strictly positive inverseSpeed.
 func ParsePlatform(data []byte) ([]Machine, error) {
+	p, err := ParsePlatformConfig(data)
+	if err != nil {
+		return nil, err
+	}
+	return p.Machines, nil
+}
+
+// ParsePlatformConfig decodes a full platform document, including the
+// optional {"shards": N} scheduling partition override.
+func ParsePlatformConfig(data []byte) (*Platform, error) {
 	var doc struct {
 		Machines []jsonMachine `json:"machines"`
+		Shards   int           `json:"shards"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("model: platform: %w", err)
 	}
 	if len(doc.Machines) == 0 {
 		return nil, errors.New("model: platform has no machines")
+	}
+	if doc.Shards < 0 {
+		return nil, fmt.Errorf("model: platform shards = %d, want >= 0", doc.Shards)
 	}
 	machines := make([]Machine, len(doc.Machines))
 	for i, dm := range doc.Machines {
@@ -181,5 +235,5 @@ func ParsePlatform(data []byte) ([]Machine, error) {
 		}
 		machines[i].InverseSpeed = s
 	}
-	return machines, nil
+	return &Platform{Machines: machines, Shards: doc.Shards}, nil
 }

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"math/big"
 	"net/http"
+	"sort"
 	"strconv"
 
 	"divflow/internal/model"
+	"divflow/internal/schedule"
 	"divflow/internal/stats"
 )
 
@@ -19,6 +21,10 @@ import (
 //	GET  /v1/schedule      executed Gantt so far (model.ScheduleResponse);
 //	                       ?since=<rat> windows it to pieces ending after t
 //	GET  /v1/stats         service counters (model.StatsResponse)
+//
+// Reads merge the per-shard state: job IDs are shard-encoded, the schedule
+// interleaves every shard's pieces over fleet machine indices, and stats
+// carry both fleet aggregates and the per-shard breakdown.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -62,49 +68,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
-	// Copy the status under the lock, write to the network after releasing
-	// it: a slow client must never block the scheduling loop.
-	s.mu.Lock()
-	known := err == nil && id >= 0 && id < len(s.records) && s.records[id] != nil
-	var st model.JobStatus
-	if known {
-		st = s.jobStatusLocked(id)
+	if err != nil {
+		http.NotFound(w, r)
+		return
 	}
-	s.mu.Unlock()
+	sh, local, ok := s.locate(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	// The shard copies the status under its lock; the write to the network
+	// happens after release: a slow client must never block a loop.
+	st, known := sh.jobStatus(local)
 	if !known {
 		http.NotFound(w, r)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
-}
-
-// jobStatusLocked builds the wire status of one job. Callers hold s.mu.
-func (s *Server) jobStatusLocked(id int) model.JobStatus {
-	rec := s.records[id]
-	st := model.JobStatus{
-		ID:        rec.id,
-		Name:      rec.name,
-		State:     rec.state,
-		Weight:    rec.weight.RatString(),
-		Size:      rec.size.RatString(),
-		Databanks: rec.databanks,
-	}
-	if rec.release != nil {
-		st.Release = rec.release.RatString()
-	}
-	if rec.state == StateScheduled {
-		if rem := s.eng.Remaining(rec.id); rem != nil {
-			st.Remaining = rem.RatString()
-		}
-	}
-	if rec.completed != nil {
-		flow := new(big.Rat).Sub(rec.completed, rec.release)
-		st.CompletedAt = rec.completed.RatString()
-		st.Flow = flow.RatString()
-		st.WeightedFlow = new(big.Rat).Mul(rec.weight, flow).RatString()
-		st.Stretch = new(big.Rat).Quo(flow, rec.size).RatString()
-	}
-	return st
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -117,17 +97,30 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		since = t
 	}
-	// Serialize under the lock, write to the network after releasing it: a
-	// slow client must never block the scheduling loop.
-	s.mu.Lock()
-	sched := s.eng.Schedule()
-	makespan := sched.Makespan() // of the whole execution, not the window
-	if since != nil {
-		sched = sched.Since(since)
+	// Each shard deep-copies its window under its own lock; the merge and
+	// the serialization run lock-free.
+	var merged []schedule.Piece
+	now := new(big.Rat)
+	makespan := new(big.Rat) // of the whole execution, not the window
+	for _, sh := range s.shards {
+		pieces, shNow, shMakespan := sh.scheduleSnapshot(since)
+		merged = append(merged, pieces...)
+		if shNow.Cmp(now) > 0 {
+			now = shNow
+		}
+		if shMakespan.Cmp(makespan) > 0 {
+			makespan = shMakespan
+		}
 	}
-	raw, err := json.Marshal(sched)
-	now := s.eng.Now()
-	s.mu.Unlock()
+	// Each shard's trace is already start-ordered; a stable sort interleaves
+	// the shards without disturbing per-shard (and single-shard) order.
+	sort.SliceStable(merged, func(a, b int) bool {
+		if c := merged[a].Start.Cmp(merged[b].Start); c != 0 {
+			return c < 0
+		}
+		return merged[a].Machine < merged[b].Machine
+	})
+	raw, err := json.Marshal(&schedule.Schedule{Pieces: merged})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -143,38 +136,62 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// Stats assembles the service counters and the exact/summary metrics over
-// completed jobs.
+// Stats merges the per-shard counters into fleet-wide aggregates plus the
+// per-shard breakdown.
 func (s *Server) Stats() model.StatsResponse {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	resp := model.StatsResponse{
-		Policy:          s.policy.Name(),
-		Now:             s.eng.Now().RatString(),
-		JobsAccepted:    len(s.records),
-		JobsLive:        s.eng.Live(),
-		JobsCompleted:   s.eng.CompletedCount(),
-		Events:          s.eng.Decisions(),
-		ArrivalBatches:  s.arrivalBatches,
-		BatchedArrivals: s.batchedArrivals,
-		LargestBatch:    s.largestBatch,
-		Stalled:         s.stalled,
+		Policy:     s.policyName,
+		ShardCount: len(s.shards),
 	}
-	if s.mwf != nil {
-		resp.LPSolves = s.mwf.Solves()
-		resp.PlanCacheHits = s.mwf.CacheHits()
-		resp.Solver = s.mwf.SolverTally()
+	now := new(big.Rat)
+	var solver stats.SolverTally
+	flowSum := new(big.Rat)
+	var maxWF, maxStretch *big.Rat
+	var recent []float64
+	doneCount := 0
+	for _, sh := range s.shards {
+		snap := sh.statsSnapshot()
+		resp.Shards = append(resp.Shards, snap.wire)
+		resp.JobsAccepted += snap.wire.JobsAccepted
+		resp.JobsLive += snap.wire.JobsLive
+		resp.JobsCompleted += snap.wire.JobsCompleted
+		resp.Events += snap.wire.Events
+		resp.LPSolves += snap.wire.LPSolves
+		resp.PlanCacheHits += snap.wire.PlanCacheHits
+		resp.ArrivalBatches += snap.wire.ArrivalBatches
+		resp.BatchedArrivals += snap.wire.BatchedArrivals
+		resp.CompactedJobs += snap.wire.CompactedJobs
+		if snap.wire.LargestBatch > resp.LargestBatch {
+			resp.LargestBatch = snap.wire.LargestBatch
+		}
+		if snap.wire.Stalled {
+			resp.Stalled = true
+		}
+		if resp.LastError == "" {
+			resp.LastError = snap.wire.LastError
+		}
+		if snap.now.Cmp(now) > 0 {
+			now = snap.now
+		}
+		solver.Merge(snap.solver)
+		doneCount += snap.doneCount
+		flowSum.Add(flowSum, snap.flowSum)
+		if snap.maxWF != nil && (maxWF == nil || snap.maxWF.Cmp(maxWF) > 0) {
+			maxWF = snap.maxWF
+		}
+		if snap.maxStretch != nil && (maxStretch == nil || snap.maxStretch.Cmp(maxStretch) > 0) {
+			maxStretch = snap.maxStretch
+		}
+		recent = append(recent, snap.recentFlows...)
 	}
-	if s.lastErr != nil {
-		resp.LastError = s.lastErr.Error()
-	}
-	resp.CompactedJobs = s.compactedJobs
-	if s.doneCount > 0 {
-		resp.MaxWeightedFlow = s.maxWF.RatString()
-		resp.MaxStretch = s.maxStretch.RatString()
-		mean := new(big.Rat).Quo(s.flowSum, big.NewRat(int64(s.doneCount), 1))
+	resp.Now = now.RatString()
+	resp.Solver = solver
+	if doneCount > 0 {
+		resp.MaxWeightedFlow = maxWF.RatString()
+		resp.MaxStretch = maxStretch.RatString()
+		mean := new(big.Rat).Quo(flowSum, big.NewRat(int64(doneCount), 1))
 		resp.MeanFlow, _ = mean.Float64()
-		resp.P95Flow = stats.Percentile(s.recentFlows, 95)
+		resp.P95Flow = stats.Percentile(recent, 95)
 	}
 	return resp
 }

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"divflow/internal/model"
+)
+
+// benchFleetSize and benchJobs shape the throughput benchmark: a uniform
+// fleet (so the shard count is a free parameter) under a CPU-bound burst of
+// exact solves. The burst arrives before the loops start, so every shard
+// admits its whole share as one batch and solves one residual LP over it:
+// the benchmark isolates how sharding shrinks the superlinear LP cost
+// (P shards solve P concurrent LPs of ~jobs/P jobs each).
+const (
+	benchFleetSize = 4
+	benchJobs      = 48
+)
+
+// BenchmarkServerThroughput measures end-to-end virtual-clock throughput of
+// the sharded service under the default exact policy (online-mwf-lazy) for
+// P = 1, 2, 4 shards. Recorded as BENCH_server.json via cmd/benchjson
+// (scripts/bench.sh).
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				machines := make([]model.Machine, benchFleetSize)
+				for m := range machines {
+					machines[m] = model.Machine{
+						Name:         fmt.Sprintf("u%d", m),
+						InverseSpeed: rat(1, int64(1+m%2)),
+						Databanks:    []string{"shared"},
+					}
+				}
+				vc := NewVirtualClock()
+				srv, err := New(Config{Machines: machines, Shards: shards, Clock: vc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqs := make([]model.SubmitRequest, benchJobs)
+				for j := range reqs {
+					reqs[j] = model.SubmitRequest{
+						Size:      fmt.Sprintf("%d", 1+(j*7)%13),
+						Weight:    fmt.Sprintf("%d", 1+j%3),
+						Databanks: []string{"shared"},
+					}
+				}
+				b.StartTimer()
+				for j := range reqs {
+					if _, err := srv.Submit(&reqs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				srv.Start()
+				for {
+					st := srv.Stats()
+					if st.LastError != "" {
+						b.Fatal(st.LastError)
+					}
+					if st.JobsCompleted == benchJobs {
+						break
+					}
+					if !vc.AdvanceToNextTimer() {
+						runtime.Gosched()
+					}
+				}
+				b.StopTimer()
+				srv.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(benchJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}

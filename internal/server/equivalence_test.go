@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+	"divflow/internal/sim"
+	"divflow/internal/workload"
+)
+
+// TestSingleShardEquivalence pins the sharding refactor to the pre-shard
+// behavior: a one-shard server driven over a virtual clock — each job
+// submitted exactly at its release date — must execute event-for-event the
+// same trace as the closed-world simulator (sim.Run) on the identical
+// instance: the same pieces (machine, job, window, fraction) in the same
+// order, hence the same completions and flows.
+func TestSingleShardEquivalence(t *testing.T) {
+	for _, policy := range []string{"online-mwf-lazy", "mct", "srpt"} {
+		for _, seed := range []int64{1, 4, 9} {
+			t.Run(fmt.Sprintf("%s/seed=%d", policy, seed), func(t *testing.T) {
+				cfg := workload.Default()
+				cfg.Jobs = 12
+				cfg.Machines = 3
+				cfg.Seed = seed
+				inst := workload.MustGenerate(cfg)
+
+				refPol, err := NewPolicy(policy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := sim.Run(inst, refPol)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				vc := NewVirtualClock()
+				srv, err := New(Config{Machines: inst.Machines, Policy: policy, Clock: vc, Shards: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer srv.Close()
+				srv.Start()
+
+				// Submit each job at exactly its release date, waiting for
+				// admission before moving the clock again — the service then
+				// sees the same arrival sequence as the simulator.
+				submitted := 0
+				for j := 0; j < inst.N(); {
+					r := inst.Jobs[j].Release
+					vc.Advance(r)
+					for j < inst.N() && inst.Jobs[j].Release.Cmp(r) == 0 {
+						id, err := srv.Submit(&model.SubmitRequest{
+							Name:      inst.Jobs[j].Name,
+							Weight:    inst.Jobs[j].Weight.RatString(),
+							Size:      inst.Jobs[j].Size.RatString(),
+							Databanks: inst.Jobs[j].Databanks,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if id != j {
+							t.Fatalf("job %d got global ID %d; one shard must keep IDs dense", j, id)
+						}
+						j++
+						submitted++
+					}
+					waitStats(t, srv, func(st model.StatsResponse) bool {
+						return st.BatchedArrivals >= submitted
+					})
+				}
+				drive(t, vc, func() bool { return srv.Stats().JobsCompleted == inst.N() })
+
+				sh := srv.shards[0]
+				sh.mu.Lock()
+				got := append([]schedule.Piece(nil), sh.eng.Schedule().Pieces...)
+				completions := make([]string, inst.N())
+				for id, rec := range sh.records {
+					completions[id] = rec.completed.RatString()
+				}
+				sh.mu.Unlock()
+
+				want := ref.Schedule.Pieces
+				if len(got) != len(want) {
+					t.Fatalf("trace has %d pieces, simulator has %d\nserver:\n%v\nsim:\n%v",
+						len(got), len(want), (&schedule.Schedule{Pieces: got}).String(), ref.Schedule.String())
+				}
+				for k := range want {
+					g, w := &got[k], &want[k]
+					if g.Machine != w.Machine || g.Job != w.Job ||
+						g.Start.Cmp(w.Start) != 0 || g.End.Cmp(w.End) != 0 ||
+						g.Fraction.Cmp(w.Fraction) != 0 {
+						t.Fatalf("piece %d diverges: server M%d J%d [%s,%s) f=%s, sim M%d J%d [%s,%s) f=%s",
+							k, g.Machine, g.Job, g.Start.RatString(), g.End.RatString(), g.Fraction.RatString(),
+							w.Machine, w.Job, w.Start.RatString(), w.End.RatString(), w.Fraction.RatString())
+					}
+				}
+				refCompletions := ref.Schedule.Completions(inst.N())
+				for id := range completions {
+					if completions[id] != refCompletions[id].RatString() {
+						t.Errorf("job %d completes at %s, simulator at %s",
+							id, completions[id], refCompletions[id].RatString())
+					}
+				}
+				if st := srv.Stats(); st.MaxWeightedFlow != ref.MaxWeightedFlow.RatString() {
+					t.Errorf("maxWeightedFlow = %s, simulator %s", st.MaxWeightedFlow, ref.MaxWeightedFlow.RatString())
+				}
+			})
+		}
+	}
+}

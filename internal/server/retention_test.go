@@ -88,14 +88,15 @@ func TestRetentionCompaction(t *testing.T) {
 		}
 	}
 
-	srv.mu.Lock()
+	sh := srv.shards[0]
+	sh.mu.Lock()
 	retained := 0
-	for _, rec := range srv.records {
+	for _, rec := range sh.records {
 		if rec != nil {
 			retained++
 		}
 	}
-	srv.mu.Unlock()
+	sh.mu.Unlock()
 	if retained > 2 {
 		t.Errorf("%d job records retained, want memory bounded by the retention window", retained)
 	}

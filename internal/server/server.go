@@ -1,13 +1,18 @@
 // Package server is the divflowd scheduling service: a long-running,
 // concurrent boundary around the exact solvers of this repository. It owns
 // a machine fleet loaded at startup, admits divisible-job submissions over
-// HTTP, and runs an event-driven loop that steps the same sim.Policy
-// machinery as the offline/online simulator — by default the paper's online
+// HTTP, and schedules them online with the same sim.Policy machinery as the
+// offline/online simulator — by default the paper's online
 // max-weighted-flow adaptation with lazy re-solving, so arrivals landing
 // within one wake-up are batched into a single exact solve and every other
 // event is served from the cached plan.
 //
-// The loop is single-owner: one goroutine mutates the engine, guarded by a
+// The service is sharded: the fleet is partitioned into scheduling shards
+// (by databank-connectivity components, or a fixed count for uniform
+// fleets), each with its own mutex, goroutine, engine, and policy instance.
+// The Server routes every submission to the eligible shard with the least
+// exact residual work and merges per-shard state for reads. Each shard's
+// loop is single-owner: one goroutine mutates its engine, guarded by a
 // mutex that HTTP handlers take only to enqueue submissions or read state.
 // Time comes from a pluggable Clock — the wall clock in the daemon, a
 // virtual clock in tests, making the whole service deterministically
@@ -21,7 +26,6 @@ import (
 	"sync"
 
 	"divflow/internal/model"
-	"divflow/internal/sim"
 )
 
 // ErrClosed is returned by Submit once the server is shutting down.
@@ -40,8 +44,18 @@ type Config struct {
 	Machines []model.Machine
 	// Policy is one of Policies(); empty selects DefaultPolicy.
 	Policy string
-	// Clock defaults to a fresh RealClock.
+	// Clock defaults to a fresh RealClock. All shards share it.
 	Clock Clock
+	// Shards, when positive, splits the fleet into that many scheduling
+	// shards round-robin (at most one shard per machine). Zero partitions
+	// by databank-connectivity components: machines sharing a databank land
+	// in the same shard, so a databank-restricted job's eligible machines
+	// fall inside one shard; machines hosting no databanks pool into one
+	// shared component (a fully databank-less fleet stays a single loop).
+	// A job eligible on several shards (uniform fleets, or jobs without
+	// databank requirements) is routed to the shard with the least exact
+	// residual work and scheduled on that shard's machines only.
+	Shards int
 	// Retention, when positive, bounds the execution history kept in
 	// memory: executed schedule pieces that ended more than Retention ago
 	// and the records of jobs completed more than Retention ago are
@@ -53,65 +67,20 @@ type Config struct {
 	Retention *big.Rat
 }
 
-// jobRecord is the server-side state of one submitted job.
-type jobRecord struct {
-	id        int
-	name      string
-	weight    *big.Rat
-	size      *big.Rat
-	databanks []string
-	state     string
-	release   *big.Rat // submission time: the job's flow origin
-	completed *big.Rat // completion time; nil until done
-}
-
-// Server is one divflowd instance. Create with New, start the scheduling
-// loop with Start, serve Handler over HTTP, stop with Close.
+// Server is one divflowd instance: a router over independent scheduling
+// shards. Create with New, start the shard loops with Start, serve Handler
+// over HTTP, stop with Close.
 type Server struct {
-	clock    Clock
-	machines []model.Machine
-	policy   sim.Policy
-	mwf      *sim.OnlineMWF // non-nil when policy is an OnlineMWF variant
+	policyName string
+	shards     []*shard
 
 	mu      sync.Mutex
-	eng     *sim.Engine
-	records []*jobRecord
-	pending []*jobRecord // accepted but not yet admitted
-	// hosts[i] caches which job IDs machine i can serve (databank check
-	// done once at acceptance, not on every cost lookup).
-	eligible []map[int]bool
-
-	arrivalBatches  int
-	batchedArrivals int
-	largestBatch    int
-	stalled         bool
-	lastErr         error
-
-	// Completed-job statistics are accumulated at completion time, not
-	// recomputed from records, so compaction can forget the records without
-	// losing the all-time aggregates.
-	doneCount  int
-	flowSum    *big.Rat
-	maxWF      *big.Rat
-	maxStretch *big.Rat
-	// recentFlows is a bounded ring of the latest completions' float flows,
-	// backing the P95 estimate with bounded memory.
-	recentFlows []float64
-	flowPos     int
-
-	retention     *big.Rat
-	lastCompact   *big.Rat // horizon of the last compaction
-	compactedJobs int
-
 	started bool
 	closed  bool
-	wake    chan struct{}
-	done    chan struct{}
-	stopped chan struct{}
 }
 
-// New builds a server over the fleet. The scheduling loop is not started
-// yet — submissions queue until Start.
+// New builds a server over the fleet, partitioned into scheduling shards.
+// The loops are not started yet — submissions queue until Start.
 func New(cfg Config) (*Server, error) {
 	if len(cfg.Machines) == 0 {
 		return nil, errors.New("server: no machines")
@@ -121,6 +90,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: machine %d (%s) needs InverseSpeed > 0", i, cfg.Machines[i].Name)
 		}
 	}
+	// Validate the policy name once up front; every shard then gets its own
+	// fresh instance (policies carry per-run state: plan caches, warm-start
+	// basis chains).
 	pol, err := NewPolicy(cfg.Policy)
 	if err != nil {
 		return nil, err
@@ -129,49 +101,119 @@ func New(cfg Config) (*Server, error) {
 	if clock == nil {
 		clock = NewRealClock()
 	}
-	s := &Server{
-		clock:    clock,
-		machines: append([]model.Machine(nil), cfg.Machines...),
-		policy:   pol,
-		flowSum:  new(big.Rat),
-		wake:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
-		stopped:  make(chan struct{}),
+	groups, err := partitionFleet(cfg.Machines, cfg.Shards)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Retention != nil && cfg.Retention.Sign() > 0 {
-		s.retention = new(big.Rat).Set(cfg.Retention)
-		s.lastCompact = new(big.Rat)
+	s := &Server{policyName: pol.Name()}
+	fleet := append([]model.Machine(nil), cfg.Machines...)
+	stride := len(groups)
+	for idx, group := range groups {
+		machines := make([]model.Machine, len(group))
+		for k, gi := range group {
+			machines[k] = fleet[gi]
+		}
+		shardPol := pol
+		if idx > 0 {
+			if shardPol, err = NewPolicy(cfg.Policy); err != nil {
+				return nil, err
+			}
+		}
+		s.shards = append(s.shards, newShard(idx, stride, clock, machines, group, shardPol, cfg.Retention))
 	}
-	s.mwf, _ = pol.(*sim.OnlineMWF)
-	s.eligible = make([]map[int]bool, len(s.machines))
-	for i := range s.eligible {
-		s.eligible[i] = make(map[int]bool)
-	}
-	s.eng = sim.NewEngine(len(s.machines), s.cost, pol)
 	return s, nil
 }
 
-// cost is the engine's CostFunc: the uniform model over the fleet,
-// c_{i,j} = Size_j · InverseSpeed_i where machine i hosts job j's databanks.
-func (s *Server) cost(machine, jobID int) (*big.Rat, bool) {
-	if !s.eligible[machine][jobID] {
-		return nil, false
+// partitionFleet splits the fleet into shard groups of global machine
+// indices. n > 0 deals machines round-robin into n groups; n == 0 groups by
+// databank-connectivity components (union-find over "shares a databank"),
+// ordered by smallest member index. Every group preserves fleet order.
+func partitionFleet(machines []model.Machine, n int) ([][]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("server: shards = %d, want >= 0", n)
 	}
-	return new(big.Rat).Mul(s.records[jobID].size, s.machines[machine].InverseSpeed), true
+	if n > len(machines) {
+		return nil, fmt.Errorf("server: %d shards over %d machines (at most one shard per machine)", n, len(machines))
+	}
+	if n > 0 {
+		groups := make([][]int, n)
+		for i := range machines {
+			groups[i%n] = append(groups[i%n], i)
+		}
+		return groups, nil
+	}
+	// Union-find over machines; two machines join when they share a databank.
+	// Machines hosting no databanks at all can only serve unrestricted jobs
+	// (which may run anywhere), so they pool into one shared group instead of
+	// shattering into singleton shards: a fully databank-less fleet stays a
+	// single loop, exactly the pre-shard behavior.
+	parent := make([]int, len(machines))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	byBank := make(map[string]int)
+	bare := -1
+	for i := range machines {
+		if len(machines[i].Databanks) == 0 {
+			if bare >= 0 {
+				union(i, bare)
+			} else {
+				bare = i
+			}
+			continue
+		}
+		for _, d := range machines[i].Databanks {
+			if first, ok := byBank[d]; ok {
+				union(i, first)
+			} else {
+				byBank[d] = i
+			}
+		}
+	}
+	// Components in order of their smallest member, members in fleet order.
+	index := make(map[int]int)
+	var groups [][]int
+	for i := range machines {
+		root := find(i)
+		g, ok := index[root]
+		if !ok {
+			g = len(groups)
+			index[root] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	return groups, nil
 }
 
-// Start launches the scheduling loop. Safe to call once.
+// ShardCount returns the number of scheduling shards the fleet is
+// partitioned into.
+func (s *Server) ShardCount() int { return len(s.shards) }
+
+// Start launches every shard's scheduling loop. Safe to call once.
 func (s *Server) Start() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.started || s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.started = true
-	go s.loop()
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.start()
+	}
 }
 
-// Close stops accepting submissions and terminates the loop.
+// Close stops accepting submissions and terminates the shard loops.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -179,224 +221,48 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	started := s.started
 	s.mu.Unlock()
-	close(s.done)
-	if started {
-		<-s.stopped
+	for _, sh := range s.shards {
+		sh.close()
 	}
 }
 
-// Submit accepts one job, stamping its flow origin (release) now. It
-// returns the assigned ID; the scheduling loop admits the job at its next
-// wake-up, so submissions racing one re-solve share it.
+// Submit accepts one job, routing it to the eligible shard with the least
+// exact residual work (ties to the lowest shard index) and stamping its flow
+// origin (release) there. It returns the assigned global ID; the shard's
+// loop admits the job at its next wake-up, so submissions racing one
+// re-solve share it.
 func (s *Server) Submit(req *model.SubmitRequest) (int, error) {
 	job, err := req.Job()
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return 0, ErrClosed
-	}
-	var hosts []int
-	for i := range s.machines {
-		if s.machines[i].Hosts(job.Databanks) {
-			hosts = append(hosts, i)
+	var best *shard
+	var bestWork *big.Rat
+	for _, sh := range s.shards {
+		if !sh.hosts(job.Databanks) {
+			continue
+		}
+		work := sh.residualWork()
+		if best == nil || work.Cmp(bestWork) < 0 {
+			best, bestWork = sh, work
 		}
 	}
-	if len(hosts) == 0 {
+	if best == nil {
 		return 0, fmt.Errorf("server: no machine hosts databanks %v", job.Databanks)
 	}
-	rec := &jobRecord{
-		id:        len(s.records),
-		name:      job.Name,
-		weight:    job.Weight,
-		size:      job.Size,
-		databanks: job.Databanks,
-		state:     StateQueued,
-		// The flow origin is the submission time: queueing delay before
-		// the loop admits the job counts against its flow, exactly like
-		// the paper's online adaptation measures flows from submission.
-		release: s.clock.Now(),
-	}
-	if rec.name == "" {
-		rec.name = fmt.Sprintf("job-%d", rec.id)
-	}
-	s.records = append(s.records, rec)
-	s.pending = append(s.pending, rec)
-	for _, i := range hosts {
-		s.eligible[i][rec.id] = true
-	}
-	select {
-	case s.wake <- struct{}{}:
-	default:
-	}
-	return rec.id, nil
-}
-
-// loop is the scheduling event loop: process everything due, arm a timer
-// for the next engine event, sleep until the timer or a submission wakes it.
-func (s *Server) loop() {
-	defer close(s.stopped)
-	for {
-		s.mu.Lock()
-		s.process()
-		next := s.eng.NextEvent()
-		s.mu.Unlock()
-
-		var timer <-chan struct{}
-		cancel := func() {}
-		if next != nil {
-			timer, cancel = s.clock.At(next)
-		}
-		select {
-		case <-s.done:
-			cancel()
-			return
-		case <-s.wake:
-		case <-timer:
-		}
-		// Release the timer before re-arming: wake-ups during a long-lived
-		// event would otherwise pile up pending timers until its deadline.
-		cancel()
-	}
-}
-
-// process catches the engine up with the clock — executing the current
-// allocation through every completion/review event that is due — and then
-// admits all pending submissions as one batch. Callers hold s.mu.
-func (s *Server) process() {
-	now := s.clock.Now()
-	if now.Cmp(s.eng.Now()) < 0 {
-		// A timer fired marginally early (wall-clock rounding): treat the
-		// engine's exact time as authoritative.
-		now = s.eng.Now()
-	}
-	for {
-		next := s.eng.NextEvent()
-		if next == nil || next.Cmp(now) > 0 {
-			break
-		}
-		if !s.step(next) {
-			return
-		}
-	}
-	// Partial progress up to the present, crossing no event.
-	if _, err := s.eng.AdvanceTo(now); err != nil {
-		s.fail(err)
-		return
-	}
-	s.compact(now)
-	if len(s.pending) == 0 {
-		return
-	}
-	batch := s.pending
-	s.pending = nil
-	for _, rec := range batch {
-		rec.state = StateScheduled
-		if err := s.eng.Add(rec.id, rec.release, rec.weight, rec.size); err != nil {
-			s.fail(err)
-			return
-		}
-	}
-	s.arrivalBatches++
-	s.batchedArrivals += len(batch)
-	if len(batch) > s.largestBatch {
-		s.largestBatch = len(batch)
-	}
-	s.decide()
-}
-
-// step advances the engine to the event at t, completes jobs, and re-runs
-// the policy. Callers hold s.mu.
-func (s *Server) step(t *big.Rat) bool {
-	done, err := s.eng.AdvanceTo(t)
+	local, err := best.submit(job)
 	if err != nil {
-		s.fail(err)
-		return false
+		return 0, err
 	}
-	for _, id := range done {
-		s.records[id].state = StateDone
-		s.records[id].completed = s.eng.Completion(id)
-		s.recordCompletion(s.records[id])
-	}
-	return s.decide()
+	return best.globalID(local), nil
 }
 
-// maxRecentFlows bounds the sample backing the P95 flow estimate.
-const maxRecentFlows = 4096
-
-// recordCompletion folds one finished job into the all-time aggregates, so
-// later compaction of its record loses no statistics. Callers hold s.mu.
-func (s *Server) recordCompletion(rec *jobRecord) {
-	s.doneCount++
-	flow := new(big.Rat).Sub(rec.completed, rec.release)
-	s.flowSum.Add(s.flowSum, flow)
-	wf := new(big.Rat).Mul(rec.weight, flow)
-	if s.maxWF == nil || wf.Cmp(s.maxWF) > 0 {
-		s.maxWF = wf
+// locate decodes a global job ID into its shard and local ID.
+func (s *Server) locate(id int) (*shard, int, bool) {
+	if id < 0 {
+		return nil, 0, false
 	}
-	st := new(big.Rat).Quo(flow, rec.size)
-	if s.maxStretch == nil || st.Cmp(s.maxStretch) > 0 {
-		s.maxStretch = st
-	}
-	f, _ := flow.Float64()
-	if len(s.recentFlows) < maxRecentFlows {
-		s.recentFlows = append(s.recentFlows, f)
-	} else {
-		s.recentFlows[s.flowPos] = f
-		s.flowPos = (s.flowPos + 1) % maxRecentFlows
-	}
-}
-
-// compact enforces the retention bound: everything that finished more than
-// retention before now is dropped from the engine's executed trace and from
-// the per-job records (their statistics were already aggregated at
-// completion). Callers hold s.mu.
-func (s *Server) compact(now *big.Rat) {
-	if s.retention == nil {
-		return
-	}
-	horizon := new(big.Rat).Sub(now, s.retention)
-	if horizon.Sign() <= 0 || horizon.Cmp(s.lastCompact) <= 0 {
-		return
-	}
-	s.lastCompact = horizon
-	for _, id := range s.eng.Compact(horizon) {
-		s.records[id] = nil
-		s.compactedJobs++
-		for i := range s.eligible {
-			delete(s.eligible[i], id)
-		}
-	}
-}
-
-// decide runs the policy and flags a stall (live work but no upcoming
-// event: the policy idled, or its inner solver failed). Callers hold s.mu.
-func (s *Server) decide() bool {
-	if err := s.eng.Decide(); err != nil {
-		s.fail(err)
-		return false
-	}
-	// Once fail() recorded an engine error the flag stays latched: later
-	// decisions on a poisoned engine must not report the service healthy.
-	s.stalled = s.lastErr != nil || (s.eng.Live() > 0 && s.eng.NextEvent() == nil)
-	if s.stalled && s.lastErr == nil {
-		err := fmt.Errorf("server: policy %s idles with %d live jobs", s.policy.Name(), s.eng.Live())
-		if s.mwf != nil && s.mwf.Err() != nil {
-			err = s.mwf.Err()
-		}
-		s.lastErr = err
-	}
-	return true
-}
-
-// fail records a loop error; the service keeps serving reads.
-func (s *Server) fail(err error) {
-	if s.lastErr == nil {
-		s.lastErr = err
-	}
-	s.stalled = true
+	p := len(s.shards)
+	return s.shards[id%p], id / p, true
 }

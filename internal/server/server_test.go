@@ -110,9 +110,10 @@ func TestSingleJobLifecycle(t *testing.T) {
 	s.Start()
 	drive(t, vc, func() bool { return s.Stats().JobsCompleted == 1 })
 
-	s.mu.Lock()
-	st := s.jobStatusLocked(id)
-	s.mu.Unlock()
+	st, known := s.shards[0].jobStatus(id)
+	if !known {
+		t.Fatal("job unknown after completion")
+	}
 	if st.State != StateDone {
 		t.Fatalf("state = %s, want done", st.State)
 	}
@@ -154,9 +155,10 @@ func TestDatabankRoutingUnderService(t *testing.T) {
 	}
 	s.Start()
 	drive(t, vc, func() bool { return s.Stats().JobsCompleted == 2 })
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, p := range s.eng.Schedule().Pieces {
+	sh := s.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, p := range sh.eng.Schedule().Pieces {
 		if p.Job == bound && p.Machine == 0 {
 			t.Fatal("pdb job ran on the machine without the databank")
 		}
@@ -188,11 +190,12 @@ func TestScheduleWindowing(t *testing.T) {
 	}
 	s.Start()
 	drive(t, vc, func() bool { return s.Stats().JobsCompleted == 1 })
-	s.mu.Lock()
-	full := len(s.eng.Schedule().Pieces)
-	afterEnd := len(s.eng.Schedule().Since(big.NewRat(100, 1)).Pieces)
-	fromStart := len(s.eng.Schedule().Since(new(big.Rat)).Pieces)
-	s.mu.Unlock()
+	sh := s.shards[0]
+	sh.mu.Lock()
+	full := len(sh.eng.Schedule().Pieces)
+	afterEnd := len(sh.eng.Schedule().Since(big.NewRat(100, 1)).Pieces)
+	fromStart := len(sh.eng.Schedule().Since(new(big.Rat)).Pieces)
+	sh.mu.Unlock()
 	if full == 0 || fromStart != full || afterEnd != 0 {
 		t.Errorf("windowing: full=%d fromStart=%d afterEnd=%d", full, fromStart, afterEnd)
 	}

@@ -1,0 +1,550 @@
+package server
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+	"divflow/internal/sim"
+	"divflow/internal/stats"
+)
+
+// jobRecord is the shard-side state of one submitted job. IDs are shard-local
+// (dense indices into shard.records); the wire-visible global ID is
+// shard.globalID(rec.id).
+type jobRecord struct {
+	id        int // shard-local ID
+	name      string
+	weight    *big.Rat
+	size      *big.Rat
+	databanks []string
+	state     string
+	release   *big.Rat // submission time: the job's flow origin
+	completed *big.Rat // completion time; nil until done
+}
+
+// shard is one independent scheduling loop over a slice of the fleet: its own
+// mutex, its own goroutine, its own sim.Engine, and its own policy instance
+// (for OnlineMWF variants, its own plan cache and warm-start basis chain).
+// P shards give P concurrent exact solves, each over only the shard's live
+// jobs — so the superlinear residual LP cost is paid on P-times-smaller
+// instances.
+type shard struct {
+	idx    int // shard index in the server's partition
+	stride int // total shard count; global ID = local*stride + idx
+
+	clock      Clock
+	machines   []model.Machine // this shard's machines, in fleet order
+	machineIdx []int           // global fleet index of each local machine
+	policy     sim.Policy
+	mwf        *sim.OnlineMWF // non-nil when policy is an OnlineMWF variant
+
+	mu      sync.Mutex
+	eng     *sim.Engine
+	records []*jobRecord
+	pending []*jobRecord // accepted but not yet admitted
+	// eligible[i] caches which local job IDs local machine i can serve
+	// (databank check done once at acceptance, not on every cost lookup).
+	eligible []map[int]bool
+	// backlog is the shard's exact residual work: accepted job sizes minus
+	// completed ones (a partially processed job still counts whole, and a
+	// job whose admit the engine later rejects keeps counting — the shard is
+	// poisoned then, and steering new work elsewhere is the right outcome).
+	// The router places a submission eligible on several shards onto the one
+	// with the least backlog. It lives under its own mutex so routing reads
+	// never contend with the loop's mu, which is held across whole exact
+	// solves; writers hold mu first, then backlogMu (never the reverse).
+	backlogMu sync.Mutex
+	backlog   *big.Rat
+
+	arrivalBatches  int
+	batchedArrivals int
+	largestBatch    int
+	stalled         bool
+	lastErr         error
+
+	// Completed-job statistics are accumulated at completion time, not
+	// recomputed from records, so compaction can forget the records without
+	// losing the all-time aggregates.
+	doneCount  int
+	flowSum    *big.Rat
+	maxWF      *big.Rat
+	maxStretch *big.Rat
+	// recentFlows is a bounded ring of the latest completions' float flows,
+	// backing the P95 estimate with bounded memory.
+	recentFlows []float64
+	flowPos     int
+
+	retention     *big.Rat
+	lastCompact   *big.Rat // horizon of the last compaction
+	compactedJobs int
+	// makespanHW is the high-water mark of the executed trace's makespan,
+	// folded in before every compaction: Engine.Compact drops old pieces, so
+	// the makespan recomputed from the retained trace alone would move
+	// backwards (to zero once everything is compacted).
+	makespanHW *big.Rat
+
+	started bool
+	closed  bool
+	wake    chan struct{}
+	done    chan struct{}
+	stopped chan struct{}
+}
+
+// newShard builds one scheduling shard over the given slice of the fleet.
+// machineIdx maps local machine indices to global fleet indices.
+func newShard(idx, stride int, clock Clock, machines []model.Machine, machineIdx []int, pol sim.Policy, retention *big.Rat) *shard {
+	sh := &shard{
+		idx:        idx,
+		stride:     stride,
+		clock:      clock,
+		machines:   machines,
+		machineIdx: machineIdx,
+		policy:     pol,
+		backlog:    new(big.Rat),
+		flowSum:    new(big.Rat),
+		wake:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		stopped:    make(chan struct{}),
+	}
+	if retention != nil && retention.Sign() > 0 {
+		sh.retention = new(big.Rat).Set(retention)
+		sh.lastCompact = new(big.Rat)
+	}
+	sh.mwf, _ = pol.(*sim.OnlineMWF)
+	sh.eligible = make([]map[int]bool, len(sh.machines))
+	for i := range sh.eligible {
+		sh.eligible[i] = make(map[int]bool)
+	}
+	sh.eng = sim.NewEngine(len(sh.machines), sh.cost, pol)
+	return sh
+}
+
+// globalID encodes a shard-local job ID into the wire-visible global ID.
+// With a single shard the encoding is the identity.
+func (sh *shard) globalID(local int) int { return local*sh.stride + sh.idx }
+
+// hosts reports whether some machine of the shard hosts every databank.
+func (sh *shard) hosts(databanks []string) bool {
+	for i := range sh.machines {
+		if sh.machines[i].Hosts(databanks) {
+			return true
+		}
+	}
+	return false
+}
+
+// cost is the shard engine's CostFunc: the uniform model over the shard's
+// machines, c_{i,j} = Size_j · InverseSpeed_i where machine i hosts job j's
+// databanks. The eligibility map normally implies a live record, but
+// compaction severs that invariant for forgotten IDs — a stale ID must
+// answer ok=false, not dereference a nil record and kill the loop goroutine.
+func (sh *shard) cost(machine, jobID int) (*big.Rat, bool) {
+	if machine < 0 || machine >= len(sh.eligible) || !sh.eligible[machine][jobID] {
+		return nil, false
+	}
+	if jobID < 0 || jobID >= len(sh.records) || sh.records[jobID] == nil {
+		return nil, false
+	}
+	return new(big.Rat).Mul(sh.records[jobID].size, sh.machines[machine].InverseSpeed), true
+}
+
+// start launches the shard's scheduling loop. Safe to call once.
+func (sh *shard) start() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.started || sh.closed {
+		return
+	}
+	sh.started = true
+	go sh.loop()
+}
+
+// close stops accepting submissions and terminates the loop.
+func (sh *shard) close() {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	sh.closed = true
+	started := sh.started
+	sh.mu.Unlock()
+	close(sh.done)
+	if started {
+		<-sh.stopped
+	}
+}
+
+// submit accepts one job onto this shard, stamping its flow origin (release)
+// now, under the shard lock — so per-shard release dates are non-decreasing
+// in local ID order. It returns the local ID; the loop admits the job at its
+// next wake-up, so submissions racing one re-solve share it.
+func (sh *shard) submit(job model.Job) (int, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return 0, ErrClosed
+	}
+	var hosts []int
+	for i := range sh.machines {
+		if sh.machines[i].Hosts(job.Databanks) {
+			hosts = append(hosts, i)
+		}
+	}
+	if len(hosts) == 0 {
+		return 0, fmt.Errorf("server: no machine hosts databanks %v", job.Databanks)
+	}
+	rec := &jobRecord{
+		id:        len(sh.records),
+		name:      job.Name,
+		weight:    job.Weight,
+		size:      job.Size,
+		databanks: job.Databanks,
+		state:     StateQueued,
+		// The flow origin is the submission time: queueing delay before
+		// the loop admits the job counts against its flow, exactly like
+		// the paper's online adaptation measures flows from submission.
+		release: sh.clock.Now(),
+	}
+	if rec.name == "" {
+		rec.name = fmt.Sprintf("job-%d", sh.globalID(rec.id))
+	}
+	sh.records = append(sh.records, rec)
+	sh.pending = append(sh.pending, rec)
+	sh.backlogMu.Lock()
+	sh.backlog.Add(sh.backlog, rec.size)
+	sh.backlogMu.Unlock()
+	for _, i := range hosts {
+		sh.eligible[i][rec.id] = true
+	}
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+	return rec.id, nil
+}
+
+// residualWork returns the shard's current backlog (a copy): the routing
+// key. It takes only backlogMu, so routing a submission never blocks behind
+// an in-flight exact solve on a busy shard.
+func (sh *shard) residualWork() *big.Rat {
+	sh.backlogMu.Lock()
+	defer sh.backlogMu.Unlock()
+	return new(big.Rat).Set(sh.backlog)
+}
+
+// loop is the scheduling event loop: process everything due, arm a timer
+// for the next engine event, sleep until the timer or a submission wakes it.
+func (sh *shard) loop() {
+	defer close(sh.stopped)
+	for {
+		sh.mu.Lock()
+		sh.process()
+		next := sh.eng.NextEvent()
+		sh.mu.Unlock()
+
+		var timer <-chan struct{}
+		cancel := func() {}
+		if next != nil {
+			timer, cancel = sh.clock.At(next)
+		}
+		select {
+		case <-sh.done:
+			cancel()
+			return
+		case <-sh.wake:
+		case <-timer:
+		}
+		// Release the timer before re-arming: wake-ups during a long-lived
+		// event would otherwise pile up pending timers until its deadline.
+		cancel()
+	}
+}
+
+// process catches the engine up with the clock — executing the current
+// allocation through every completion/review event that is due — and then
+// admits all pending submissions as one batch. Callers hold sh.mu.
+func (sh *shard) process() {
+	now := sh.clock.Now()
+	if now.Cmp(sh.eng.Now()) < 0 {
+		// A timer fired marginally early (wall-clock rounding): treat the
+		// engine's exact time as authoritative.
+		now = sh.eng.Now()
+	}
+	for {
+		next := sh.eng.NextEvent()
+		if next == nil || next.Cmp(now) > 0 {
+			break
+		}
+		if !sh.step(next) {
+			return
+		}
+	}
+	// Partial progress up to the present, crossing no event.
+	if _, err := sh.eng.AdvanceTo(now); err != nil {
+		sh.fail(err)
+		return
+	}
+	sh.compact(now)
+	if len(sh.pending) == 0 {
+		return
+	}
+	batch := sh.pending
+	sh.pending = nil
+	for _, rec := range batch {
+		if err := sh.eng.Add(rec.id, rec.release, rec.weight, rec.size); err != nil {
+			sh.fail(err)
+			return
+		}
+		// Only a successful admit makes the job "scheduled": a rejected Add
+		// must leave the record queued, not claim scheduling that never
+		// happened.
+		rec.state = StateScheduled
+	}
+	sh.arrivalBatches++
+	sh.batchedArrivals += len(batch)
+	if len(batch) > sh.largestBatch {
+		sh.largestBatch = len(batch)
+	}
+	sh.decide()
+}
+
+// step advances the engine to the event at t, completes jobs, and re-runs
+// the policy. Callers hold sh.mu.
+func (sh *shard) step(t *big.Rat) bool {
+	done, err := sh.eng.AdvanceTo(t)
+	if err != nil {
+		sh.fail(err)
+		return false
+	}
+	for _, id := range done {
+		sh.records[id].state = StateDone
+		sh.records[id].completed = sh.eng.Completion(id)
+		sh.recordCompletion(sh.records[id])
+	}
+	return sh.decide()
+}
+
+// maxRecentFlows bounds the sample backing the P95 flow estimate.
+const maxRecentFlows = 4096
+
+// recordCompletion folds one finished job into the all-time aggregates, so
+// later compaction of its record loses no statistics. Callers hold sh.mu.
+func (sh *shard) recordCompletion(rec *jobRecord) {
+	sh.doneCount++
+	sh.backlogMu.Lock()
+	sh.backlog.Sub(sh.backlog, rec.size)
+	sh.backlogMu.Unlock()
+	flow := new(big.Rat).Sub(rec.completed, rec.release)
+	sh.flowSum.Add(sh.flowSum, flow)
+	wf := new(big.Rat).Mul(rec.weight, flow)
+	if sh.maxWF == nil || wf.Cmp(sh.maxWF) > 0 {
+		sh.maxWF = wf
+	}
+	st := new(big.Rat).Quo(flow, rec.size)
+	if sh.maxStretch == nil || st.Cmp(sh.maxStretch) > 0 {
+		sh.maxStretch = st
+	}
+	f, _ := flow.Float64()
+	if len(sh.recentFlows) < maxRecentFlows {
+		sh.recentFlows = append(sh.recentFlows, f)
+	} else {
+		sh.recentFlows[sh.flowPos] = f
+		sh.flowPos = (sh.flowPos + 1) % maxRecentFlows
+	}
+}
+
+// compact enforces the retention bound: everything that finished more than
+// retention before now is dropped from the engine's executed trace and from
+// the per-job records (their statistics were already aggregated at
+// completion). Callers hold sh.mu.
+func (sh *shard) compact(now *big.Rat) {
+	if sh.retention == nil {
+		return
+	}
+	horizon := new(big.Rat).Sub(now, sh.retention)
+	if horizon.Sign() <= 0 || horizon.Cmp(sh.lastCompact) <= 0 {
+		return
+	}
+	// Fold the pre-compaction makespan into the high-water mark first:
+	// dropping pieces must never move the reported whole-execution makespan
+	// backwards.
+	sh.noteMakespan()
+	sh.lastCompact = horizon
+	for _, id := range sh.eng.Compact(horizon) {
+		sh.records[id] = nil
+		sh.compactedJobs++
+		for i := range sh.eligible {
+			delete(sh.eligible[i], id)
+		}
+	}
+}
+
+// noteMakespan raises the makespan high-water mark to the current executed
+// trace's makespan. Callers hold sh.mu.
+func (sh *shard) noteMakespan() {
+	ms := sh.eng.Schedule().Makespan()
+	if sh.makespanHW == nil || ms.Cmp(sh.makespanHW) > 0 {
+		sh.makespanHW = ms
+	}
+}
+
+// makespan returns the whole-execution makespan: the maximum of the retained
+// trace's makespan and the high-water mark from before compactions. Callers
+// hold sh.mu.
+func (sh *shard) makespan() *big.Rat {
+	ms := sh.eng.Schedule().Makespan()
+	if sh.makespanHW != nil && sh.makespanHW.Cmp(ms) > 0 {
+		ms = new(big.Rat).Set(sh.makespanHW)
+	}
+	return ms
+}
+
+// decide runs the policy and flags a stall (live work but no upcoming
+// event: the policy idled, or its inner solver failed). Callers hold sh.mu.
+func (sh *shard) decide() bool {
+	if err := sh.eng.Decide(); err != nil {
+		sh.fail(err)
+		return false
+	}
+	// Once fail() recorded an engine error the flag stays latched: later
+	// decisions on a poisoned engine must not report the service healthy.
+	sh.stalled = sh.lastErr != nil || (sh.eng.Live() > 0 && sh.eng.NextEvent() == nil)
+	if sh.stalled && sh.lastErr == nil {
+		err := fmt.Errorf("server: shard %d: policy %s idles with %d live jobs", sh.idx, sh.policy.Name(), sh.eng.Live())
+		if sh.mwf != nil && sh.mwf.Err() != nil {
+			err = sh.mwf.Err()
+		}
+		sh.lastErr = err
+	}
+	return true
+}
+
+// fail records a loop error; the shard keeps serving reads.
+func (sh *shard) fail(err error) {
+	if sh.lastErr == nil {
+		sh.lastErr = err
+	}
+	sh.stalled = true
+}
+
+// jobStatus builds the wire status of one shard-local job, reporting its
+// global ID. ok is false for unknown or compacted IDs.
+func (sh *shard) jobStatus(local int) (model.JobStatus, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if local < 0 || local >= len(sh.records) || sh.records[local] == nil {
+		return model.JobStatus{}, false
+	}
+	rec := sh.records[local]
+	st := model.JobStatus{
+		ID:        sh.globalID(rec.id),
+		Name:      rec.name,
+		State:     rec.state,
+		Weight:    rec.weight.RatString(),
+		Size:      rec.size.RatString(),
+		Databanks: rec.databanks,
+	}
+	if rec.release != nil {
+		st.Release = rec.release.RatString()
+	}
+	if rec.state == StateScheduled {
+		if rem := sh.eng.Remaining(rec.id); rem != nil {
+			st.Remaining = rem.RatString()
+		}
+	}
+	if rec.completed != nil {
+		flow := new(big.Rat).Sub(rec.completed, rec.release)
+		st.CompletedAt = rec.completed.RatString()
+		st.Flow = flow.RatString()
+		st.WeightedFlow = new(big.Rat).Mul(rec.weight, flow).RatString()
+		st.Stretch = new(big.Rat).Quo(flow, rec.size).RatString()
+	}
+	return st, true
+}
+
+// scheduleSnapshot copies the shard's executed trace (windowed to pieces
+// ending after since, when non-nil) with machine indices and job IDs
+// translated to fleet/global space, plus the shard's time and monotone
+// makespan. The copies are deep: the caller serializes them after the lock
+// is released, while the loop keeps extending the live pieces.
+func (sh *shard) scheduleSnapshot(since *big.Rat) (pieces []schedule.Piece, now, makespan *big.Rat) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sched := sh.eng.Schedule()
+	makespan = sh.makespan()
+	if since != nil {
+		sched = sched.Since(since)
+	}
+	pieces = make([]schedule.Piece, len(sched.Pieces))
+	for k := range sched.Pieces {
+		pc := &sched.Pieces[k]
+		pieces[k] = schedule.Piece{
+			Machine:  sh.machineIdx[pc.Machine],
+			Job:      sh.globalID(pc.Job),
+			Start:    new(big.Rat).Set(pc.Start),
+			End:      new(big.Rat).Set(pc.End),
+			Fraction: new(big.Rat).Set(pc.Fraction),
+		}
+	}
+	return pieces, sh.eng.Now(), makespan
+}
+
+// shardSnapshot is one shard's contribution to the merged GET /v1/stats
+// response: the wire breakdown plus the exact aggregates the server folds
+// into fleet-wide summaries.
+type shardSnapshot struct {
+	wire        model.ShardStats
+	now         *big.Rat
+	doneCount   int
+	flowSum     *big.Rat
+	maxWF       *big.Rat
+	maxStretch  *big.Rat
+	recentFlows []float64
+	solver      stats.SolverTally
+}
+
+// statsSnapshot captures the shard's counters under its lock.
+func (sh *shard) statsSnapshot() shardSnapshot {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	names := make([]string, len(sh.machines))
+	for i := range sh.machines {
+		names[i] = sh.machines[i].Name
+	}
+	snap := shardSnapshot{
+		wire: model.ShardStats{
+			Shard:           sh.idx,
+			Machines:        names,
+			Now:             sh.eng.Now().RatString(),
+			JobsAccepted:    len(sh.records),
+			JobsLive:        sh.eng.Live(),
+			JobsCompleted:   sh.eng.CompletedCount(),
+			Events:          sh.eng.Decisions(),
+			ArrivalBatches:  sh.arrivalBatches,
+			BatchedArrivals: sh.batchedArrivals,
+			LargestBatch:    sh.largestBatch,
+			CompactedJobs:   sh.compactedJobs,
+			Backlog:         sh.backlog.RatString(),
+			Stalled:         sh.stalled,
+		},
+		now:         sh.eng.Now(),
+		doneCount:   sh.doneCount,
+		flowSum:     new(big.Rat).Set(sh.flowSum),
+		maxWF:       sh.maxWF,
+		maxStretch:  sh.maxStretch,
+		recentFlows: append([]float64(nil), sh.recentFlows...),
+	}
+	if sh.mwf != nil {
+		snap.wire.LPSolves = sh.mwf.Solves()
+		snap.wire.PlanCacheHits = sh.mwf.CacheHits()
+		snap.solver = sh.mwf.SolverTally()
+	}
+	if sh.lastErr != nil {
+		snap.wire.LastError = sh.lastErr.Error()
+	}
+	return snap
+}

@@ -1,0 +1,547 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+)
+
+// twoIslandFleet is four machines in two databank-connectivity components:
+// {a0, a1} host "x", {b0, b1} host "y", and nothing bridges them.
+func twoIslandFleet() []model.Machine {
+	return []model.Machine{
+		{Name: "a0", InverseSpeed: rat(1, 1), Databanks: []string{"x"}},
+		{Name: "a1", InverseSpeed: rat(1, 2), Databanks: []string{"x"}},
+		{Name: "b0", InverseSpeed: rat(1, 1), Databanks: []string{"y"}},
+		{Name: "b1", InverseSpeed: rat(1, 2), Databanks: []string{"y"}},
+	}
+}
+
+// uniformFleet is n identical machines all hosting one shared databank, the
+// shape where the connectivity partition degenerates and -shards applies.
+func uniformFleet(n int) []model.Machine {
+	machines := make([]model.Machine, n)
+	for i := range machines {
+		machines[i] = model.Machine{
+			Name:         fmt.Sprintf("u%d", i),
+			InverseSpeed: rat(1, 1),
+			Databanks:    []string{"shared"},
+		}
+	}
+	return machines
+}
+
+// waitStats polls the merged stats until pred holds, without advancing the
+// clock — for conditions the loops reach in real time (admissions, errors).
+func waitStats(t *testing.T, srv *Server, pred func(model.StatsResponse) bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !pred(srv.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatal("waitStats: condition not reached in 30s")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestPartitionFleet(t *testing.T) {
+	islands := twoIslandFleet()
+	groups, err := partitionFleet(islands, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || len(groups[0]) != 2 || len(groups[1]) != 2 {
+		t.Fatalf("connectivity partition = %v, want [[0 1] [2 3]]", groups)
+	}
+	if groups[0][0] != 0 || groups[0][1] != 1 || groups[1][0] != 2 || groups[1][1] != 3 {
+		t.Fatalf("connectivity partition = %v, want [[0 1] [2 3]]", groups)
+	}
+	// The shared databank of testFleet joins both machines into one shard.
+	groups, err = partitionFleet(testFleet(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Fatalf("connected fleet partition = %v, want one group of 2", groups)
+	}
+	// Round-robin override.
+	groups, err = partitionFleet(uniformFleet(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || len(groups[0]) != 3 || len(groups[1]) != 2 {
+		t.Fatalf("round-robin partition = %v, want sizes 3 and 2", groups)
+	}
+	// Machines with no databanks pool into one component, not one shard
+	// each: a plain compute fleet keeps cross-machine divisibility.
+	bare := []model.Machine{
+		{Name: "c0", InverseSpeed: rat(1, 1)},
+		{Name: "c1", InverseSpeed: rat(1, 1)},
+		{Name: "c2", InverseSpeed: rat(1, 2), Databanks: []string{"x"}},
+		{Name: "c3", InverseSpeed: rat(1, 2)},
+	}
+	groups, err = partitionFleet(bare, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || len(groups[0]) != 3 || len(groups[1]) != 1 {
+		t.Fatalf("bare-machine partition = %v, want [[0 1 3] [2]]", groups)
+	}
+	// More shards than machines is a configuration error.
+	if _, err := partitionFleet(uniformFleet(2), 3); err == nil {
+		t.Error("3 shards over 2 machines must error")
+	}
+	if _, err := New(Config{Machines: uniformFleet(2), Shards: 3}); err == nil {
+		t.Error("New with more shards than machines must error")
+	}
+}
+
+// TestShardPartitionAndRouting: a two-island fleet yields two shards; jobs
+// route by databank, IDs are shard-encoded, reads merge both shards, and a
+// job needing databanks from both islands is rejected (no single machine
+// hosts them).
+func TestShardPartitionAndRouting(t *testing.T) {
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: twoIslandFleet(), Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.ShardCount() != 2 {
+		t.Fatalf("ShardCount = %d, want 2", srv.ShardCount())
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Start()
+
+	idx := postJob(t, ts.URL, model.SubmitRequest{Size: "6", Databanks: []string{"x"}}).ID
+	idy := postJob(t, ts.URL, model.SubmitRequest{Size: "3", Databanks: []string{"y"}}).ID
+	if idx%2 != 0 {
+		t.Errorf("x job got global ID %d, want even (shard 0)", idx)
+	}
+	if idy%2 != 1 {
+		t.Errorf("y job got global ID %d, want odd (shard 1)", idy)
+	}
+	// No machine hosts both databanks: 422, not a mis-route.
+	body := []byte(`{"size":"1","databanks":["x","y"]}`)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("cross-island job = %d, want 422", resp.StatusCode)
+	}
+
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 2 })
+
+	// Job status by global ID from either shard.
+	var stx, sty model.JobStatus
+	getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, idx), &stx)
+	getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, idy), &sty)
+	if stx.ID != idx || stx.State != StateDone {
+		t.Errorf("x job status = %+v, want done with ID %d", stx, idx)
+	}
+	// Each island's rate is 1+2=3: size 6 → flow 2, size 3 → flow 1.
+	if stx.Flow != "2" || sty.Flow != "1" {
+		t.Errorf("flows = %s, %s, want 2 and 1", stx.Flow, sty.Flow)
+	}
+
+	// Merged schedule: global machine indices, island-respecting placement.
+	var schedResp model.ScheduleResponse
+	getJSON(t, ts.URL+"/v1/schedule", &schedResp)
+	var sched schedule.Schedule
+	if err := json.Unmarshal(schedResp.Schedule, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Pieces) == 0 {
+		t.Fatal("merged schedule is empty")
+	}
+	for _, pc := range sched.Pieces {
+		switch pc.Job {
+		case idx:
+			if pc.Machine > 1 {
+				t.Errorf("x job ran on global machine %d, want 0 or 1", pc.Machine)
+			}
+		case idy:
+			if pc.Machine < 2 {
+				t.Errorf("y job ran on global machine %d, want 2 or 3", pc.Machine)
+			}
+		default:
+			t.Errorf("merged schedule references unknown job %d", pc.Job)
+		}
+	}
+	if schedResp.Makespan != "2" {
+		t.Errorf("merged makespan = %s, want 2 (the slower island's completion)", schedResp.Makespan)
+	}
+
+	// Stats: fleet aggregates plus the per-shard breakdown.
+	st := srv.Stats()
+	if st.ShardCount != 2 || len(st.Shards) != 2 {
+		t.Fatalf("shardCount=%d len(shards)=%d, want 2/2", st.ShardCount, len(st.Shards))
+	}
+	if st.Shards[0].JobsAccepted != 1 || st.Shards[1].JobsAccepted != 1 {
+		t.Errorf("per-shard accepted = %d/%d, want 1/1",
+			st.Shards[0].JobsAccepted, st.Shards[1].JobsAccepted)
+	}
+	if st.JobsAccepted != 2 || st.JobsCompleted != 2 {
+		t.Errorf("aggregates accepted=%d completed=%d, want 2/2", st.JobsAccepted, st.JobsCompleted)
+	}
+	if got := st.Shards[0].Machines; len(got) != 2 || got[0] != "a0" || got[1] != "a1" {
+		t.Errorf("shard 0 machines = %v, want [a0 a1]", got)
+	}
+	if st.MaxWeightedFlow != "2" {
+		t.Errorf("merged maxWeightedFlow = %s, want 2", st.MaxWeightedFlow)
+	}
+}
+
+// TestRoutingPicksLeastLoadedShard: with submissions queued before the loops
+// start, backlog only grows, so the router's least-residual-work choice is
+// fully deterministic.
+func TestRoutingPicksLeastLoadedShard(t *testing.T) {
+	srv, err := New(Config{Machines: uniformFleet(4), Shards: 2, Clock: NewVirtualClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	submit := func(size string) int {
+		t.Helper()
+		id, err := srv.Submit(&model.SubmitRequest{Size: size, Databanks: []string{"shared"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	// Ties go to shard 0; then the big job tilts the balance so the next
+	// two small ones both land on shard 1 until it catches up.
+	if id := submit("10"); id%2 != 0 {
+		t.Errorf("first job → shard %d, want 0 (tie-break)", id%2)
+	}
+	if id := submit("4"); id%2 != 1 {
+		t.Errorf("second job → shard %d, want 1 (backlog 0 < 10)", id%2)
+	}
+	if id := submit("4"); id%2 != 1 {
+		t.Errorf("third job → shard %d, want 1 (backlog 4 < 10)", id%2)
+	}
+	if id := submit("4"); id%2 != 1 {
+		t.Errorf("fourth job → shard %d, want 1 (backlog 8 < 10)", id%2)
+	}
+	if id := submit("4"); id%2 != 0 {
+		t.Errorf("fifth job → shard %d, want 0 (backlog 10 < 12)", id%2)
+	}
+	st := srv.Stats()
+	if st.Shards[0].Backlog != "14" || st.Shards[1].Backlog != "12" {
+		t.Errorf("backlogs = %s/%s, want 14/12", st.Shards[0].Backlog, st.Shards[1].Backlog)
+	}
+}
+
+// TestMakespanMonotoneUnderRetention is the regression test for the
+// makespan-moves-backwards bug: GET /v1/schedule used to recompute the
+// makespan from the compacted trace, so once retention dropped every piece
+// the reported "whole execution" makespan collapsed to 0.
+func TestMakespanMonotoneUnderRetention(t *testing.T) {
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: testFleet(), Clock: vc, Retention: big.NewRat(10, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Start()
+
+	// Size 4 shared by both machines at rate 3: completes at 4/3.
+	postJob(t, ts.URL, model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 1 })
+	var before model.ScheduleResponse
+	getJSON(t, ts.URL+"/v1/schedule", &before)
+	if before.Makespan != "4/3" {
+		t.Fatalf("makespan before compaction = %s, want 4/3", before.Makespan)
+	}
+
+	// A long idle stretch, then a wake-up: the compaction horizon (t-10)
+	// passes the whole first job, dropping all its pieces before the new
+	// job has executed anything.
+	vc.Advance(big.NewRat(100, 1))
+	postJob(t, ts.URL, model.SubmitRequest{Size: "2", Databanks: []string{"swissprot"}})
+	waitStats(t, srv, func(st model.StatsResponse) bool { return st.CompactedJobs >= 1 })
+
+	var during model.ScheduleResponse
+	getJSON(t, ts.URL+"/v1/schedule", &during)
+	var sched schedule.Schedule
+	if err := json.Unmarshal(during.Schedule, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Pieces) != 0 {
+		t.Fatalf("retained pieces = %d, want 0 (everything compacted)", len(sched.Pieces))
+	}
+	// The high-water mark must survive the empty trace.
+	if during.Makespan != "4/3" {
+		t.Errorf("makespan after compaction = %s, want 4/3 (must not move backwards)", during.Makespan)
+	}
+
+	// New execution pushes past the mark again: 100 + 2/3.
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 2 })
+	var after model.ScheduleResponse
+	getJSON(t, ts.URL+"/v1/schedule", &after)
+	if after.Makespan != "302/3" {
+		t.Errorf("final makespan = %s, want 302/3", after.Makespan)
+	}
+}
+
+// TestQueuedUntilEngineAccepts is the regression test for the premature
+// StateScheduled bug: the loop used to flip a record to "scheduled" before
+// eng.Add could fail, so a poisoned admit left /v1/jobs/{id} claiming
+// scheduling that never happened.
+func TestQueuedUntilEngineAccepts(t *testing.T) {
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: testFleet(), Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	id, err := srv.Submit(&model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault injection: revoke the job's eligibility before the loop starts,
+	// so the engine rejects the admit ("cannot run on any machine").
+	sh := srv.shards[0]
+	sh.mu.Lock()
+	for i := range sh.eligible {
+		delete(sh.eligible[i], id)
+	}
+	sh.mu.Unlock()
+	srv.Start()
+	waitStats(t, srv, func(st model.StatsResponse) bool { return st.LastError != "" })
+
+	st, known := sh.jobStatus(id)
+	if !known {
+		t.Fatal("job vanished")
+	}
+	if st.State != StateQueued {
+		t.Errorf("state after rejected admit = %s, want %s", st.State, StateQueued)
+	}
+	stats := srv.Stats()
+	if stats.JobsLive != 0 {
+		t.Errorf("jobsLive = %d, want 0 (the engine never accepted the job)", stats.JobsLive)
+	}
+	if !stats.Stalled {
+		t.Error("a rejected admit must flag the shard unhealthy")
+	}
+}
+
+// TestCostGuardsCompactedRecords is the regression test for the nil-record
+// panic vector: a compacted job ID reaching the cost function used to
+// dereference a nil record and kill the loop goroutine. The eligibility-map
+// invariant normally prevents it; the guard makes the invariant explicit so
+// a breach answers ok=false instead of panicking the daemon.
+func TestCostGuardsCompactedRecords(t *testing.T) {
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: testFleet(), Clock: vc, Retention: big.NewRat(10, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+	id, err := srv.Submit(&model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 1 })
+	vc.Advance(big.NewRat(100, 1))
+	if _, err := srv.Submit(&model.SubmitRequest{Size: "2", Databanks: []string{"swissprot"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, srv, func(st model.StatsResponse) bool { return st.CompactedJobs >= 1 })
+
+	sh := srv.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.records[id] != nil {
+		t.Fatal("record not compacted; test setup broken")
+	}
+	// Simulate the invariant breach compaction normally prevents: a stale
+	// eligibility entry pointing at the forgotten record.
+	sh.eligible[0][id] = true
+	if c, ok := sh.cost(0, id); ok || c != nil {
+		t.Errorf("cost(compacted) = %v, %v, want nil, false", c, ok)
+	}
+	delete(sh.eligible[0], id)
+	// Out-of-range IDs and machines answer false, never panic.
+	if _, ok := sh.cost(0, len(sh.records)+7); ok {
+		t.Error("cost(out-of-range job) = true, want false")
+	}
+	if _, ok := sh.cost(len(sh.machines), 0); ok {
+		t.Error("cost(out-of-range machine) = true, want false")
+	}
+}
+
+// validateShard rebuilds the shard's offline instance from its records and
+// checks its executed trace against the exact validator. Per-shard local IDs
+// are dense and release-ordered, so they coincide with instance indices.
+func validateShard(t *testing.T, sh *shard) {
+	t.Helper()
+	sh.mu.Lock()
+	jobs := make([]model.Job, len(sh.records))
+	for i, rec := range sh.records {
+		if rec == nil {
+			t.Fatalf("shard %d: record %d compacted; validateShard needs full history", sh.idx, i)
+		}
+		jobs[i] = model.Job{
+			Name:      rec.name,
+			Release:   new(big.Rat).Set(rec.release),
+			Weight:    new(big.Rat).Set(rec.weight),
+			Size:      new(big.Rat).Set(rec.size),
+			Databanks: rec.databanks,
+		}
+	}
+	pieces := append([]schedule.Piece(nil), sh.eng.Schedule().Pieces...)
+	machines := sh.machines
+	sh.mu.Unlock()
+	if len(jobs) == 0 {
+		return
+	}
+	inst, err := model.NewInstance(jobs, machines)
+	if err != nil {
+		t.Fatalf("shard %d: %v", sh.idx, err)
+	}
+	sched := &schedule.Schedule{Pieces: pieces}
+	if err := sched.Validate(inst, schedule.Divisible, nil); err != nil {
+		t.Fatalf("shard %d: executed trace invalid: %v", sh.idx, err)
+	}
+}
+
+// TestMultiShardConcurrentSubmissionUnderRace hammers a 4-shard server —
+// tens of concurrent HTTP clients submitting across shards while a driver
+// advances the virtual clock — and verifies every accepted job completes,
+// global IDs stay unique, and each shard's executed trace passes the exact
+// validator. Under -race this is the data-race check on the sharded
+// boundary: four loop goroutines, the router, and the merged readers.
+func TestMultiShardConcurrentSubmissionUnderRace(t *testing.T) {
+	const clients, perClient = 24, 4
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: uniformFleet(4), Shards: 4, Policy: "mct", Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Start()
+
+	stop := make(chan struct{})
+	var driver sync.WaitGroup
+	driver.Add(1)
+	go func() {
+		defer driver.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				vc.AdvanceToNextTimer()
+			}
+		}
+	}()
+
+	ids := make([][]int, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				size := fmt.Sprintf("%d", 1+(c+k)%7)
+				resp := postJob(t, ts.URL, model.SubmitRequest{Size: size, Databanks: []string{"shared"}})
+				ids[c] = append(ids[c], resp.ID)
+			}
+		}(c)
+	}
+	wg.Wait()
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == clients*perClient })
+	close(stop)
+	driver.Wait()
+
+	stats := srv.Stats()
+	if stats.JobsCompleted != clients*perClient || stats.Stalled {
+		t.Fatalf("completed %d/%d, stalled=%v, lastError=%q",
+			stats.JobsCompleted, clients*perClient, stats.Stalled, stats.LastError)
+	}
+	seen := make(map[int]bool)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("global ID %d assigned twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	perShard := 0
+	for _, ss := range stats.Shards {
+		if ss.JobsAccepted == 0 {
+			t.Errorf("shard %d got no jobs; router never balanced onto it", ss.Shard)
+		}
+		perShard += ss.JobsAccepted
+	}
+	if perShard != clients*perClient {
+		t.Errorf("per-shard accepted sums to %d, want %d", perShard, clients*perClient)
+	}
+	for _, sh := range srv.shards {
+		validateShard(t, sh)
+	}
+}
+
+// TestMultiShardExactSolvesUnderRace runs the exact online-MWF policy on two
+// shards with concurrent submissions: two warm-started solver chains living
+// side by side must not share state.
+func TestMultiShardExactSolvesUnderRace(t *testing.T) {
+	const jobs = 20
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: uniformFleet(4), Shards: 2, Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for c := 0; c < 5; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < jobs/5; k++ {
+				postJob(t, ts.URL, model.SubmitRequest{Size: fmt.Sprintf("%d", 2+(c+k)%5)})
+			}
+		}(c)
+	}
+	wg.Wait()
+	srv.Start()
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == jobs })
+
+	stats := srv.Stats()
+	if stats.Stalled || stats.LastError != "" {
+		t.Fatalf("unhealthy: stalled=%v err=%q", stats.Stalled, stats.LastError)
+	}
+	if stats.LPSolves < 2 {
+		t.Errorf("lpSolves = %d, want >= 2 (one per shard at least)", stats.LPSolves)
+	}
+	for _, ss := range stats.Shards {
+		if ss.LPSolves == 0 {
+			t.Errorf("shard %d never solved; routing starved it", ss.Shard)
+		}
+	}
+	for _, sh := range srv.shards {
+		validateShard(t, sh)
+	}
+}

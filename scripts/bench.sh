@@ -1,11 +1,21 @@
 #!/bin/sh
-# Runs the LP benchmark suite and refreshes the committed BENCH_lp.json,
-# preserving its baseline section so every run shows the trajectory against
-# the pre-hybrid seed. Usage:
+# Runs the benchmark suites and refreshes the committed JSON trajectories:
+#
+#   BENCH_lp.json      the LP/solver suite (baseline section preserved, so
+#                      every run shows the trajectory against the
+#                      pre-hybrid seed)
+#   BENCH_server.json  the sharded divflowd throughput suite (shards=1/2/4
+#                      over the same virtual-clock burst: the multi-shard
+#                      scaling claim, measured)
+#
+# Usage:
 #
 #   scripts/bench.sh [benchtime]          # default 10x
 #
 set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
-go run ./cmd/benchjson -benchtime "$BENCHTIME" -label "$(git rev-parse --short HEAD 2>/dev/null || echo dev)" -out BENCH_lp.json
+LABEL="$(git rev-parse --short HEAD 2>/dev/null || echo dev)"
+go run ./cmd/benchjson -benchtime "$BENCHTIME" -label "$LABEL" -out BENCH_lp.json
+go run ./cmd/benchjson -pkg ./internal/server -bench BenchmarkServerThroughput \
+  -benchtime "$BENCHTIME" -label "$LABEL" -out BENCH_server.json
