@@ -48,6 +48,8 @@ func main() {
 			"drop executed history older than this many seconds (exact rational, e.g. 3600); empty keeps everything")
 		shards = flag.Int("shards", 0,
 			"number of scheduling shards (round-robin over the fleet); 0 partitions by databank-connectivity components (or the platform's \"shards\" field)")
+		steal = flag.Bool("steal", true,
+			"cross-shard work stealing: an idle shard migrates queued or live jobs (exact remaining fractions, original IDs and flow origins) from the largest-backlog shard; false pins jobs to the shard they were routed to")
 	)
 	flag.Parse()
 	if *platform == "" {
@@ -66,7 +68,7 @@ func main() {
 	if *shards < 0 {
 		log.Fatalf("bad -shards %d: want >= 0", *shards)
 	}
-	cfg := server.Config{Machines: machines, Policy: *policy, Shards: plat.Shards}
+	cfg := server.Config{Machines: machines, Policy: *policy, Shards: plat.Shards, DisableSteal: !*steal}
 	if *shards > 0 {
 		cfg.Shards = *shards
 	}

@@ -77,6 +77,11 @@ func (r *SubmitRequest) Job() (Job, error) {
 type SubmitResponse struct {
 	ID    int    `json:"id"`
 	State string `json:"state"`
+	// Warning is set when the job was accepted onto a degraded shard — the
+	// only shard hosting its databanks has latched a scheduling error, so
+	// the job will queue until the shard recovers. It carries that shard's
+	// error text; healthy routings leave it empty.
+	Warning string `json:"warning,omitempty"`
 }
 
 // JobStatus is the body of GET /v1/jobs/{id}. Rational fields are empty
@@ -106,6 +111,10 @@ type JobStatus struct {
 // same meaning as their aggregate counterparts; Backlog is the shard's exact
 // residual work (accepted job sizes minus completed ones), the quantity the
 // router minimizes when placing a submission eligible on several shards.
+// JobsAccepted counts jobs submitted to the shard by the router (births
+// only), so the fleet aggregate counts every job exactly once no matter how
+// often it migrates; StolenJobs counts jobs this shard stole from overloaded
+// shards and Migrations jobs stolen away from it.
 type ShardStats struct {
 	Shard           int      `json:"shard"`
 	Machines        []string `json:"machines"`
@@ -120,6 +129,8 @@ type ShardStats struct {
 	BatchedArrivals int      `json:"batchedArrivals"`
 	LargestBatch    int      `json:"largestBatch"`
 	CompactedJobs   int      `json:"compactedJobs,omitempty"`
+	StolenJobs      int      `json:"stolenJobs,omitempty"`
+	Migrations      int      `json:"migrations,omitempty"`
 	Backlog         string   `json:"backlog"`
 	Stalled         bool     `json:"stalled,omitempty"`
 	LastError       string   `json:"lastError,omitempty"`
@@ -146,10 +157,13 @@ type StatsResponse struct {
 	// how often a previous optimal basis warm-started a re-solve. All paths
 	// are exact; the split is a performance, not a correctness, signal.
 	Solver stats.SolverTally `json:"solver"`
-	// ArrivalBatches counts scheduler wake-ups that admitted jobs and
-	// BatchedArrivals the jobs admitted by them, so BatchedArrivals >
+	// ArrivalBatches counts scheduler wake-ups that admitted submitted jobs
+	// and BatchedArrivals the jobs admitted by them, so BatchedArrivals >
 	// ArrivalBatches means several arrivals shared one re-solve;
-	// LargestBatch is the biggest single admission.
+	// LargestBatch is the biggest single admission. Only each job's *first*
+	// admission counts — work-stealing re-admissions are excluded — so,
+	// like JobsAccepted, these counters see every submission exactly once
+	// no matter how often the job migrates.
 	ArrivalBatches  int `json:"arrivalBatches"`
 	BatchedArrivals int `json:"batchedArrivals"`
 	LargestBatch    int `json:"largestBatch"`
@@ -163,9 +177,15 @@ type StatsResponse struct {
 	// were dropped by the retention policy; their flow/stretch contributions
 	// remain in the aggregates above. P95Flow is estimated over a bounded
 	// window of the most recent completions.
-	CompactedJobs int    `json:"compactedJobs,omitempty"`
-	Stalled       bool   `json:"stalled,omitempty"`
-	LastError     string `json:"lastError,omitempty"`
+	CompactedJobs int `json:"compactedJobs,omitempty"`
+	// StolenJobs counts cross-shard work-stealing migrations received
+	// (jobs an idle shard pulled from an overloaded one) and Migrations the
+	// donations; fleet-wide the two are equal — every migration has exactly
+	// one donor and one thief — and both are zero with -steal=false.
+	StolenJobs int    `json:"stolenJobs,omitempty"`
+	Migrations int    `json:"migrations,omitempty"`
+	Stalled    bool   `json:"stalled,omitempty"`
+	LastError  string `json:"lastError,omitempty"`
 	// ShardCount is the number of scheduling shards the fleet is partitioned
 	// into; Shards breaks the aggregate counters above down per shard.
 	ShardCount int          `json:"shardCount"`

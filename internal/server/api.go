@@ -54,7 +54,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.Submit(&req)
+	resp, err := s.Submit(&req)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, ErrClosed) {
@@ -63,7 +63,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, model.SubmitResponse{ID: id, State: StateQueued})
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -72,14 +72,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	sh, local, ok := s.locate(id)
-	if !ok {
-		http.NotFound(w, r)
-		return
-	}
-	// The shard copies the status under its lock; the write to the network
-	// happens after release: a slow client must never block a loop.
-	st, known := sh.jobStatus(local)
+	// The owning shard copies the status under its lock (with the forwarding
+	// table chased for migrated jobs); the write to the network happens after
+	// release: a slow client must never block a loop.
+	st, known := s.jobStatus(id)
 	if !known {
 		http.NotFound(w, r)
 		return
@@ -161,6 +157,8 @@ func (s *Server) Stats() model.StatsResponse {
 		resp.ArrivalBatches += snap.wire.ArrivalBatches
 		resp.BatchedArrivals += snap.wire.BatchedArrivals
 		resp.CompactedJobs += snap.wire.CompactedJobs
+		resp.StolenJobs += snap.wire.StolenJobs
+		resp.Migrations += snap.wire.Migrations
 		if snap.wire.LargestBatch > resp.LargestBatch {
 			resp.LargestBatch = snap.wire.LargestBatch
 		}

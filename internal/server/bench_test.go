@@ -19,6 +19,81 @@ const (
 	benchJobs      = 48
 )
 
+// BenchmarkServerStealImbalance measures the work-stealing win on an
+// adversarially imbalanced workload: the whole burst is submitted directly
+// onto shard 0 (bypassing the router, as a skewed routing history would),
+// leaving shard 1 idle. With -steal=off the run is bounded by the hot
+// shard grinding through everything alone; with stealing on the idle shard
+// migrates half the queue (exact remaining fractions, original IDs) and the
+// two shards drain it together. Recorded as BENCH_server.json via
+// cmd/benchjson (scripts/bench.sh).
+func BenchmarkServerStealImbalance(b *testing.B) {
+	for _, steal := range []bool{true, false} {
+		name := "steal=on"
+		if !steal {
+			name = "steal=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				machines := make([]model.Machine, benchFleetSize)
+				for m := range machines {
+					machines[m] = model.Machine{
+						Name:         fmt.Sprintf("u%d", m),
+						InverseSpeed: rat(1, int64(1+m%2)),
+						Databanks:    []string{"shared"},
+					}
+				}
+				vc := NewVirtualClock()
+				srv, err := New(Config{Machines: machines, Shards: 2, Clock: vc, DisableSteal: !steal})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hot := srv.shards[0]
+				jobs := make([]model.Job, benchJobs)
+				for j := range jobs {
+					req := model.SubmitRequest{
+						Size:      fmt.Sprintf("%d", 1+(j*7)%13),
+						Weight:    fmt.Sprintf("%d", 1+j%3),
+						Databanks: []string{"shared"},
+					}
+					if jobs[j], err = req.Job(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				for j := range jobs {
+					if _, err := hot.submit(jobs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				srv.Start()
+				for {
+					st := srv.Stats()
+					if st.LastError != "" {
+						b.Fatal(st.LastError)
+					}
+					if st.JobsCompleted == benchJobs {
+						break
+					}
+					if !vc.AdvanceToNextTimer() {
+						runtime.Gosched()
+					}
+				}
+				b.StopTimer()
+				if steal {
+					if st := srv.Stats(); st.StolenJobs == 0 {
+						b.Fatal("imbalanced run with stealing on migrated nothing")
+					}
+				}
+				srv.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(benchJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
 // BenchmarkServerThroughput measures end-to-end virtual-clock throughput of
 // the sharded service under the default exact policy (online-mwf-lazy) for
 // P = 1, 2, 4 shards. Recorded as BENCH_server.json via cmd/benchjson

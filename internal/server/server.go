@@ -36,6 +36,16 @@ const (
 	StateQueued    = "queued"    // accepted, not yet admitted by the loop
 	StateScheduled = "scheduled" // live: the policy is scheduling it
 	StateDone      = "done"
+	// StateRejected marks jobs the service accepted but shut down before
+	// admitting: Close drains every shard's pending queue into this terminal
+	// state so post-shutdown reads are truthful.
+	StateRejected = "rejected"
+	// StateMigrated marks a donor-side record whose job was stolen by
+	// another shard. It is internal: the forwarding table routes every read
+	// of the job's global ID to the shard that now owns it, so the state is
+	// never visible on the wire. The record stays behind to translate the
+	// donor trace's pre-migration pieces to the global ID.
+	StateMigrated = "migrated"
 )
 
 // Config parameterizes a Server.
@@ -56,6 +66,13 @@ type Config struct {
 	// databank requirements) is routed to the shard with the least exact
 	// residual work and scheduled on that shard's machines only.
 	Shards int
+	// DisableSteal turns cross-shard work stealing off, pinning the
+	// pre-stealing behavior: a job stays on the shard it was routed to for
+	// its whole life. By default an idle shard (no live or pending jobs)
+	// steals queued or live jobs it can host from the largest-backlog shard,
+	// migrating their exact remaining fractions so no work is lost or
+	// duplicated and keeping their global IDs and flow origins.
+	DisableSteal bool
 	// Retention, when positive, bounds the execution history kept in
 	// memory: executed schedule pieces that ended more than Retention ago
 	// and the records of jobs completed more than Retention ago are
@@ -74,9 +91,24 @@ type Server struct {
 	policyName string
 	shards     []*shard
 
+	// forward maps the global ID of every migrated job to its current
+	// location; IDs never migrated resolve arithmetically. Entries are
+	// written under both involved shards' mus (see stealFrom), so a read
+	// that misses the table and lands on the donor mid-migration finds the
+	// table updated by the time the donor's mu is free.
+	fwdMu   sync.RWMutex
+	forward map[int]fwdLoc
+
 	mu      sync.Mutex
 	started bool
 	closed  bool
+}
+
+// fwdLoc is one forwarding-table entry: the shard that currently owns a
+// migrated job and the job's local ID there.
+type fwdLoc struct {
+	sh    *shard
+	local int
 }
 
 // New builds a server over the fleet, partitioned into scheduling shards.
@@ -105,7 +137,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{policyName: pol.Name()}
+	s := &Server{policyName: pol.Name(), forward: make(map[int]fwdLoc)}
 	fleet := append([]model.Machine(nil), cfg.Machines...)
 	stride := len(groups)
 	for idx, group := range groups {
@@ -121,13 +153,38 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.shards = append(s.shards, newShard(idx, stride, clock, machines, group, shardPol, cfg.Retention))
 	}
+	if !cfg.DisableSteal && len(s.shards) > 1 {
+		dropForward := func(gid int) {
+			s.fwdMu.Lock()
+			delete(s.forward, gid)
+			s.fwdMu.Unlock()
+		}
+		for _, sh := range s.shards {
+			sh := sh
+			sh.steal = func() bool { return s.stealFor(sh) }
+			sh.dropForward = dropForward
+		}
+	}
 	return s, nil
 }
+
+// stealEnabled reports whether cross-shard work stealing is active.
+func (s *Server) stealEnabled() bool { return len(s.shards) > 1 && s.shards[0].steal != nil }
 
 // partitionFleet splits the fleet into shard groups of global machine
 // indices. n > 0 deals machines round-robin into n groups; n == 0 groups by
 // databank-connectivity components (union-find over "shares a databank"),
 // ordered by smallest member index. Every group preserves fleet order.
+//
+// The round-robin override is validated: a databank whose hosts land in
+// several shards with only *partial* coverage of one of them is a
+// configuration error, because a job restricted to it would be pinned to a
+// shard where some machines cannot serve it while full hosts idle in other
+// shards — silently squandering both the divisible-load flexibility and the
+// work-stealing escape hatch. Databanks hosted by every machine of each
+// shard they touch (the uniform-fleet shape round-robin sharding exists
+// for) stay legal: a restricted job can then use the whole of whichever
+// shard it routes to, and any shard can steal it.
 func partitionFleet(machines []model.Machine, n int) ([][]int, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("server: shards = %d, want >= 0", n)
@@ -139,6 +196,9 @@ func partitionFleet(machines []model.Machine, n int) ([][]int, error) {
 		groups := make([][]int, n)
 		for i := range machines {
 			groups[i%n] = append(groups[i%n], i)
+		}
+		if err := checkNoDatabankSplit(machines, n); err != nil {
+			return nil, err
 		}
 		return groups, nil
 	}
@@ -195,6 +255,44 @@ func partitionFleet(machines []model.Machine, n int) ([][]int, error) {
 	return groups, nil
 }
 
+// checkNoDatabankSplit rejects a round-robin sharding (machine i → shard
+// i%n) that scatters a databank's hosts over several shards while leaving
+// some touched shard only partially able to serve it.
+func checkNoDatabankSplit(machines []model.Machine, n int) error {
+	type spread struct {
+		shards map[int]bool // shards holding at least one host
+		hosts  map[int]bool // machines hosting the databank
+	}
+	banks := make(map[string]*spread)
+	order := []string{} // deterministic error choice: first databank seen
+	for i := range machines {
+		for _, d := range machines[i].Databanks {
+			sp := banks[d]
+			if sp == nil {
+				sp = &spread{shards: make(map[int]bool), hosts: make(map[int]bool)}
+				banks[d] = sp
+				order = append(order, d)
+			}
+			sp.shards[i%n] = true
+			sp.hosts[i] = true
+		}
+	}
+	for _, d := range order {
+		sp := banks[d]
+		if len(sp.shards) < 2 {
+			continue // all hosts in one shard: restricted jobs keep every host
+		}
+		for i := range machines {
+			if sp.shards[i%n] && !sp.hosts[i] {
+				return fmt.Errorf(
+					"server: %d shards split databank %q across shards with partial coverage (machine %d (%s) in a shard serving it cannot host it); use the databank-connectivity partition (shards=0) or regroup the fleet",
+					n, d, i, machines[i].Name)
+			}
+		}
+	}
+	return nil
+}
+
 // ShardCount returns the number of scheduling shards the fleet is
 // partitioned into.
 func (s *Server) ShardCount() int { return len(s.shards) }
@@ -227,42 +325,115 @@ func (s *Server) Close() {
 	}
 }
 
-// Submit accepts one job, routing it to the eligible shard with the least
-// exact residual work (ties to the lowest shard index) and stamping its flow
-// origin (release) there. It returns the assigned global ID; the shard's
-// loop admits the job at its next wake-up, so submissions racing one
-// re-solve share it.
-func (s *Server) Submit(req *model.SubmitRequest) (int, error) {
+// Submit accepts one job, routing it to the eligible *healthy* shard with
+// the least exact residual work (ties to the lowest shard index) and
+// stamping its flow origin (release) there. Shards whose loop has latched an
+// error are skipped — a poisoned loop would queue the job forever — unless
+// no healthy shard hosts the databanks, in which case the least-loaded
+// stalled shard takes it and the response carries that shard's error as a
+// warning. The shard's loop admits the job at its next wake-up, so
+// submissions racing one re-solve share it.
+func (s *Server) Submit(req *model.SubmitRequest) (model.SubmitResponse, error) {
 	job, err := req.Job()
 	if err != nil {
-		return 0, err
+		return model.SubmitResponse{}, err
 	}
-	var best *shard
-	var bestWork *big.Rat
+	var best, bestStalled *shard
+	var bestWork, bestStalledWork *big.Rat
+	var stalledErr string
+	var idle []*shard     // zero-backlog shards seen during routing
+	var nonHosts []*shard // shards that cannot host this job
 	for _, sh := range s.shards {
 		if !sh.hosts(job.Databanks) {
+			nonHosts = append(nonHosts, sh)
 			continue
 		}
-		work := sh.residualWork()
+		work, routeErr := sh.routeInfo()
+		if routeErr != "" {
+			if bestStalled == nil || work.Cmp(bestStalledWork) < 0 {
+				bestStalled, bestStalledWork, stalledErr = sh, work, routeErr
+			}
+			continue
+		}
+		if work.Sign() == 0 {
+			idle = append(idle, sh)
+		}
 		if best == nil || work.Cmp(bestWork) < 0 {
 			best, bestWork = sh, work
 		}
 	}
+	resp := model.SubmitResponse{State: StateQueued}
 	if best == nil {
-		return 0, fmt.Errorf("server: no machine hosts databanks %v", job.Databanks)
+		if bestStalled == nil {
+			return resp, fmt.Errorf("server: no machine hosts databanks %v", job.Databanks)
+		}
+		best = bestStalled
+		resp.Warning = fmt.Sprintf("routed to stalled shard %d (no healthy shard hosts the databanks): %s", best.idx, stalledErr)
 	}
 	local, err := best.submit(job)
 	if err != nil {
-		return 0, err
+		return model.SubmitResponse{}, err
 	}
-	return best.globalID(local), nil
+	resp.ID = best.globalID(local)
+	// New work on one shard is a steal opportunity for every idle one: poke
+	// every zero-backlog shard so its loop re-runs the steal check instead
+	// of sleeping until the next direct submission. Shards that cannot host
+	// *this* job are poked too — the submission can still push the chosen
+	// shard past the donor-keeps-one threshold and make its *other* jobs
+	// stealable by them. (Idleness was read before best.submit, but a poke
+	// is just a wake-up — a shard that meanwhile found work ignores it.)
+	if s.stealEnabled() {
+		for _, sh := range idle {
+			if sh != best {
+				sh.poke()
+			}
+		}
+		for _, sh := range nonHosts {
+			if sh.residualWork().Sign() == 0 {
+				sh.poke()
+			}
+		}
+	}
+	return resp, nil
 }
 
-// locate decodes a global job ID into its shard and local ID.
+// locate resolves a global job ID to the shard that currently owns it and
+// the job's local ID there: migrated jobs through the forwarding table,
+// everything else by the arithmetic birth-shard encoding.
 func (s *Server) locate(id int) (*shard, int, bool) {
 	if id < 0 {
 		return nil, 0, false
 	}
+	s.fwdMu.RLock()
+	loc, ok := s.forward[id]
+	s.fwdMu.RUnlock()
+	if ok {
+		return loc.sh, loc.local, true
+	}
 	p := len(s.shards)
 	return s.shards[id%p], id / p, true
+}
+
+// jobStatus reads one job's wire status by global ID, chasing the forwarding
+// table: a read that decoded the birth shard arithmetically while a
+// migration was in flight finds a migrated-away record and retries, by which
+// time the table (written under the donor's lock) names the new owner.
+// Definitive misses (never-issued IDs, compacted records) answer in one
+// attempt; only the migrated-away case is retried, and each retry can only
+// miss again if the job migrated yet another time in between.
+func (s *Server) jobStatus(id int) (model.JobStatus, bool) {
+	for attempt := 0; attempt < 4; attempt++ {
+		sh, local, ok := s.locate(id)
+		if !ok {
+			return model.JobStatus{}, false
+		}
+		st, known, migrated := sh.jobStatus(local, id)
+		if known {
+			return st, true
+		}
+		if !migrated {
+			return model.JobStatus{}, false
+		}
+	}
+	return model.JobStatus{}, false
 }

@@ -103,14 +103,15 @@ func TestSingleJobLifecycle(t *testing.T) {
 	}
 	defer s.Close()
 
-	id, err := s.Submit(&model.SubmitRequest{Name: "blast", Size: "4", Databanks: []string{"swissprot"}})
+	resp, err := s.Submit(&model.SubmitRequest{Name: "blast", Size: "4", Databanks: []string{"swissprot"}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	id := resp.ID
 	s.Start()
 	drive(t, vc, func() bool { return s.Stats().JobsCompleted == 1 })
 
-	st, known := s.shards[0].jobStatus(id)
+	st, known, _ := s.shards[0].jobStatus(id, id)
 	if !known {
 		t.Fatal("job unknown after completion")
 	}
@@ -146,10 +147,11 @@ func TestDatabankRoutingUnderService(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	bound, err := s.Submit(&model.SubmitRequest{Size: "2", Databanks: []string{"pdb"}})
+	boundResp, err := s.Submit(&model.SubmitRequest{Size: "2", Databanks: []string{"pdb"}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	bound := boundResp.ID
 	if _, err := s.Submit(&model.SubmitRequest{Size: "6", Databanks: []string{"swissprot"}}); err != nil {
 		t.Fatal(err)
 	}

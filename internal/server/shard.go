@@ -12,10 +12,13 @@ import (
 )
 
 // jobRecord is the shard-side state of one submitted job. IDs are shard-local
-// (dense indices into shard.records); the wire-visible global ID is
-// shard.globalID(rec.id).
+// (dense indices into shard.records); the wire-visible global ID gid encodes
+// the *birth* shard and survives migration — a job stolen by another shard
+// keeps its global ID, with the server's forwarding table pointing reads at
+// the shard that now owns it.
 type jobRecord struct {
 	id        int // shard-local ID
+	gid       int // wire-visible global ID (birth-shard encoding)
 	name      string
 	weight    *big.Rat
 	size      *big.Rat
@@ -23,6 +26,21 @@ type jobRecord struct {
 	state     string
 	release   *big.Rat // submission time: the job's flow origin
 	completed *big.Rat // completion time; nil until done
+	// remaining, when non-nil, is the unprocessed fraction the job arrived
+	// with (a stolen job admitted mid-execution); nil means a whole job.
+	remaining *big.Rat
+	// stolen marks records created by a migration rather than a submission,
+	// so accepted-job counts and merged validations see each job once.
+	stolen bool
+	// counted marks that the job's admission has been folded into some
+	// shard's arrival-batch statistics; it migrates with the job, so every
+	// submission is counted exactly once no matter where (or how often
+	// re-)admitted.
+	counted bool
+	// migratedAt, on a donor-side record, is the engine time the job was
+	// stolen away: every donor piece of the job ends at or before it, so
+	// once the retention horizon passes it the record can be compacted.
+	migratedAt *big.Rat
 }
 
 // shard is one independent scheduling loop over a slice of the fleet: its own
@@ -58,12 +76,28 @@ type shard struct {
 	// solves; writers hold mu first, then backlogMu (never the reverse).
 	backlogMu sync.Mutex
 	backlog   *big.Rat
+	// routeErr mirrors lastErr's text under backlogMu so the router can skip
+	// poisoned shards without contending on mu (empty while healthy).
+	routeErr string
+
+	// steal, when non-nil, asks the server to migrate work here from the
+	// largest-backlog shard; the loop calls it (outside mu) whenever it goes
+	// idle. Nil with stealing disabled or a single shard.
+	steal func() bool
 
 	arrivalBatches  int
 	batchedArrivals int
 	largestBatch    int
 	stalled         bool
 	lastErr         error
+	stolenIn        int // jobs migrated here by work stealing
+	migratedOut     int // jobs stolen away from here
+	// migratedIDs lists donor-side records awaiting retention compaction
+	// (Engine.Compact cannot return them: the engine no longer knows them).
+	migratedIDs []int
+	// dropForward, when non-nil, releases the server's forwarding-table
+	// entry for a compacted stolen record's global ID.
+	dropForward func(gid int)
 
 	// Completed-job statistics are accumulated at completion time, not
 	// recomputed from records, so compaction can forget the records without
@@ -91,6 +125,14 @@ type shard struct {
 	wake    chan struct{}
 	done    chan struct{}
 	stopped chan struct{}
+}
+
+// copyRat returns a copy of r, passing nil through.
+func copyRat(r *big.Rat) *big.Rat {
+	if r == nil {
+		return nil
+	}
+	return new(big.Rat).Set(r)
 }
 
 // newShard builds one scheduling shard over the given slice of the fleet.
@@ -162,7 +204,10 @@ func (sh *shard) start() {
 	go sh.loop()
 }
 
-// close stops accepting submissions and terminates the loop.
+// close stops accepting submissions, terminates the loop, and then drains
+// every accepted-but-never-admitted job into the terminal StateRejected —
+// with its size taken back out of the backlog — so post-shutdown job reads
+// and stats are truthful instead of claiming a queue that will never move.
 func (sh *shard) close() {
 	sh.mu.Lock()
 	if sh.closed {
@@ -176,6 +221,25 @@ func (sh *shard) close() {
 	if started {
 		<-sh.stopped
 	}
+	// The loop is gone (or never ran): whatever is still pending can be
+	// drained without racing an admission.
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.pending) == 0 {
+		return
+	}
+	stranded := new(big.Rat)
+	for _, rec := range sh.pending {
+		rec.state = StateRejected
+		stranded.Add(stranded, rec.size)
+		for i := range sh.eligible {
+			delete(sh.eligible[i], rec.id)
+		}
+	}
+	sh.pending = nil
+	sh.backlogMu.Lock()
+	sh.backlog.Sub(sh.backlog, stranded)
+	sh.backlogMu.Unlock()
 }
 
 // submit accepts one job onto this shard, stamping its flow origin (release)
@@ -199,6 +263,7 @@ func (sh *shard) submit(job model.Job) (int, error) {
 	}
 	rec := &jobRecord{
 		id:        len(sh.records),
+		gid:       sh.globalID(len(sh.records)),
 		name:      job.Name,
 		weight:    job.Weight,
 		size:      job.Size,
@@ -220,10 +285,7 @@ func (sh *shard) submit(job model.Job) (int, error) {
 	for _, i := range hosts {
 		sh.eligible[i][rec.id] = true
 	}
-	select {
-	case sh.wake <- struct{}{}:
-	default:
-	}
+	sh.poke()
 	return rec.id, nil
 }
 
@@ -236,15 +298,44 @@ func (sh *shard) residualWork() *big.Rat {
 	return new(big.Rat).Set(sh.backlog)
 }
 
+// routeInfo returns the backlog (a copy) together with the shard's latched
+// error text ("" while healthy) — everything the router needs, again without
+// touching mu.
+func (sh *shard) routeInfo() (*big.Rat, string) {
+	sh.backlogMu.Lock()
+	defer sh.backlogMu.Unlock()
+	return new(big.Rat).Set(sh.backlog), sh.routeErr
+}
+
+// poke wakes the shard's loop if it is sleeping; a no-op when a wake-up is
+// already queued. The server pokes idle shards when work lands elsewhere so
+// they re-run their steal check.
+func (sh *shard) poke() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
 // loop is the scheduling event loop: process everything due, arm a timer
 // for the next engine event, sleep until the timer or a submission wakes it.
+// A loop that finds itself idle — no live jobs, nothing pending, no latched
+// error — first tries to steal work from an overloaded shard, and on success
+// goes straight back to processing instead of sleeping.
 func (sh *shard) loop() {
 	defer close(sh.stopped)
 	for {
 		sh.mu.Lock()
 		sh.process()
 		next := sh.eng.NextEvent()
+		idle := sh.lastErr == nil && sh.eng.Live() == 0 && len(sh.pending) == 0
 		sh.mu.Unlock()
+
+		// The steal call runs outside mu: it locks donor and thief shards in
+		// index order, which must not nest inside an already-held mu.
+		if idle && sh.steal != nil && sh.steal() {
+			continue
+		}
 
 		var timer <-chan struct{}
 		cancel := func() {}
@@ -264,10 +355,16 @@ func (sh *shard) loop() {
 	}
 }
 
-// process catches the engine up with the clock — executing the current
-// allocation through every completion/review event that is due — and then
-// admits all pending submissions as one batch. Callers hold sh.mu.
-func (sh *shard) process() {
+// catchUp advances the engine through every completion/review event that is
+// due and then to the present, executing the installed allocation — without
+// admitting pending submissions. The steal protocol calls it on a donor
+// before taking the census, so remaining fractions reflect everything the
+// donor has (notionally) executed since its last event rather than a stale
+// snapshot; admissions are deliberately left out, since pending jobs have
+// no executed work to conserve and admitting them would force a full-size
+// solve the steal is about to shrink. It reports whether the shard is still
+// healthy. Callers hold sh.mu.
+func (sh *shard) catchUp() (*big.Rat, bool) {
 	now := sh.clock.Now()
 	if now.Cmp(sh.eng.Now()) < 0 {
 		// A timer fired marginally early (wall-clock rounding): treat the
@@ -280,12 +377,22 @@ func (sh *shard) process() {
 			break
 		}
 		if !sh.step(next) {
-			return
+			return now, false
 		}
 	}
 	// Partial progress up to the present, crossing no event.
 	if _, err := sh.eng.AdvanceTo(now); err != nil {
 		sh.fail(err)
+		return now, false
+	}
+	return now, true
+}
+
+// process catches the engine up with the clock and then admits all pending
+// submissions as one batch. Callers hold sh.mu.
+func (sh *shard) process() {
+	now, ok := sh.catchUp()
+	if !ok {
 		return
 	}
 	sh.compact(now)
@@ -294,8 +401,36 @@ func (sh *shard) process() {
 	}
 	batch := sh.pending
 	sh.pending = nil
-	for _, rec := range batch {
-		if err := sh.eng.Add(rec.id, rec.release, rec.weight, rec.size); err != nil {
+	// Arrival-batch statistics count each job's *first* admission only: a
+	// job stolen after it was admitted once is not a new arrival, while one
+	// stolen straight out of the pending queue is counted here, by its first
+	// admitter. Fleet-wide, BatchedArrivals converges to exactly the
+	// submission count no matter how often jobs migrate (the same
+	// once-per-job rule JobsAccepted follows).
+	native := 0
+	flushBatchStats := func() {
+		if native == 0 {
+			return
+		}
+		sh.arrivalBatches++
+		sh.batchedArrivals += native
+		if native > sh.largestBatch {
+			sh.largestBatch = native
+		}
+	}
+	for k, rec := range batch {
+		// Stolen jobs carry the unprocessed fraction they arrived with; the
+		// release stays the original submission time in both cases, so flow
+		// and stretch keep measuring from first contact with the service.
+		if err := sh.eng.AddPartial(rec.id, rec.release, rec.weight, rec.size, rec.remaining); err != nil {
+			// Keep the unadmitted tail (failed record included) in pending:
+			// those jobs stay visible to the steal census — another shard can
+			// still rescue them — and to the close() drain, which must mark
+			// them rejected and return their sizes, not leave them "queued"
+			// in limbo forever. The successfully admitted prefix still counts
+			// toward the arrival statistics.
+			sh.pending = batch[k:]
+			flushBatchStats()
 			sh.fail(err)
 			return
 		}
@@ -303,12 +438,12 @@ func (sh *shard) process() {
 		// must leave the record queued, not claim scheduling that never
 		// happened.
 		rec.state = StateScheduled
+		if !rec.counted {
+			rec.counted = true
+			native++
+		}
 	}
-	sh.arrivalBatches++
-	sh.batchedArrivals += len(batch)
-	if len(batch) > sh.largestBatch {
-		sh.largestBatch = len(batch)
-	}
+	flushBatchStats()
 	sh.decide()
 }
 
@@ -360,7 +495,12 @@ func (sh *shard) recordCompletion(rec *jobRecord) {
 // compact enforces the retention bound: everything that finished more than
 // retention before now is dropped from the engine's executed trace and from
 // the per-job records (their statistics were already aggregated at
-// completion). Callers hold sh.mu.
+// completion). Donor-side records of migrated jobs — which the engine never
+// completes, so Engine.Compact never returns them — are dropped once the
+// horizon passes their migration time (all their local pieces end by then),
+// and compacted *stolen* records release their forwarding-table entry, so a
+// retention-bounded service stays bounded under steady stealing. Callers
+// hold sh.mu.
 func (sh *shard) compact(now *big.Rat) {
 	if sh.retention == nil {
 		return
@@ -374,13 +514,32 @@ func (sh *shard) compact(now *big.Rat) {
 	// backwards.
 	sh.noteMakespan()
 	sh.lastCompact = horizon
-	for _, id := range sh.eng.Compact(horizon) {
+	drop := func(id int) {
+		rec := sh.records[id]
+		// Only the job's *current* owner releases the forwarding entry: a
+		// record that is stolen but migrated onward describes a hop whose
+		// entry already points at a later shard.
+		if rec.stolen && rec.state != StateMigrated && sh.dropForward != nil {
+			sh.dropForward(rec.gid)
+		}
 		sh.records[id] = nil
 		sh.compactedJobs++
 		for i := range sh.eligible {
 			delete(sh.eligible[i], id)
 		}
 	}
+	for _, id := range sh.eng.Compact(horizon) {
+		drop(id)
+	}
+	keep := sh.migratedIDs[:0]
+	for _, id := range sh.migratedIDs {
+		if sh.records[id].migratedAt.Cmp(horizon) <= 0 {
+			drop(id)
+		} else {
+			keep = append(keep, id)
+		}
+	}
+	sh.migratedIDs = keep
 }
 
 // noteMakespan raises the makespan high-water mark to the current executed
@@ -419,6 +578,7 @@ func (sh *shard) decide() bool {
 			err = sh.mwf.Err()
 		}
 		sh.lastErr = err
+		sh.publishRouteErr()
 	}
 	return true
 }
@@ -429,19 +589,40 @@ func (sh *shard) fail(err error) {
 		sh.lastErr = err
 	}
 	sh.stalled = true
+	sh.publishRouteErr()
 }
 
-// jobStatus builds the wire status of one shard-local job, reporting its
-// global ID. ok is false for unknown or compacted IDs.
-func (sh *shard) jobStatus(local int) (model.JobStatus, bool) {
+// publishRouteErr mirrors lastErr where the router can see it without
+// taking mu. Callers hold sh.mu.
+func (sh *shard) publishRouteErr() {
+	sh.backlogMu.Lock()
+	sh.routeErr = sh.lastErr.Error()
+	sh.backlogMu.Unlock()
+}
+
+// jobStatus builds the wire status of the shard-local job answering to the
+// given global ID. known is false for unknown, compacted, or migrated-away
+// records, and for records whose global ID is not the requested one: a
+// stolen record occupies a local slot whose arithmetic encoding belongs to
+// a different (possibly never-issued) global ID, which must not leak
+// another job's status. migrated distinguishes the one retryable miss — the
+// job left for another shard, so the caller should chase the forwarding
+// table again — from definitive not-found answers.
+func (sh *shard) jobStatus(local, gid int) (st model.JobStatus, known, migrated bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if local < 0 || local >= len(sh.records) || sh.records[local] == nil {
-		return model.JobStatus{}, false
+		return model.JobStatus{}, false, false
 	}
 	rec := sh.records[local]
-	st := model.JobStatus{
-		ID:        sh.globalID(rec.id),
+	if rec.state == StateMigrated {
+		return model.JobStatus{}, false, rec.gid == gid
+	}
+	if rec.gid != gid {
+		return model.JobStatus{}, false, false
+	}
+	st = model.JobStatus{
+		ID:        rec.gid,
 		Name:      rec.name,
 		State:     rec.state,
 		Weight:    rec.weight.RatString(),
@@ -463,7 +644,7 @@ func (sh *shard) jobStatus(local int) (model.JobStatus, bool) {
 		st.WeightedFlow = new(big.Rat).Mul(rec.weight, flow).RatString()
 		st.Stretch = new(big.Rat).Quo(flow, rec.size).RatString()
 	}
-	return st, true
+	return st, true, false
 }
 
 // scheduleSnapshot copies the shard's executed trace (windowed to pieces
@@ -482,9 +663,13 @@ func (sh *shard) scheduleSnapshot(since *big.Rat) (pieces []schedule.Piece, now,
 	pieces = make([]schedule.Piece, len(sched.Pieces))
 	for k := range sched.Pieces {
 		pc := &sched.Pieces[k]
+		// Records outlive their pieces (compaction drops a job's pieces no
+		// later than its record), so the translation to the global ID — which
+		// for a migrated job is not the arithmetic encoding of the local ID —
+		// always has a record to read.
 		pieces[k] = schedule.Piece{
 			Machine:  sh.machineIdx[pc.Machine],
-			Job:      sh.globalID(pc.Job),
+			Job:      sh.records[pc.Job].gid,
 			Start:    new(big.Rat).Set(pc.Start),
 			End:      new(big.Rat).Set(pc.End),
 			Fraction: new(big.Rat).Set(pc.Fraction),
@@ -517,10 +702,12 @@ func (sh *shard) statsSnapshot() shardSnapshot {
 	}
 	snap := shardSnapshot{
 		wire: model.ShardStats{
-			Shard:           sh.idx,
-			Machines:        names,
-			Now:             sh.eng.Now().RatString(),
-			JobsAccepted:    len(sh.records),
+			Shard:    sh.idx,
+			Machines: names,
+			Now:      sh.eng.Now().RatString(),
+			// Births only: stolen-in copies are counted by their birth shard,
+			// so the fleet aggregate sees every job exactly once.
+			JobsAccepted:    len(sh.records) - sh.stolenIn,
 			JobsLive:        sh.eng.Live(),
 			JobsCompleted:   sh.eng.CompletedCount(),
 			Events:          sh.eng.Decisions(),
@@ -528,14 +715,20 @@ func (sh *shard) statsSnapshot() shardSnapshot {
 			BatchedArrivals: sh.batchedArrivals,
 			LargestBatch:    sh.largestBatch,
 			CompactedJobs:   sh.compactedJobs,
+			StolenJobs:      sh.stolenIn,
+			Migrations:      sh.migratedOut,
 			Backlog:         sh.backlog.RatString(),
 			Stalled:         sh.stalled,
 		},
-		now:         sh.eng.Now(),
-		doneCount:   sh.doneCount,
-		flowSum:     new(big.Rat).Set(sh.flowSum),
-		maxWF:       sh.maxWF,
-		maxStretch:  sh.maxStretch,
+		now:       sh.eng.Now(),
+		doneCount: sh.doneCount,
+		flowSum:   new(big.Rat).Set(sh.flowSum),
+		// Deep copies: these leave the lock, and nothing may alias live
+		// aggregate state out of it — recordCompletion happens to replace
+		// rather than mutate the maxima today, but the snapshot must not
+		// depend on that staying true.
+		maxWF:       copyRat(sh.maxWF),
+		maxStretch:  copyRat(sh.maxStretch),
 		recentFlows: append([]float64(nil), sh.recentFlows...),
 	}
 	if sh.mwf != nil {

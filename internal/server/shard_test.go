@@ -7,6 +7,8 @@ import (
 	"math/big"
 	"net/http"
 	"net/http/httptest"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -105,6 +107,212 @@ func TestPartitionFleet(t *testing.T) {
 	}
 }
 
+// TestPartitionRejectsSplitDatabank is the regression test for the silent
+// round-robin databank split: -shards used to deal machines out even when a
+// databank's hosts landed in several shards with partial coverage, so a
+// restricted job routed to such a shard could use only a subset of its
+// machines while full hosts idled elsewhere — and work stealing could not
+// rescue it either. That shape is now a configuration error naming the
+// databank.
+func TestPartitionRejectsSplitDatabank(t *testing.T) {
+	// "x" is hosted by machines 0 and 1; shards=2 would put them in
+	// different shards, each sitting next to a machine that cannot serve x.
+	split := []model.Machine{
+		{Name: "s0", InverseSpeed: rat(1, 1), Databanks: []string{"x"}},
+		{Name: "s1", InverseSpeed: rat(1, 1), Databanks: []string{"x"}},
+		{Name: "s2", InverseSpeed: rat(1, 1)},
+		{Name: "s3", InverseSpeed: rat(1, 1)},
+	}
+	if _, err := partitionFleet(split, 2); err == nil || !strings.Contains(err.Error(), `"x"`) {
+		t.Errorf("split databank partition = %v, want error naming databank x", err)
+	}
+	if _, err := New(Config{Machines: split, Shards: 2}); err == nil {
+		t.Error("New must reject the split-databank round-robin config")
+	}
+	// The clean uniform-fleet path stays legal: every machine of every shard
+	// hosts the shared databank, so a restricted job keeps a full shard (and
+	// every shard can steal it).
+	if _, err := partitionFleet(uniformFleet(5), 2); err != nil {
+		t.Errorf("uniform fleet round-robin must stay legal: %v", err)
+	}
+	// A databank whose hosts all land in one shard is fine too, even when
+	// other machines of that shard do not host it.
+	oneShard := []model.Machine{
+		{Name: "h0", InverseSpeed: rat(1, 1), Databanks: []string{"shared", "hot"}},
+		{Name: "h1", InverseSpeed: rat(1, 1), Databanks: []string{"shared"}},
+		{Name: "h2", InverseSpeed: rat(1, 1), Databanks: []string{"shared", "hot"}},
+		{Name: "h3", InverseSpeed: rat(1, 1), Databanks: []string{"shared"}},
+	}
+	if _, err := partitionFleet(oneShard, 2); err != nil {
+		t.Errorf("hot databank confined to shard 0 must stay legal: %v", err)
+	}
+}
+
+// TestSubmitSkipsStalledShard is the regression test for routing new jobs
+// onto poisoned shards: a shard whose loop latched an error used to keep
+// winning least-backlog routing, accepting jobs that would queue forever.
+func TestSubmitSkipsStalledShard(t *testing.T) {
+	vc := NewVirtualClock()
+	// Machine h0 (shard 0) is the sole host of "only0"; everything hosts
+	// "shared".
+	machines := []model.Machine{
+		{Name: "h0", InverseSpeed: rat(1, 1), Databanks: []string{"shared", "only0"}},
+		{Name: "h1", InverseSpeed: rat(1, 1), Databanks: []string{"shared"}},
+	}
+	srv, err := New(Config{Machines: machines, Shards: 2, Clock: vc, DisableSteal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	poisonResp, err := srv.Submit(&model.SubmitRequest{Size: "2", Databanks: []string{"shared"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poisonResp.ID%2 != 0 {
+		t.Fatalf("first job routed to shard %d, want 0 (tie-break)", poisonResp.ID%2)
+	}
+	// Fault injection: revoke the job's eligibility so shard 0's loop latches
+	// a rejected admit.
+	sh := srv.shards[0]
+	sh.mu.Lock()
+	for i := range sh.eligible {
+		delete(sh.eligible[i], poisonResp.ID/2)
+	}
+	sh.mu.Unlock()
+	srv.Start()
+	waitStats(t, srv, func(st model.StatsResponse) bool { return st.LastError != "" })
+
+	// Unrestricted job: shard 0 has the smaller backlog (2 vs whatever) but
+	// is poisoned — the healthy shard 1 must take it, with no warning.
+	resp, err := srv.Submit(&model.SubmitRequest{Size: "100", Databanks: []string{"shared"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID%2 != 1 {
+		t.Errorf("unrestricted job routed to shard %d, want 1 (healthy beats stalled)", resp.ID%2)
+	}
+	if resp.Warning != "" {
+		t.Errorf("healthy routing carries warning %q", resp.Warning)
+	}
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 1 })
+
+	// A job only shard 0 can host still lands there — with the shard's error
+	// surfaced in the response.
+	soleResp, err := srv.Submit(&model.SubmitRequest{Size: "1", Databanks: []string{"only0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soleResp.ID%2 != 0 {
+		t.Errorf("only0 job routed to shard %d, want 0 (sole host)", soleResp.ID%2)
+	}
+	if soleResp.Warning == "" || !strings.Contains(soleResp.Warning, "stalled shard 0") {
+		t.Errorf("sole-host routing to a stalled shard must carry its error, got %q", soleResp.Warning)
+	}
+}
+
+// TestFailedAdmitKeepsTailPending is the regression test for a failed admit
+// silently discarding the rest of its batch: the unadmitted tail used to be
+// detached from pending, leaving jobs invisible to the steal census and to
+// the close() drain — "queued" forever with their sizes stuck in backlog.
+// The successfully admitted prefix must still land in the arrival-batch
+// statistics, or BatchedArrivals would fall short of the submission count
+// forever.
+func TestFailedAdmitKeepsTailPending(t *testing.T) {
+	srv, err := New(Config{Machines: testFleet(), Clock: NewVirtualClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := srv.Submit(&model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned, err := srv.Submit(&model.SubmitRequest{Size: "2", Databanks: []string{"swissprot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := srv.Submit(&model.SubmitRequest{Size: "1", Databanks: []string{"swissprot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := srv.shards[0]
+	sh.mu.Lock()
+	for i := range sh.eligible {
+		delete(sh.eligible[i], poisoned.ID)
+	}
+	sh.mu.Unlock()
+	srv.Start()
+	waitStats(t, srv, func(st model.StatsResponse) bool { return st.LastError != "" })
+
+	sh.mu.Lock()
+	pendingLen := len(sh.pending)
+	sh.mu.Unlock()
+	if pendingLen != 2 {
+		t.Errorf("pending after failed admit = %d records, want 2 (failed record and unadmitted tail)", pendingLen)
+	}
+	st := srv.Stats()
+	if st.BatchedArrivals != 1 {
+		t.Errorf("batchedArrivals = %d, want 1 (the admitted prefix must be counted despite the failure)", st.BatchedArrivals)
+	}
+	if st.JobsLive != 1 {
+		t.Errorf("jobsLive = %d, want 1 (only the job admitted before the failure)", st.JobsLive)
+	}
+	srv.Close()
+	for _, id := range []int{poisoned.ID, tail.ID} {
+		jst, known := srv.jobStatus(id)
+		if !known || jst.State != StateRejected {
+			t.Errorf("job %d after Close = %+v, want known and %q", id, jst, StateRejected)
+		}
+	}
+	if gst, _ := srv.jobStatus(good.ID); gst.State != StateScheduled {
+		t.Errorf("admitted job after Close = %q, want still %q (close drains only the queue)", gst.State, StateScheduled)
+	}
+	// Backlog keeps only the live job's size; the drained tail gave back
+	// 2 + 1.
+	if got := srv.Stats().Shards[0].Backlog; got != "4" {
+		t.Errorf("backlog after Close = %s, want 4 (rejected sizes subtracted, live job kept)", got)
+	}
+}
+
+// TestCloseDrainsPendingToRejected is the regression test for Close
+// stranding accepted-but-never-admitted jobs: they used to stay "queued"
+// forever with their sizes still in the backlog. Close now drains them into
+// the terminal "rejected" state and corrects the backlog.
+func TestCloseDrainsPendingToRejected(t *testing.T) {
+	srv, err := New(Config{Machines: testFleet(), Clock: NewVirtualClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: both submissions sit in pending when Close runs.
+	first, err := srv.Submit(&model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := srv.Submit(&model.SubmitRequest{Size: "3", Databanks: []string{"pdb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	for _, id := range []int{first.ID, second.ID} {
+		st, known := srv.jobStatus(id)
+		if !known {
+			t.Fatalf("job %d vanished after Close", id)
+		}
+		if st.State != StateRejected {
+			t.Errorf("job %d state after Close = %q, want %q", id, st.State, StateRejected)
+		}
+	}
+	st := srv.Stats()
+	if st.JobsLive != 0 {
+		t.Errorf("jobsLive after Close = %d, want 0", st.JobsLive)
+	}
+	for _, ss := range st.Shards {
+		if ss.Backlog != "0" {
+			t.Errorf("shard %d backlog after Close = %s, want 0 (stranded sizes subtracted)", ss.Shard, ss.Backlog)
+		}
+	}
+}
+
 // TestShardPartitionAndRouting: a two-island fleet yields two shards; jobs
 // route by databank, IDs are shard-encoded, reads merge both shards, and a
 // job needing databanks from both islands is rejected (no single machine
@@ -142,6 +350,9 @@ func TestShardPartitionAndRouting(t *testing.T) {
 		t.Errorf("cross-island job = %d, want 422", resp.StatusCode)
 	}
 
+	// Admission barrier before moving the clock: both loops must admit
+	// their job at t=0 or the exact flows below would shift.
+	waitStats(t, srv, func(st model.StatsResponse) bool { return st.BatchedArrivals >= 2 })
 	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 2 })
 
 	// Job status by global ID from either shard.
@@ -215,11 +426,11 @@ func TestRoutingPicksLeastLoadedShard(t *testing.T) {
 	defer srv.Close()
 	submit := func(size string) int {
 		t.Helper()
-		id, err := srv.Submit(&model.SubmitRequest{Size: size, Databanks: []string{"shared"}})
+		resp, err := srv.Submit(&model.SubmitRequest{Size: size, Databanks: []string{"shared"}})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return id
+		return resp.ID
 	}
 	// Ties go to shard 0; then the big job tilts the balance so the next
 	// two small ones both land on shard 1 until it catches up.
@@ -309,10 +520,11 @@ func TestQueuedUntilEngineAccepts(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	id, err := srv.Submit(&model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
+	resp, err := srv.Submit(&model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	id := resp.ID
 	// Fault injection: revoke the job's eligibility before the loop starts,
 	// so the engine rejects the admit ("cannot run on any machine").
 	sh := srv.shards[0]
@@ -324,7 +536,7 @@ func TestQueuedUntilEngineAccepts(t *testing.T) {
 	srv.Start()
 	waitStats(t, srv, func(st model.StatsResponse) bool { return st.LastError != "" })
 
-	st, known := sh.jobStatus(id)
+	st, known, _ := sh.jobStatus(id, id)
 	if !known {
 		t.Fatal("job vanished")
 	}
@@ -353,10 +565,11 @@ func TestCostGuardsCompactedRecords(t *testing.T) {
 	}
 	defer srv.Close()
 	srv.Start()
-	id, err := srv.Submit(&model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
+	resp, err := srv.Submit(&model.SubmitRequest{Size: "4", Databanks: []string{"swissprot"}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	id := resp.ID
 	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 1 })
 	vc.Advance(big.NewRat(100, 1))
 	if _, err := srv.Submit(&model.SubmitRequest{Size: "2", Databanks: []string{"swissprot"}}); err != nil {
@@ -418,6 +631,89 @@ func validateShard(t *testing.T, sh *shard) {
 	sched := &schedule.Schedule{Pieces: pieces}
 	if err := sched.Validate(inst, schedule.Divisible, nil); err != nil {
 		t.Fatalf("shard %d: executed trace invalid: %v", sh.idx, err)
+	}
+}
+
+// validateServer rebuilds the whole fleet's offline instance — every job
+// counted once at its birth shard, machines in global order — and validates
+// the *merged* executed trace against the exact validator. This is the
+// correctness check for work stealing: a migrated job's pre-migration pieces
+// (donor trace) and post-migration pieces (thief trace) must together
+// process exactly fraction 1 under the original release date.
+func validateServer(t *testing.T, srv *Server) {
+	t.Helper()
+	fleetSize := 0
+	for _, sh := range srv.shards {
+		fleetSize += len(sh.machines)
+	}
+	machines := make([]model.Machine, fleetSize)
+	type gidJob struct {
+		gid int
+		job model.Job
+	}
+	var jobs []gidJob
+	var pieces []schedule.Piece
+	for _, sh := range srv.shards {
+		sh.mu.Lock()
+		for i := range sh.machines {
+			machines[sh.machineIdx[i]] = sh.machines[i]
+		}
+		for _, rec := range sh.records {
+			if rec == nil {
+				sh.mu.Unlock()
+				t.Fatalf("shard %d: compacted record; validateServer needs full history", sh.idx)
+			}
+			if rec.stolen {
+				continue // counted at its birth shard
+			}
+			jobs = append(jobs, gidJob{gid: rec.gid, job: model.Job{
+				Name:      rec.name,
+				Release:   new(big.Rat).Set(rec.release),
+				Weight:    new(big.Rat).Set(rec.weight),
+				Size:      new(big.Rat).Set(rec.size),
+				Databanks: rec.databanks,
+			}})
+		}
+		for k := range sh.eng.Schedule().Pieces {
+			pc := &sh.eng.Schedule().Pieces[k]
+			pieces = append(pieces, schedule.Piece{
+				Machine:  sh.machineIdx[pc.Machine],
+				Job:      sh.records[pc.Job].gid,
+				Start:    new(big.Rat).Set(pc.Start),
+				End:      new(big.Rat).Set(pc.End),
+				Fraction: new(big.Rat).Set(pc.Fraction),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	// NewInstance stably re-sorts by release; pre-sorting with the same
+	// comparator keeps positions aligned with the gid → index map.
+	sort.SliceStable(jobs, func(a, b int) bool {
+		return jobs[a].job.Release.Cmp(jobs[b].job.Release) < 0
+	})
+	index := make(map[int]int, len(jobs))
+	plain := make([]model.Job, len(jobs))
+	for i := range jobs {
+		index[jobs[i].gid] = i
+		plain[i] = jobs[i].job
+	}
+	inst, err := model.NewInstance(plain, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range pieces {
+		idx, ok := index[pieces[k].Job]
+		if !ok {
+			t.Fatalf("merged trace references unknown global job %d", pieces[k].Job)
+		}
+		pieces[k].Job = idx
+	}
+	sched := &schedule.Schedule{Pieces: pieces}
+	if err := sched.Validate(inst, schedule.Divisible, nil); err != nil {
+		t.Fatalf("merged executed trace invalid: %v", err)
 	}
 }
 
@@ -488,17 +784,21 @@ func TestMultiShardConcurrentSubmissionUnderRace(t *testing.T) {
 	}
 	perShard := 0
 	for _, ss := range stats.Shards {
-		if ss.JobsAccepted == 0 {
-			t.Errorf("shard %d got no jobs; router never balanced onto it", ss.Shard)
+		// With stealing on, a shard may get all its work by stealing rather
+		// than routing; starvation means neither path reached it.
+		if ss.JobsAccepted == 0 && ss.StolenJobs == 0 {
+			t.Errorf("shard %d got no jobs; neither routing nor stealing reached it", ss.Shard)
 		}
 		perShard += ss.JobsAccepted
 	}
 	if perShard != clients*perClient {
 		t.Errorf("per-shard accepted sums to %d, want %d", perShard, clients*perClient)
 	}
-	for _, sh := range srv.shards {
-		validateShard(t, sh)
+	if stats.StolenJobs != stats.Migrations {
+		t.Errorf("stolen %d != migrated %d: a migration has exactly one donor and one thief",
+			stats.StolenJobs, stats.Migrations)
 	}
+	validateServer(t, srv)
 }
 
 // TestMultiShardExactSolvesUnderRace runs the exact online-MWF policy on two
@@ -541,7 +841,5 @@ func TestMultiShardExactSolvesUnderRace(t *testing.T) {
 			t.Errorf("shard %d never solved; routing starved it", ss.Shard)
 		}
 	}
-	for _, sh := range srv.shards {
-		validateShard(t, sh)
-	}
+	validateServer(t, srv)
 }

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"math/big"
+	"sort"
+)
+
+// Cross-shard work stealing. PR 3's router pins a job to the shard it was
+// routed to, so once load shifts an idle shard cannot help an overloaded
+// one — exactly the flexibility the divisible-load model exists to exploit.
+// The steal protocol closes that gap: an idle shard asks the server for
+// work, and the server migrates jobs (queued or live, with their exact
+// remaining fractions) from the largest-backlog shard whose databanks the
+// thief hosts. Migrated jobs keep their global ID, flow origin, and every
+// piece of work already executed; the forwarding table makes the move
+// invisible on the wire.
+
+// stealItem is one candidate job for migration out of a donor shard.
+type stealItem struct {
+	rec  *jobRecord
+	work *big.Rat // size · remaining: the exact work that would move
+	live bool     // live in the donor engine (vs still pending)
+}
+
+// stealFor migrates work onto an idle thief shard, trying donors in order
+// of decreasing backlog. It reports whether any job moved.
+func (s *Server) stealFor(thief *shard) bool {
+	type cand struct {
+		sh   *shard
+		work *big.Rat
+	}
+	var cands []cand
+	for _, sh := range s.shards {
+		if sh == thief {
+			continue
+		}
+		if work := sh.residualWork(); work.Sign() > 0 {
+			cands = append(cands, cand{sh, work})
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		return cands[a].work.Cmp(cands[b].work) > 0
+	})
+	for _, c := range cands {
+		if s.stealFrom(thief, c.sh) {
+			return true
+		}
+	}
+	return false
+}
+
+// stealFrom moves up to half of the donor's jobs — those the thief can host,
+// largest remaining work first — onto the thief. The whole migration runs
+// under both shards' mus, locked in index order (the global acquisition
+// order, so concurrent steals in opposite directions cannot deadlock):
+// extraction, insertion, the forwarding-table update, and the backlog
+// transfer are one atomic step as far as every reader is concerned.
+func (s *Server) stealFrom(thief, donor *shard) bool {
+	// Catch the donor up to the present first, under its mu alone: its
+	// engine may be asleep at its last event with an allocation that has
+	// been (notionally) executing since — extracting remaining fractions at
+	// that stale time would retroactively discard all of that work. Doing
+	// it here also keeps any event-driven re-solve out of the two-shard
+	// critical section.
+	donor.mu.Lock()
+	if !donor.closed && donor.lastErr == nil {
+		donor.catchUp()
+	}
+	donor.mu.Unlock()
+
+	first, second := thief, donor
+	if donor.idx < thief.idx {
+		first, second = donor, thief
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	moved := s.stealLocked(thief, donor)
+	// The thief's mu is released first (release order is free; only the
+	// acquisition order matters): the donor's re-plan below may be a whole
+	// exact LP solve, and the thief — whose loop wants to admit the jobs it
+	// just stole — must not wait behind it.
+	thief.mu.Unlock()
+	// Re-plan the donor while still under its mu: the extraction invalidated
+	// its plan cache (Engine.Remove), and without a fresh decision the
+	// machines that ran the stolen jobs would idle until the donor's next
+	// natural event.
+	if moved != nil && moved.removedLive && donor.lastErr == nil {
+		donor.decide()
+	}
+	donor.mu.Unlock()
+	if moved == nil {
+		return false
+	}
+	// The donor's next event changed (stolen completions vanished): wake its
+	// loop so it re-arms its timer instead of sleeping toward a stale one.
+	donor.poke()
+	return true
+}
+
+// stealOutcome reports what stealLocked moved.
+type stealOutcome struct {
+	removedLive bool
+}
+
+// stealLocked is the critical section of a migration. Callers hold both
+// shards' mus.
+func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
+	// The thief must still be an idle, healthy, open shard: a submission may
+	// have raced in while the locks were acquired, and stealing onto a shard
+	// that already has work (or can never schedule it) helps nobody. A
+	// closed donor is off limits too — during Server.Close a still-running
+	// shard must not extract live jobs from an already-drained one just to
+	// have its own close() mark them rejected.
+	if thief.closed || donor.closed || thief.lastErr != nil || thief.eng.Live() > 0 || len(thief.pending) > 0 {
+		return nil
+	}
+	// Census of the donor's jobs: everything pending plus everything live.
+	total := len(donor.pending) + donor.eng.Live()
+	if total < 2 {
+		// A donor running its only job gains nothing from losing it; moving
+		// it would just relocate the same serial work (and invite the donor
+		// to steal it straight back).
+		return nil
+	}
+	var items []stealItem
+	for _, rec := range donor.pending {
+		if !thief.hosts(rec.databanks) {
+			continue
+		}
+		work := new(big.Rat).Set(rec.size)
+		if rec.remaining != nil {
+			work.Mul(work, rec.remaining)
+		}
+		items = append(items, stealItem{rec: rec, work: work})
+	}
+	for _, id := range donor.eng.LiveIDs() {
+		rec := donor.records[id]
+		if !thief.hosts(rec.databanks) {
+			continue
+		}
+		work := new(big.Rat).Mul(rec.size, donor.eng.Remaining(id))
+		items = append(items, stealItem{rec: rec, work: work, live: true})
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	// Largest remaining work first (ties to the oldest job), and never more
+	// than half the donor's jobs: the donor keeps at least as much as it
+	// gives away.
+	sort.SliceStable(items, func(a, b int) bool {
+		if c := items[a].work.Cmp(items[b].work); c != 0 {
+			return c > 0
+		}
+		return items[a].rec.id < items[b].rec.id
+	})
+	k := total / 2
+	if k > len(items) {
+		k = len(items)
+	}
+	if k == 0 {
+		return nil
+	}
+
+	out := &stealOutcome{}
+	movedSize := new(big.Rat)
+	for _, it := range items[:k] {
+		rec := it.rec
+		remaining := rec.remaining
+		if it.live {
+			rj, err := donor.eng.Remove(rec.id)
+			if err != nil {
+				// Unreachable while the live census is taken under the same
+				// lock; skip rather than poison the migration.
+				continue
+			}
+			remaining = rj.Remaining
+			out.removedLive = true
+		} else {
+			pending := donor.pending[:0]
+			for _, p := range donor.pending {
+				if p != rec {
+					pending = append(pending, p)
+				}
+			}
+			donor.pending = pending
+		}
+		for i := range donor.eligible {
+			delete(donor.eligible[i], rec.id)
+		}
+		rec.state = StateMigrated
+		// Every donor piece of the job ends by the donor engine's present:
+		// once the retention horizon passes this point the record (kept only
+		// to translate those pieces) can be compacted.
+		rec.migratedAt = donor.eng.Now()
+		donor.migratedIDs = append(donor.migratedIDs, rec.id)
+		donor.migratedOut++
+
+		nrec := &jobRecord{
+			id:        len(thief.records),
+			gid:       rec.gid, // the global ID survives the move
+			name:      rec.name,
+			weight:    rec.weight,
+			size:      rec.size,
+			databanks: rec.databanks,
+			state:     StateQueued,
+			release:   rec.release, // flow origin: still the first submission
+			remaining: remaining,
+			stolen:    true,
+			counted:   rec.counted, // a pre-admission steal is still uncounted
+		}
+		thief.records = append(thief.records, nrec)
+		thief.pending = append(thief.pending, nrec)
+		for i := range thief.machines {
+			if thief.machines[i].Hosts(nrec.databanks) {
+				thief.eligible[i][nrec.id] = true
+			}
+		}
+		thief.stolenIn++
+		s.fwdMu.Lock()
+		s.forward[rec.gid] = fwdLoc{sh: thief, local: nrec.id}
+		s.fwdMu.Unlock()
+		movedSize.Add(movedSize, rec.size)
+	}
+	if movedSize.Sign() == 0 {
+		return nil
+	}
+	// The backlog transfer is atomic with respect to the router: both
+	// backlogMus are held (index order again) while the sizes move, so the
+	// fleet-wide residual work is conserved at every instant.
+	a, b := thief, donor
+	if donor.idx < thief.idx {
+		a, b = donor, thief
+	}
+	a.backlogMu.Lock()
+	b.backlogMu.Lock()
+	donor.backlog.Sub(donor.backlog, movedSize)
+	thief.backlog.Add(thief.backlog, movedSize)
+	b.backlogMu.Unlock()
+	a.backlogMu.Unlock()
+	return out
+}

@@ -43,9 +43,13 @@ type Engine struct {
 	alloc     Allocation
 	haveAlloc bool
 
-	decisions int
-	completed int
+	decisions  int
+	completed  int
+	migrations int
 }
+
+// ratOne is the constant 1; never mutated.
+var ratOne = big.NewRat(1, 1)
 
 type engineJob struct {
 	release   *big.Rat
@@ -120,6 +124,16 @@ func (e *Engine) Schedule() *schedule.Schedule { return e.sched }
 // positive; size may be nil for unsized jobs. The job must be eligible on at
 // least one machine, and the ID must be new.
 func (e *Engine) Add(id int, release, weight, size *big.Rat) error {
+	return e.AddPartial(id, release, weight, size, nil)
+}
+
+// AddPartial admits a job of which only the given fraction is left to
+// process — the admission path for jobs extracted from another engine with
+// Remove and migrated here. remaining must be in (0, 1]; nil means 1 (a
+// whole job, identical to Add). The release keeps the job's original flow
+// origin, so flow and stretch stay measured from first submission no matter
+// how many engines the job crosses.
+func (e *Engine) AddPartial(id int, release, weight, size, remaining *big.Rat) error {
 	if _, dup := e.jobs[id]; dup {
 		return fmt.Errorf("sim: duplicate job id %d", id)
 	}
@@ -128,6 +142,9 @@ func (e *Engine) Add(id int, release, weight, size *big.Rat) error {
 	}
 	if weight == nil || weight.Sign() <= 0 {
 		return fmt.Errorf("sim: job %d needs a weight > 0", id)
+	}
+	if remaining != nil && (remaining.Sign() <= 0 || remaining.Cmp(ratOne) > 0) {
+		return fmt.Errorf("sim: job %d needs remaining in (0, 1], got %v", id, remaining.RatString())
 	}
 	eligible := false
 	for i := 0; i < e.m; i++ {
@@ -145,6 +162,9 @@ func (e *Engine) Add(id int, release, weight, size *big.Rat) error {
 		release:   new(big.Rat).Set(release),
 		weight:    new(big.Rat).Set(weight),
 		remaining: big.NewRat(1, 1),
+	}
+	if remaining != nil {
+		j.remaining.Set(remaining)
 	}
 	if size != nil {
 		j.size = new(big.Rat).Set(size)
@@ -205,6 +225,75 @@ func (e *Engine) Compact(horizon *big.Rat) []int {
 	}
 	return forgotten
 }
+
+// RemovedJob is the exact live state Remove extracts from the engine: the
+// job's flow origin, weight, size, and the fraction of it still unprocessed
+// at removal time. Feeding it to another engine's AddPartial migrates the
+// job without losing or duplicating any work.
+type RemovedJob struct {
+	Release   *big.Rat
+	Weight    *big.Rat
+	Size      *big.Rat // nil when unsized
+	Remaining *big.Rat
+}
+
+// PlanInvalidator is implemented by policies whose cached plan is keyed to
+// the live job set (OnlineMWF's lazy plan cache). Remove calls it so a stale
+// plan piece for a vanished job can never be followed — the residual
+// fingerprint would already reject such a plan, but removal makes the
+// invalidation unconditional rather than an emergent property.
+type PlanInvalidator interface{ InvalidatePlan() }
+
+// Remove extracts a live job from the engine: the job disappears from the
+// policy-visible set and from the current allocation, while the executed
+// trace keeps every piece of work already done on it. The returned state
+// (exact remaining fraction included) lets the caller re-admit the job in a
+// different engine with AddPartial. Unknown and completed jobs error.
+func (e *Engine) Remove(id int) (*RemovedJob, error) {
+	j := e.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("sim: remove: unknown job %d", id)
+	}
+	if j.completed != nil {
+		return nil, fmt.Errorf("sim: remove: job %d already completed", id)
+	}
+	delete(e.jobs, id)
+	for k, oid := range e.order {
+		if oid == id {
+			e.order = append(e.order[:k], e.order[k+1:]...)
+			break
+		}
+	}
+	// Scrub the installed allocation: a later AdvanceTo must not execute (or
+	// extend a piece of) a job this engine no longer owns.
+	if e.haveAlloc {
+		for i, aid := range e.alloc.MachineJob {
+			if aid == id {
+				e.alloc.MachineJob[i] = -1
+			}
+		}
+	}
+	if inv, ok := e.policy.(PlanInvalidator); ok {
+		inv.InvalidatePlan()
+	}
+	e.migrations++
+	out := &RemovedJob{
+		Release:   j.release,
+		Weight:    j.weight,
+		Remaining: j.remaining,
+	}
+	if j.size != nil {
+		out.Size = j.size
+	}
+	return out, nil
+}
+
+// Migrations returns how many live jobs have been extracted with Remove.
+func (e *Engine) Migrations() int { return e.migrations }
+
+// LiveIDs returns the IDs of released, incomplete jobs (a copy, in
+// (release, ID) order).
+func (e *Engine) LiveIDs() []int { return append([]int(nil), e.order...) }
 
 // Snapshot builds the policy-visible view of the current state.
 func (e *Engine) Snapshot() *Snapshot {

@@ -118,6 +118,19 @@ func (p *OnlineMWF) Reset() {
 // Err reports the first inner-solver failure, if any.
 func (p *OnlineMWF) Err() error { return p.err }
 
+// InvalidatePlan implements sim.PlanInvalidator: it drops the cached plan
+// and its residual-workload fingerprint, forcing the next Assign through a
+// fresh solve. The engine calls it when a live job is removed (migrated to
+// another shard), so no stale plan piece for the vanished job is ever
+// followed. The warm-start basis survives: the next residual LP is still a
+// small perturbation of the last one.
+func (p *OnlineMWF) InvalidatePlan() {
+	p.plan = nil
+	p.known = nil
+	p.solveAt = nil
+	p.solveRem = nil
+}
+
 // Assign implements Policy.
 func (p *OnlineMWF) Assign(s *Snapshot) Allocation {
 	if len(s.Jobs) == 0 || p.err != nil {

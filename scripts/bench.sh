@@ -4,9 +4,10 @@
 #   BENCH_lp.json      the LP/solver suite (baseline section preserved, so
 #                      every run shows the trajectory against the
 #                      pre-hybrid seed)
-#   BENCH_server.json  the sharded divflowd throughput suite (shards=1/2/4
-#                      over the same virtual-clock burst: the multi-shard
-#                      scaling claim, measured)
+#   BENCH_server.json  the sharded divflowd throughput suite: shards=1/2/4
+#                      over the same virtual-clock burst (the multi-shard
+#                      scaling claim) plus the imbalanced-workload steal
+#                      on/off pair (the work-stealing claim), measured
 #
 # Usage:
 #
@@ -17,5 +18,6 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
 LABEL="$(git rev-parse --short HEAD 2>/dev/null || echo dev)"
 go run ./cmd/benchjson -benchtime "$BENCHTIME" -label "$LABEL" -out BENCH_lp.json
-go run ./cmd/benchjson -pkg ./internal/server -bench BenchmarkServerThroughput \
+go run ./cmd/benchjson -pkg ./internal/server \
+  -bench 'BenchmarkServerThroughput|BenchmarkServerStealImbalance' \
   -benchtime "$BENCHTIME" -label "$LABEL" -out BENCH_server.json
