@@ -1,0 +1,149 @@
+// Command benchcmp is the CI bench-regression gate: it compares a smoke-run
+// benchmark JSON (produced by cmd/benchjson) against the committed
+// trajectory file and fails when the suite drifted — a benchmark present in
+// the committed file but missing from the smoke run (renamed, deleted, or
+// silently skipped), a benchmark the smoke run found that the committed file
+// never recorded (added but not re-recorded), a custom metric that vanished,
+// or insane fields (zero iterations, non-positive ns/op). Values are NOT
+// compared: a 1x smoke iteration says nothing about speed, only about the
+// harness still measuring what the committed file claims it measures.
+//
+//	go run ./cmd/benchjson -benchtime 1x -out /tmp/smoke.json
+//	go run ./cmd/benchcmp -committed BENCH_lp.json -smoke /tmp/smoke.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// benchmark mirrors cmd/benchjson's per-benchmark record (the committed
+// schema; keep in sync with cmd/benchjson).
+type benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// run mirrors cmd/benchjson's labelled result set.
+type run struct {
+	Label      string      `json:"label"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// file mirrors the committed BENCH_*.json document.
+type file struct {
+	Bench    string `json:"bench"`
+	Baseline *run   `json:"baseline,omitempty"`
+	Current  *run   `json:"current"`
+}
+
+func load(path string) (*file, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchcmp: %s: %w", path, err)
+	}
+	if f.Current == nil || len(f.Current.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchcmp: %s has no current benchmarks", path)
+	}
+	return &f, nil
+}
+
+func index(r *run) map[string]benchmark {
+	out := make(map[string]benchmark, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		out[b.Name] = b
+	}
+	return out
+}
+
+// sane reports field-level problems of one benchmark record.
+func sane(where string, b benchmark) []string {
+	var probs []string
+	if b.Iterations <= 0 {
+		probs = append(probs, fmt.Sprintf("%s: %s: iterations = %d, want > 0", where, b.Name, b.Iterations))
+	}
+	if b.NsPerOp <= 0 {
+		probs = append(probs, fmt.Sprintf("%s: %s: ns_per_op = %g, want > 0", where, b.Name, b.NsPerOp))
+	}
+	for metric, v := range b.Metrics {
+		if v < 0 {
+			probs = append(probs, fmt.Sprintf("%s: %s: metric %q = %g, want >= 0", where, b.Name, metric, v))
+		}
+	}
+	return probs
+}
+
+// compare returns every schema drift between the committed file and the
+// smoke run, sorted for stable output.
+func compare(committed, smoke *file) []string {
+	var probs []string
+	want := index(committed.Current)
+	got := index(smoke.Current)
+	for name, cb := range want {
+		sb, ok := got[name]
+		if !ok {
+			probs = append(probs, fmt.Sprintf("benchmark %q committed but missing from the smoke run (renamed or silently skipped?)", name))
+			continue
+		}
+		for metric := range cb.Metrics {
+			if _, ok := sb.Metrics[metric]; !ok {
+				probs = append(probs, fmt.Sprintf("benchmark %q no longer reports committed metric %q", name, metric))
+			}
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			probs = append(probs, fmt.Sprintf("benchmark %q ran in the smoke suite but is not committed (re-run scripts/bench.sh and commit the JSON)", name))
+		}
+	}
+	for _, b := range committed.Current.Benchmarks {
+		probs = append(probs, sane("committed", b)...)
+	}
+	for _, b := range smoke.Current.Benchmarks {
+		probs = append(probs, sane("smoke", b)...)
+	}
+	sort.Strings(probs)
+	return probs
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcmp: ")
+	var (
+		committedPath = flag.String("committed", "", "committed BENCH_*.json to gate against (required)")
+		smokePath     = flag.String("smoke", "", "smoke-run JSON produced by cmd/benchjson (required)")
+	)
+	flag.Parse()
+	if *committedPath == "" || *smokePath == "" {
+		flag.Usage()
+		log.Fatal("need both -committed and -smoke")
+	}
+	committed, err := load(*committedPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smoke, err := load(*smokePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if probs := compare(committed, smoke); len(probs) > 0 {
+		for _, p := range probs {
+			log.Print(p)
+		}
+		log.Fatalf("%d problem(s): %s drifted from %s", len(probs), *smokePath, *committedPath)
+	}
+	log.Printf("%s matches the committed schema of %s (%d benchmarks)",
+		*smokePath, *committedPath, len(committed.Current.Benchmarks))
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkFile(names ...string) *file {
+	f := &file{Current: &run{Label: "x"}}
+	for _, n := range names {
+		f.Current.Benchmarks = append(f.Current.Benchmarks, benchmark{
+			Name: n, Iterations: 1, NsPerOp: 100,
+			Metrics: map[string]float64{"jobs/s": 10},
+		})
+	}
+	return f
+}
+
+func TestCompareAcceptsMatchingSuites(t *testing.T) {
+	committed := mkFile("BenchmarkA/x", "BenchmarkB")
+	smoke := mkFile("BenchmarkA/x", "BenchmarkB")
+	if probs := compare(committed, smoke); len(probs) != 0 {
+		t.Fatalf("identical suites flagged: %v", probs)
+	}
+}
+
+func TestCompareFlagsMissingBenchmark(t *testing.T) {
+	committed := mkFile("BenchmarkA", "BenchmarkGone")
+	smoke := mkFile("BenchmarkA")
+	probs := compare(committed, smoke)
+	if len(probs) != 1 || !strings.Contains(probs[0], "BenchmarkGone") || !strings.Contains(probs[0], "missing") {
+		t.Fatalf("dropped benchmark not flagged: %v", probs)
+	}
+}
+
+func TestCompareFlagsUncommittedBenchmark(t *testing.T) {
+	committed := mkFile("BenchmarkA")
+	smoke := mkFile("BenchmarkA", "BenchmarkNew")
+	probs := compare(committed, smoke)
+	if len(probs) != 1 || !strings.Contains(probs[0], "BenchmarkNew") || !strings.Contains(probs[0], "not committed") {
+		t.Fatalf("uncommitted benchmark not flagged: %v", probs)
+	}
+}
+
+func TestCompareFlagsVanishedMetric(t *testing.T) {
+	committed := mkFile("BenchmarkA")
+	smoke := mkFile("BenchmarkA")
+	smoke.Current.Benchmarks[0].Metrics = nil
+	probs := compare(committed, smoke)
+	if len(probs) != 1 || !strings.Contains(probs[0], `"jobs/s"`) {
+		t.Fatalf("vanished metric not flagged: %v", probs)
+	}
+}
+
+func TestCompareFlagsInsaneFields(t *testing.T) {
+	committed := mkFile("BenchmarkA")
+	smoke := mkFile("BenchmarkA")
+	smoke.Current.Benchmarks[0].Iterations = 0
+	smoke.Current.Benchmarks[0].NsPerOp = 0
+	probs := compare(committed, smoke)
+	if len(probs) != 2 {
+		t.Fatalf("zero iterations + zero ns/op produced %d problems, want 2: %v", len(probs), probs)
+	}
+	for _, p := range probs {
+		if !strings.HasPrefix(p, "smoke:") {
+			t.Errorf("problem not attributed to the smoke run: %s", p)
+		}
+	}
+}

@@ -15,6 +15,15 @@
 //	GET  /v1/jobs/{id}     job state, completion, flow / weighted flow / stretch
 //	GET  /v1/schedule      executed Gantt so far (?since=<rat> to window)
 //	GET  /v1/stats         solve/batch/cache counters and flow metrics
+//	POST /v1/platform      admin: live re-shard against an updated platform JSON
+//
+// The platform is live: a replication event that changes databank placement
+// is applied at runtime either by POSTing the updated platform JSON to
+// /v1/platform or by rewriting the -platform file and sending SIGHUP — the
+// service recomputes the databank-connectivity partition and migrates
+// affected jobs (exact remaining fractions, stable IDs) onto the new shard
+// topology. -reshard=false pins the startup partition for the process's
+// whole life.
 package main
 
 import (
@@ -50,6 +59,8 @@ func main() {
 			"number of scheduling shards (round-robin over the fleet); 0 partitions by databank-connectivity components (or the platform's \"shards\" field)")
 		steal = flag.Bool("steal", true,
 			"cross-shard work stealing: an idle shard migrates queued or live jobs (exact remaining fractions, original IDs and flow origins) from the largest-backlog shard; false pins jobs to the shard they were routed to")
+		reshard = flag.Bool("reshard", true,
+			"live re-sharding: POST /v1/platform (or rewrite the -platform file and send SIGHUP) repartitions the running fleet when databank placement changes; false pins the startup partition")
 	)
 	flag.Parse()
 	if *platform == "" {
@@ -68,7 +79,7 @@ func main() {
 	if *shards < 0 {
 		log.Fatalf("bad -shards %d: want >= 0", *shards)
 	}
-	cfg := server.Config{Machines: machines, Policy: *policy, Shards: plat.Shards, DisableSteal: !*steal}
+	cfg := server.Config{Machines: machines, Policy: *policy, Shards: plat.Shards, DisableSteal: !*steal, DisableReshard: !*reshard}
 	if *shards > 0 {
 		cfg.Shards = *shards
 	}
@@ -96,6 +107,46 @@ func main() {
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
 	}()
+	if *reshard {
+		// SIGHUP reloads the platform file and live-reshards against it: the
+		// operator's replication event needs only a file rewrite and a
+		// signal, no client tooling.
+		go func() {
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			for range hup {
+				data, err := os.ReadFile(*platform)
+				if err != nil {
+					log.Printf("SIGHUP reload: %v", err)
+					continue
+				}
+				plat, err := model.ParsePlatformConfig(data)
+				if err != nil {
+					log.Printf("SIGHUP reload: %v", err)
+					continue
+				}
+				// The -shards CLI override outranks the file at startup; a
+				// reload must apply the same precedence, or an unchanged
+				// file would repartition the fleet to the file's (absent)
+				// shard count instead of being the no-op it looks like.
+				if *shards > 0 {
+					plat.Shards = *shards
+				}
+				resp, err := srv.Reshard(plat)
+				switch {
+				case err != nil:
+					log.Printf("SIGHUP reshard rejected: %v", err)
+				case resp.Noop:
+					log.Printf("SIGHUP reshard: platform unchanged, partition kept (%d shards, generation %d)",
+						resp.ShardCount, resp.Generation)
+				default:
+					log.Printf("SIGHUP reshard: generation %d, %d shards (%d spawned, %d retired, %d kept), %d jobs migrated",
+						resp.Generation, resp.ShardCount, len(resp.SpawnedShards), len(resp.RetiredShards),
+						len(resp.KeptShards), resp.MigratedJobs)
+				}
+			}
+		}()
+	}
 	log.Printf("serving %d machines in %d shards on %s (policy %s)", len(machines), srv.ShardCount(), *addr, *policy)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

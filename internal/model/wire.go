@@ -131,9 +131,16 @@ type ShardStats struct {
 	CompactedJobs   int      `json:"compactedJobs,omitempty"`
 	StolenJobs      int      `json:"stolenJobs,omitempty"`
 	Migrations      int      `json:"migrations,omitempty"`
-	Backlog         string   `json:"backlog"`
-	Stalled         bool     `json:"stalled,omitempty"`
-	LastError       string   `json:"lastError,omitempty"`
+	// ReshardedIn counts jobs a live reshard migrated onto this shard and
+	// ReshardedOut jobs it migrated away; Retired marks a shard dropped from
+	// the active topology by a reshard — it no longer schedules, but keeps
+	// serving the records and executed trace of its generation.
+	ReshardedIn  int    `json:"reshardedIn,omitempty"`
+	ReshardedOut int    `json:"reshardedOut,omitempty"`
+	Retired      bool   `json:"retired,omitempty"`
+	Backlog      string `json:"backlog"`
+	Stalled      bool   `json:"stalled,omitempty"`
+	LastError    string `json:"lastError,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -186,10 +193,44 @@ type StatsResponse struct {
 	Migrations int    `json:"migrations,omitempty"`
 	Stalled    bool   `json:"stalled,omitempty"`
 	LastError  string `json:"lastError,omitempty"`
-	// ShardCount is the number of scheduling shards the fleet is partitioned
-	// into; Shards breaks the aggregate counters above down per shard.
-	ShardCount int          `json:"shardCount"`
-	Shards     []ShardStats `json:"shards,omitempty"`
+	// ShardCount is the number of *active* scheduling shards the fleet is
+	// currently partitioned into; Shards breaks the aggregate counters above
+	// down per shard, retired generations included. Generation is the
+	// current topology epoch (0 until the first structural reshard),
+	// ReshardEvents the number of structural reshards performed, and
+	// ReshardedJobs the number of job migrations those reshards made.
+	ShardCount    int          `json:"shardCount"`
+	Generation    int          `json:"generation"`
+	ReshardEvents int          `json:"reshardEvents,omitempty"`
+	ReshardedJobs int          `json:"reshardedJobs,omitempty"`
+	Shards        []ShardStats `json:"shards,omitempty"`
+}
+
+// ReshardResponse is the body answering POST /v1/platform: the outcome of a
+// live re-sharding request. A no-op reshard (the new platform induces the
+// partition already running) keeps every shard, migrates nothing, and does
+// not advance the generation.
+type ReshardResponse struct {
+	// Generation is the topology epoch after the reshard.
+	Generation int `json:"generation"`
+	// ShardCount is the number of active shards after the reshard.
+	ShardCount int `json:"shardCount"`
+	// Noop reports that the new platform left the partition unchanged.
+	Noop bool `json:"noop,omitempty"`
+	// MigratedJobs counts the queued and live jobs moved (with their exact
+	// remaining fractions) off retired shards onto the new topology.
+	MigratedJobs int `json:"migratedJobs"`
+	// SpawnedShards and RetiredShards list the creation indices of shards
+	// the reshard started and drained; KeptShards the ones carried over.
+	SpawnedShards []int `json:"spawnedShards,omitempty"`
+	RetiredShards []int `json:"retiredShards,omitempty"`
+	KeptShards    []int `json:"keptShards,omitempty"`
+	// Warning is set when some migrated job could only be placed on a shard
+	// whose loop has latched a scheduling error (the only host of its
+	// databanks): the repartition succeeded, but that job will queue until
+	// the shard recovers — the same degraded-routing signal SubmitResponse
+	// carries.
+	Warning string `json:"warning,omitempty"`
 }
 
 // ScheduleResponse is the body of GET /v1/schedule: the executed Gantt so

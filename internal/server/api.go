@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"net/http"
 	"sort"
@@ -21,16 +22,21 @@ import (
 //	GET  /v1/schedule      executed Gantt so far (model.ScheduleResponse);
 //	                       ?since=<rat> windows it to pieces ending after t
 //	GET  /v1/stats         service counters (model.StatsResponse)
+//	POST /v1/platform      admin: live re-shard against an updated platform
+//	                       JSON (model.ReshardResponse)
 //
 // Reads merge the per-shard state: job IDs are shard-encoded, the schedule
 // interleaves every shard's pieces over fleet machine indices, and stats
-// carry both fleet aggregates and the per-shard breakdown.
+// carry both fleet aggregates and the per-shard breakdown (retired shards
+// included — they keep serving the history executed before their
+// generation ended).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/platform", s.handlePlatform)
 	return mux
 }
 
@@ -47,6 +53,12 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // maxSubmitBytes bounds submission bodies: a single request must not be
 // able to feed the exact solvers arbitrarily large rationals.
 const maxSubmitBytes = 1 << 20
+
+// maxPlatformBytes bounds platform documents on the admin surface. It is
+// deliberately much larger than maxSubmitBytes: a fleet document scales with
+// machine count, and the same file loads unbounded at daemon startup and via
+// SIGHUP — the HTTP path must not be the one surface that rejects it.
+const maxPlatformBytes = 64 << 20
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req model.SubmitRequest
@@ -83,6 +95,35 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handlePlatform is the live re-sharding admin API: it accepts the same
+// platform JSON the daemon was started with (machines plus the optional
+// "shards" override) and repartitions the running fleet against it.
+func (s *Server) handlePlatform(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPlatformBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plat, err := model.ParsePlatformConfig(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Reshard(plat)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		switch {
+		case errors.Is(err, ErrReshardDisabled):
+			status = http.StatusForbidden
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var since *big.Rat
 	if q := r.URL.Query().Get("since"); q != "" {
@@ -94,11 +135,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		since = t
 	}
 	// Each shard deep-copies its window under its own lock; the merge and
-	// the serialization run lock-free.
+	// the serialization run lock-free. Retired shards contribute the pieces
+	// executed before their generation ended, so the merged Gantt stays the
+	// whole execution history across reshards.
 	var merged []schedule.Piece
 	now := new(big.Rat)
 	makespan := new(big.Rat) // of the whole execution, not the window
-	for _, sh := range s.shards {
+	for _, sh := range s.allShards() {
 		pieces, shNow, shMakespan := sh.scheduleSnapshot(since)
 		merged = append(merged, pieces...)
 		if shNow.Cmp(now) > 0 {
@@ -133,11 +176,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // Stats merges the per-shard counters into fleet-wide aggregates plus the
-// per-shard breakdown.
+// per-shard breakdown. Retired shards stay in the breakdown (marked
+// retired): their counters are history the aggregates must keep.
 func (s *Server) Stats() model.StatsResponse {
+	s.topoMu.RLock()
+	shardList := append([]*shard(nil), s.all...)
+	generationNum := len(s.gens) - 1
+	reshardEvents := s.reshards
+	activeCount := len(s.gens[len(s.gens)-1].shards)
+	s.topoMu.RUnlock()
 	resp := model.StatsResponse{
-		Policy:     s.policyName,
-		ShardCount: len(s.shards),
+		Policy:        s.policyName,
+		ShardCount:    activeCount,
+		Generation:    generationNum,
+		ReshardEvents: reshardEvents,
 	}
 	now := new(big.Rat)
 	var solver stats.SolverTally
@@ -145,7 +197,7 @@ func (s *Server) Stats() model.StatsResponse {
 	var maxWF, maxStretch *big.Rat
 	var recent []float64
 	doneCount := 0
-	for _, sh := range s.shards {
+	for _, sh := range shardList {
 		snap := sh.statsSnapshot()
 		resp.Shards = append(resp.Shards, snap.wire)
 		resp.JobsAccepted += snap.wire.JobsAccepted
@@ -159,13 +211,16 @@ func (s *Server) Stats() model.StatsResponse {
 		resp.CompactedJobs += snap.wire.CompactedJobs
 		resp.StolenJobs += snap.wire.StolenJobs
 		resp.Migrations += snap.wire.Migrations
+		resp.ReshardedJobs += snap.wire.ReshardedIn
 		if snap.wire.LargestBatch > resp.LargestBatch {
 			resp.LargestBatch = snap.wire.LargestBatch
 		}
-		if snap.wire.Stalled {
+		// A retired shard's latched error is history, not service health: its
+		// jobs were migrated to live shards by the reshard that retired it.
+		if snap.wire.Stalled && !snap.wire.Retired {
 			resp.Stalled = true
 		}
-		if resp.LastError == "" {
+		if resp.LastError == "" && !snap.wire.Retired {
 			resp.LastError = snap.wire.LastError
 		}
 		if snap.now.Cmp(now) > 0 {

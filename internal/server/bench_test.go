@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math/big"
 	"runtime"
 	"testing"
 
@@ -49,7 +50,7 @@ func BenchmarkServerStealImbalance(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				hot := srv.shards[0]
+				hot := srv.active()[0]
 				jobs := make([]model.Job, benchJobs)
 				for j := range jobs {
 					req := model.SubmitRequest{
@@ -90,6 +91,128 @@ func BenchmarkServerStealImbalance(b *testing.B) {
 				b.StartTimer()
 			}
 			b.ReportMetric(float64(benchJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkServerReshard measures the live re-sharding win on the workload
+// shape the feature exists for: a structural, databank-constrained imbalance
+// that work stealing cannot touch. Two machines host bankA, two host bankB;
+// nearly the whole burst needs bankA, so the bankB island drains its few
+// jobs and then sits idle — it cannot steal bankA work it cannot host. Mid-
+// burst, a replication event (the bankB machines gain bankA) is applied with
+// Reshard: the partition collapses to one four-machine shard, the unfinished
+// bankA jobs migrate with their exact remaining fractions, and the formerly
+// idle half of the fleet joins in. The static arm never learns about the
+// replication and grinds the burst out on two machines.
+//
+// Two metrics matter and they pull apart on a virtual clock. vclock-makespan
+// is the service-level win: the virtual time at which the burst finishes —
+// re-sharding roughly halves it, because half the fleet stops idling.
+// jobs/s is the solver-side cost of that win: wall-clock simulation
+// throughput, which pays for the merged shard's larger LPs (4 machines × a
+// migrated live set with non-unit remaining fractions). A real deployment
+// experiences the makespan axis; the wall-clock axis prices the extra exact
+// solving the repartition buys it with. Recorded as BENCH_server.json via
+// cmd/benchjson (scripts/bench.sh).
+func BenchmarkServerReshard(b *testing.B) {
+	fleet := func(replicated bool) []model.Machine {
+		machines := make([]model.Machine, benchFleetSize)
+		for m := range machines {
+			banks := []string{"bankA"}
+			if m >= benchFleetSize/2 {
+				banks = []string{"bankB"}
+				if replicated {
+					banks = []string{"bankB", "bankA"}
+				}
+			}
+			machines[m] = model.Machine{
+				Name:         fmt.Sprintf("u%d", m),
+				InverseSpeed: rat(1, int64(1+m%2)),
+				Databanks:    banks,
+			}
+		}
+		return machines
+	}
+	for _, reshard := range []bool{true, false} {
+		name := "reshard=mid"
+		if !reshard {
+			name = "static"
+		}
+		b.Run(name, func(b *testing.B) {
+			makespanSum := 0.0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				vc := NewVirtualClock()
+				srv, err := New(Config{Machines: fleet(false), Clock: vc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if srv.ShardCount() != 2 {
+					b.Fatalf("island fleet partitioned into %d shards, want 2", srv.ShardCount())
+				}
+				reqs := make([]model.SubmitRequest, benchJobs)
+				for j := range reqs {
+					bank := "bankA"
+					if j%(benchJobs/4) == 0 {
+						bank = "bankB" // a few jobs keep the B island defined
+					}
+					reqs[j] = model.SubmitRequest{
+						Size:      fmt.Sprintf("%d", 1+(j*7)%13),
+						Weight:    fmt.Sprintf("%d", 1+j%3),
+						Databanks: []string{bank},
+					}
+				}
+				b.StartTimer()
+				for j := range reqs {
+					if _, err := srv.Submit(&reqs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				srv.Start()
+				resharded := false
+				for {
+					st := srv.Stats()
+					if st.LastError != "" {
+						b.Fatal(st.LastError)
+					}
+					if st.JobsCompleted == benchJobs {
+						break
+					}
+					if reshard && !resharded && st.JobsCompleted >= benchJobs/4 {
+						resharded = true
+						if _, err := srv.Reshard(&model.Platform{Machines: fleet(true)}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if !vc.AdvanceToNextTimer() {
+						runtime.Gosched()
+					}
+				}
+				b.StopTimer()
+				if reshard {
+					if st := srv.Stats(); st.ReshardEvents != 1 || st.ReshardedJobs == 0 {
+						b.Fatalf("mid-burst run resharded %d times, migrated %d jobs", st.ReshardEvents, st.ReshardedJobs)
+					}
+				}
+				// The virtual time the whole burst took: the fleet-level
+				// outcome a deployment would feel. Max over every shard,
+				// retired islands included.
+				ms := new(big.Rat)
+				for _, sh := range srv.allShards() {
+					sh.mu.Lock()
+					if m := sh.makespan(); m.Cmp(ms) > 0 {
+						ms = m
+					}
+					sh.mu.Unlock()
+				}
+				msf, _ := ms.Float64()
+				makespanSum += msf
+				srv.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(benchJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			b.ReportMetric(makespanSum/float64(b.N), "vclock-makespan")
 		})
 	}
 }

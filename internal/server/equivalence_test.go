@@ -84,7 +84,7 @@ func testSingleShardEquivalence(t *testing.T, policy string, seed int64, steal b
 	}
 	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == inst.N() })
 
-	sh := srv.shards[0]
+	sh := srv.active()[0]
 	sh.mu.Lock()
 	got := append([]schedule.Piece(nil), sh.eng.Schedule().Pieces...)
 	completions := make([]string, inst.N())
@@ -181,7 +181,7 @@ func TestStealOffShardEquivalence(t *testing.T) {
 			// Per shard: rebuild the instance the router effectively gave it
 			// (records in local-ID order are release-ordered) and require the
 			// shard's trace to match the closed-world simulator exactly.
-			for _, sh := range srv.shards {
+			for _, sh := range srv.allShards() {
 				sh.mu.Lock()
 				jobs := make([]model.Job, len(sh.records))
 				for i, rec := range sh.records {

@@ -1,0 +1,467 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"strconv"
+	"strings"
+
+	"divflow/internal/model"
+	"divflow/internal/sim"
+)
+
+// Live re-sharding. The databank-connectivity partition is computed from the
+// platform document, and until now it was computed exactly once, at startup:
+// a replication or migration event that changes which hosts carry which
+// databanks silently invalidated the sharding (work stealing softens load
+// imbalance, but it cannot change shard *membership*). Reshard closes that
+// gap by re-solving the partition quasi-statically, at runtime, against an
+// updated platform:
+//
+//  1. recompute the partition over the new platform's machines;
+//  2. diff it against the live shard set — a new group whose ordered
+//     machine list (name, speed, databanks) is identical to a running
+//     shard's keeps that shard untouched, engine, executed trace, plan
+//     cache, warm-start basis chain and all;
+//  3. retire every unmatched shard, migrating its queued and live jobs —
+//     exact remaining fractions, original global IDs and flow origins —
+//     onto the new topology with the same machinery work stealing uses
+//     (Engine.RemoveAll / AddPartial plus the forwarding table);
+//  4. spawn loops for the new groups and advance the topology generation,
+//     so new global IDs decode through the new shard count while old IDs
+//     keep resolving through the generation that issued them.
+//
+// A reshard whose platform induces the partition already running is a no-op:
+// nothing migrates, the generation does not advance, and the server is
+// pinned trace-identical to one that never resharded.
+
+// sigField appends one field in a length-prefixed encoding, so no choice of
+// machine or databank name (nothing validates them against delimiter
+// characters) can make two different configurations encode identically.
+func sigField(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+}
+
+// machineSignature is one machine's scheduling-relevant identity: a shard
+// may only be kept across a reshard if its machines are pairwise identical
+// under this signature (same name, same exact speed, same databank list in
+// the same order — a databank permutation is treated as a change, which
+// costs at most a spurious respawn, never a wrong keep).
+func machineSignature(b *strings.Builder, m *model.Machine) {
+	sigField(b, m.Name)
+	sigField(b, m.InverseSpeed.RatString())
+	b.WriteString(strconv.Itoa(len(m.Databanks)))
+	b.WriteByte(';')
+	for _, d := range m.Databanks {
+		sigField(b, d)
+	}
+}
+
+// groupSignature is the ordered identity of a whole machine group.
+func groupSignature(machines []model.Machine) string {
+	var b strings.Builder
+	for i := range machines {
+		machineSignature(&b, &machines[i])
+	}
+	return b.String()
+}
+
+// hostsAny reports whether some machine of the slice hosts every databank.
+func hostsAny(machines []model.Machine, databanks []string) bool {
+	for i := range machines {
+		if machines[i].Hosts(databanks) {
+			return true
+		}
+	}
+	return false
+}
+
+// renumberRetired rewrites every non-active shard's machine indices into the
+// new fleet, matching machines by name: the merged /v1/schedule interprets
+// all pieces against the current platform, and without the remap a retired
+// shard's history would keep indices into a fleet document that no longer
+// exists — one response mixing two numbering schemes. Machines absent from
+// the new platform keep their historical index (there is no right answer for
+// a machine that left). Each mu is taken alone, after the topology publish,
+// so lock ordering is trivial; active shards were renumbered by the caller.
+func (s *Server) renumberRetired(newFleet []model.Machine, active []*shard) {
+	nameIdx := make(map[string]int, len(newFleet))
+	for i := range newFleet {
+		if _, dup := nameIdx[newFleet[i].Name]; !dup {
+			nameIdx[newFleet[i].Name] = i
+		}
+	}
+	isActive := make(map[*shard]bool, len(active))
+	for _, sh := range active {
+		isActive[sh] = true
+	}
+	for _, sh := range s.allShards() {
+		if isActive[sh] {
+			continue
+		}
+		sh.mu.Lock()
+		for i := range sh.machineIdx {
+			if ni, ok := nameIdx[sh.machines[i].Name]; ok {
+				sh.machineIdx[i] = ni
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Reshard repartitions the running fleet against an updated platform
+// document (the POST /v1/platform admin API and the daemon's SIGHUP reload
+// both land here). It is atomic: either the whole new topology is installed
+// with every affected job migrated, or — when some queued or live job's
+// databanks are hosted by no machine of the new platform — nothing changes
+// and an error describes the stranded job. Reads racing the reshard stay
+// exact: every migrated job's forwarding entry is written while the donor's
+// mutex is held, so a read that decoded the job's birth shard arithmetically
+// retries through the forwarding table exactly like a read racing a steal.
+func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
+	var resp model.ReshardResponse
+	if s.noReshard {
+		return resp, ErrReshardDisabled
+	}
+	if p == nil || len(p.Machines) == 0 {
+		return resp, errors.New("server: reshard: no machines")
+	}
+	for i := range p.Machines {
+		if p.Machines[i].InverseSpeed == nil || p.Machines[i].InverseSpeed.Sign() <= 0 {
+			return resp, fmt.Errorf("server: reshard: machine %d (%s) needs InverseSpeed > 0", i, p.Machines[i].Name)
+		}
+	}
+	// One topology change at a time; Close takes the same lock, so a closing
+	// server cannot race a reshard spawning loops the shutdown would miss.
+	// s.shardsCfg is read and written under it too.
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return resp, ErrClosed
+	}
+
+	// A platform without its own "shards" field inherits the server's
+	// standing override (Config.Shards, or the last explicit reshard
+	// override), exactly as the startup platform did: an operator
+	// re-POSTing the daemon's own unchanged platform file to a `-shards N`
+	// server must get a no-op, not a surprise repartition to connectivity
+	// components. An explicit "shards" in the document always wins, and
+	// becomes the new standing override once the reshard succeeds.
+	shardCount := p.Shards
+	if shardCount == 0 {
+		shardCount = s.shardsCfg
+	}
+	groups, err := partitionFleet(p.Machines, shardCount)
+	if err != nil {
+		return resp, err
+	}
+
+	act := s.active()
+
+	newFleet := append([]model.Machine(nil), p.Machines...)
+	groupMachines := make([][]model.Machine, len(groups))
+	for gi, group := range groups {
+		ms := make([]model.Machine, len(group))
+		for k, fi := range group {
+			ms[k] = newFleet[fi]
+		}
+		groupMachines[gi] = ms
+	}
+
+	// Diff the new partition against the live shard set: first-fit matching
+	// on identical ordered machine signatures. Matched shards are kept
+	// as-is; unmatched running shards retire; unmatched groups spawn.
+	keep := make([]*shard, len(groups))
+	used := make([]bool, len(act))
+	for gi := range groups {
+		sig := groupSignature(groupMachines[gi])
+		for ai, sh := range act {
+			if !used[ai] && groupSignature(sh.machines) == sig {
+				used[ai], keep[gi] = true, sh
+				break
+			}
+		}
+	}
+	var retiring []*shard
+	for ai, sh := range act {
+		if !used[ai] {
+			retiring = append(retiring, sh)
+		}
+	}
+	spawnCount := 0
+	for _, sh := range keep {
+		if sh == nil {
+			spawnCount++
+		}
+	}
+
+	if spawnCount == 0 && len(retiring) == 0 {
+		// No-op: the new platform induces the partition already running.
+		// Refresh the fleet numbering (the document may reorder machines)
+		// and touch nothing else — no generation bump, no migration, so the
+		// server stays trace-identical to one that never resharded.
+		for gi, sh := range keep {
+			sh.mu.Lock()
+			sh.machineIdx = append([]int(nil), groups[gi]...)
+			sh.mu.Unlock()
+		}
+		if p.Shards > 0 {
+			s.shardsCfg = p.Shards // under reshardMu, like every reader
+		}
+		s.topoMu.Lock()
+		resp.Generation = len(s.gens) - 1
+		s.topoMu.Unlock()
+		s.renumberRetired(newFleet, act)
+		resp.ShardCount = len(act)
+		resp.Noop = true
+		for _, sh := range act {
+			resp.KeptShards = append(resp.KeptShards, sh.idx)
+		}
+		return resp, nil
+	}
+
+	// Structural reshard. Catch every retiring shard up to the present
+	// first, each under its own mu alone: its engine may be asleep at its
+	// last event with an allocation that has been (notionally) executing
+	// since, and extracting remaining fractions at that stale time would
+	// retroactively discard all of that work. Doing it here keeps the
+	// event-driven exact re-solves this can trigger out of the all-shards
+	// critical section below, exactly as stealFrom keeps them out of its
+	// two-shard section — the repeat catch-up inside the section then has
+	// at most the sliver since this one to cover.
+	for _, sh := range retiring {
+		sh.mu.Lock()
+		if !sh.closed && sh.lastErr == nil {
+			sh.catchUp()
+		}
+		sh.mu.Unlock()
+	}
+
+	// Lock every active shard in creation order — the same global
+	// acquisition order the steal protocol uses, so a racing steal and the
+	// reshard cannot deadlock.
+	byIdx := append([]*shard(nil), act...)
+	sort.Slice(byIdx, func(a, b int) bool { return byIdx[a].idx < byIdx[b].idx })
+	for _, sh := range byIdx {
+		sh.mu.Lock()
+	}
+	locked := append([]*shard(nil), byIdx...)
+	unlock := func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			locked[i].mu.Unlock()
+		}
+	}
+	for _, sh := range retiring {
+		if !sh.closed && sh.lastErr == nil {
+			sh.catchUp()
+		}
+	}
+
+	// Atomic placement check before any mutation: every queued or live job
+	// on a retiring shard must fit somewhere on the new topology.
+	for _, donor := range retiring {
+		census := append([]*jobRecord(nil), donor.pending...)
+		for _, id := range donor.eng.LiveIDs() {
+			census = append(census, donor.records[id])
+		}
+		for _, rec := range census {
+			ok := false
+			for gi := range groups {
+				if hostsAny(groupMachines[gi], rec.databanks) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				unlock()
+				return resp, fmt.Errorf(
+					"server: reshard rejected: job %d needs databanks %v, hosted by no machine of the new platform",
+					rec.gid, rec.databanks)
+			}
+		}
+	}
+
+	// The new generation's ID base: strictly above every global ID any
+	// current shard could have issued, so the newest-generation-whose-base-
+	// fits decode rule stays unambiguous.
+	base := 0
+	for _, sh := range byIdx {
+		if b := sh.gidBase + len(sh.records)*sh.stride + sh.pos + 1; b > base {
+			base = b
+		}
+	}
+	newStride := len(groups)
+
+	// Construct every spawned shard's policy before mutating anything: a
+	// constructor failure must leave the running topology untouched, not
+	// kept shards half re-encoded under a generation that never publishes.
+	policies := make(map[int]sim.Policy)
+	for gi := range groups {
+		if keep[gi] != nil {
+			continue
+		}
+		pol, perr := NewPolicy(s.policyCfg)
+		if perr != nil {
+			unlock()
+			return resp, perr
+		}
+		policies[gi] = pol
+	}
+
+	// Build the new shard list: re-encode kept shards in place, spawn fresh
+	// loops for new groups. Spawned shards are locked immediately — their
+	// records fill in below, and the moment a forwarding entry names them a
+	// concurrent read may knock on their mutex. Creation indices continue
+	// past every shard ever made, preserving the idx lock order (spawned
+	// shards sort after every shard currently locked).
+	nextIdx := len(s.allShards())
+	var gen2, spawned []*shard
+	for gi := range groups {
+		if sh := keep[gi]; sh != nil {
+			sh.gidBase, sh.stride, sh.pos = base, newStride, gi
+			sh.machineIdx = append([]int(nil), groups[gi]...)
+			gen2 = append(gen2, sh)
+			resp.KeptShards = append(resp.KeptShards, sh.idx)
+			continue
+		}
+		nsh := s.wireShard(newShard(nextIdx, gi, newStride, base, s.clock,
+			groupMachines[gi], append([]int(nil), groups[gi]...), policies[gi], s.retention))
+		nextIdx++
+		nsh.mu.Lock()
+		locked = append(locked, nsh)
+		gen2 = append(gen2, nsh)
+		spawned = append(spawned, nsh)
+		resp.SpawnedShards = append(resp.SpawnedShards, nsh.idx)
+	}
+
+	// Migrate every queued and live job off the retiring shards, exactly as
+	// a steal would: donor record flips to migrated (its executed pieces
+	// stay, translated by the record), the destination gets a fresh record
+	// with the original global ID, flow origin, and exact remaining
+	// fraction, and the forwarding table points reads at the new owner.
+	// Destinations are chosen least-residual-work-first among the new
+	// topology's hosts, the same rule the router applies to submissions.
+	resid := make(map[*shard]*big.Rat, len(gen2))
+	for _, sh := range gen2 {
+		resid[sh] = sh.residualWork()
+	}
+	migrate := func(donor *shard, rec *jobRecord, remaining *big.Rat) {
+		donor.orphanRecord(rec)
+		donor.reshardOut++
+		// Like the router, a kept shard with a latched scheduling error only
+		// takes the job when no healthy host exists — a poisoned loop has
+		// the smallest backlog precisely because it stopped executing, and
+		// parking migrated jobs there would strand them silently. (Every
+		// shard's mu is held, so lastErr reads are stable; spawned shards
+		// are always healthy.)
+		var dest, destStalled *shard
+		for _, sh := range gen2 {
+			if !sh.hosts(rec.databanks) {
+				continue
+			}
+			if sh.lastErr != nil {
+				if destStalled == nil || resid[sh].Cmp(resid[destStalled]) < 0 {
+					destStalled = sh
+				}
+				continue
+			}
+			if dest == nil || resid[sh].Cmp(resid[dest]) < 0 {
+				dest = sh
+			}
+		}
+		if dest == nil {
+			dest = destStalled
+			if resp.Warning == "" {
+				resp.Warning = fmt.Sprintf(
+					"job %d migrated to stalled shard %d (no healthy shard hosts databanks %v): %v",
+					rec.gid, dest.idx, rec.databanks, dest.lastErr)
+			}
+		}
+		// dest is non-nil: the placement check above covered this record.
+		nrec := dest.adoptRecord(rec, remaining)
+		dest.reshardIn++
+		s.fwdMu.Lock()
+		s.forward[rec.gid] = fwdLoc{sh: dest, local: nrec.id}
+		s.fwdMu.Unlock()
+		resid[dest].Add(resid[dest], rec.size)
+		// Backlog conservation; one backlogMu at a time, never nested.
+		donor.backlogMu.Lock()
+		donor.backlog.Sub(donor.backlog, rec.size)
+		donor.backlogMu.Unlock()
+		dest.backlogMu.Lock()
+		dest.backlog.Add(dest.backlog, rec.size)
+		dest.backlogMu.Unlock()
+		resp.MigratedJobs++
+	}
+	for _, donor := range retiring {
+		donor.retired = true
+		pend := donor.pending
+		donor.pending = nil
+		for _, rec := range pend {
+			migrate(donor, rec, rec.remaining)
+		}
+		for _, br := range donor.eng.RemoveAll() {
+			migrate(donor, donor.records[br.ID], br.Job.Remaining)
+		}
+		resp.RetiredShards = append(resp.RetiredShards, donor.idx)
+	}
+
+	// Publish the new topology before releasing any shard mutex: the first
+	// ID a re-encoded shard issues must already decode through the new
+	// generation.
+	if p.Shards > 0 {
+		s.shardsCfg = p.Shards // under reshardMu, like every reader
+	}
+	s.topoMu.Lock()
+	s.gens = append(s.gens, &generation{base: base, stride: newStride, shards: gen2})
+	s.all = append(s.all, spawned...)
+	s.reshards++
+	resp.Generation = len(s.gens) - 1
+	s.topoMu.Unlock()
+	resp.ShardCount = len(gen2)
+	unlock()
+
+	s.renumberRetired(newFleet, gen2)
+
+	// Retiring shards' queues are empty and their live sets migrated; their
+	// records keep serving reads of the pre-reshard history. Without a
+	// retention policy nothing of that history will ever be released, so the
+	// loop stops now; under retention the loop instead stays alive at one
+	// wake-up per retention window, compacting the history down (and
+	// releasing forwarding entries) until nothing is left, then exits on its
+	// own — `-retention` keeps bounding memory across reshards. Spawned
+	// loops start (or, on a not-yet-started server, wait for Start), and
+	// every new-topology shard is poked: migrated jobs are pending on some
+	// of them.
+	for _, sh := range retiring {
+		if s.retention == nil {
+			sh.close()
+		} else {
+			sh.poke()
+		}
+	}
+	// Re-read started *after* the topology publish: a Start racing this
+	// reshard may have snapshotted the shard list before the spawned shards
+	// were in it, and the stale value read at entry would then leave their
+	// loops forever unlaunched. After the publish the race is benign in both
+	// directions — shard.start is idempotent.
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		for _, sh := range spawned {
+			sh.start()
+		}
+	}
+	for _, sh := range gen2 {
+		sh.poke()
+	}
+	return resp, nil
+}

@@ -88,7 +88,7 @@ func TestRetentionCompaction(t *testing.T) {
 		}
 	}
 
-	sh := srv.shards[0]
+	sh := srv.active()[0]
 	sh.mu.Lock()
 	retained := 0
 	for _, rec := range sh.records {

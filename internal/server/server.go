@@ -31,6 +31,15 @@ import (
 // ErrClosed is returned by Submit once the server is shutting down.
 var ErrClosed = errors.New("server: shutting down")
 
+// ErrReshardDisabled is returned by Reshard when the server was configured
+// with DisableReshard (the -reshard=false gate).
+var ErrReshardDisabled = errors.New("server: live re-sharding is disabled")
+
+// errRetired is the internal signal that a submission reached a shard
+// between its retirement by a reshard and the router observing the new
+// topology; the router re-routes against the fresh active set.
+var errRetired = errors.New("server: shard retired by re-sharding")
+
 // Job lifecycle states reported by the API.
 const (
 	StateQueued    = "queued"    // accepted, not yet admitted by the loop
@@ -82,18 +91,60 @@ type Config struct {
 	// GET /v1/schedule. Nil (or zero) keeps everything forever — a
 	// long-running daemon under sustained traffic should set it.
 	Retention *big.Rat
+	// DisableReshard turns the live re-sharding admin surface off: Reshard
+	// (and POST /v1/platform) answer ErrReshardDisabled and the partition
+	// computed at startup stays fixed for the server's whole life, pinning
+	// the pre-reshard behavior.
+	DisableReshard bool
+}
+
+// generation is one epoch of the shard topology: the shards active between
+// two reshards, together with the global-ID encoding they issued under.
+// A global ID id born in this generation satisfies id >= base and decodes as
+// shards[(id-base)%stride] with local ID (id-base)/stride; bases strictly
+// increase across generations, so the issuing generation of any ID is the
+// newest one whose base does not exceed it. Shards kept across a reshard
+// appear in every generation they served in.
+type generation struct {
+	base   int
+	stride int
+	shards []*shard
 }
 
 // Server is one divflowd instance: a router over independent scheduling
 // shards. Create with New, start the shard loops with Start, serve Handler
-// over HTTP, stop with Close.
+// over HTTP, stop with Close. The shard topology is dynamic: Reshard (the
+// POST /v1/platform admin API) recomputes the databank-connectivity
+// partition against an updated platform at runtime, migrating live work onto
+// the new shards while every read keeps resolving exactly.
 type Server struct {
-	policyName string
-	shards     []*shard
+	policyName   string
+	policyCfg    string // Config.Policy verbatim, for spawning reshard shards
+	shardsCfg    int    // Config.Shards verbatim: the standing partition override
+	clock        Clock
+	retention    *big.Rat
+	disableSteal bool
+	noReshard    bool
+	dropForward  func(gid int)
+
+	// topoMu guards the shard topology: the generation list and the flat
+	// list of every shard ever created. Readers snapshot under RLock; only
+	// Reshard (serialized by reshardMu) writes, while holding every active
+	// shard's mu — so no lock path ever acquires a shard mu while holding
+	// topoMu.
+	topoMu   sync.RWMutex
+	gens     []*generation
+	all      []*shard // every shard ever created, in creation (idx) order
+	reshards int      // completed structural reshards (generation count - 1)
+
+	// reshardMu serializes topology changes (Reshard, and Close — which
+	// must not race a reshard spawning shards it would miss).
+	reshardMu sync.Mutex
 
 	// forward maps the global ID of every migrated job to its current
-	// location; IDs never migrated resolve arithmetically. Entries are
-	// written under both involved shards' mus (see stealFrom), so a read
+	// location; IDs never migrated resolve arithmetically through their
+	// birth generation. Entries are written under both involved shards' mus
+	// (see stealFrom) or under every active shard's mu (Reshard), so a read
 	// that misses the table and lands on the donor mid-migration finds the
 	// table updated by the time the donor's mu is free.
 	fwdMu   sync.RWMutex
@@ -137,9 +188,26 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{policyName: pol.Name(), forward: make(map[int]fwdLoc)}
+	s := &Server{
+		policyName:   pol.Name(),
+		policyCfg:    cfg.Policy,
+		shardsCfg:    cfg.Shards,
+		clock:        clock,
+		disableSteal: cfg.DisableSteal,
+		noReshard:    cfg.DisableReshard,
+		forward:      make(map[int]fwdLoc),
+	}
+	if cfg.Retention != nil && cfg.Retention.Sign() > 0 {
+		s.retention = new(big.Rat).Set(cfg.Retention)
+	}
+	s.dropForward = func(gid int) {
+		s.fwdMu.Lock()
+		delete(s.forward, gid)
+		s.fwdMu.Unlock()
+	}
 	fleet := append([]model.Machine(nil), cfg.Machines...)
 	stride := len(groups)
+	var shards []*shard
 	for idx, group := range groups {
 		machines := make([]model.Machine, len(group))
 		for k, gi := range group {
@@ -151,25 +219,45 @@ func New(cfg Config) (*Server, error) {
 				return nil, err
 			}
 		}
-		s.shards = append(s.shards, newShard(idx, stride, clock, machines, group, shardPol, cfg.Retention))
+		shards = append(shards, s.wireShard(newShard(idx, idx, stride, 0, clock, machines, group, shardPol, s.retention)))
 	}
-	if !cfg.DisableSteal && len(s.shards) > 1 {
-		dropForward := func(gid int) {
-			s.fwdMu.Lock()
-			delete(s.forward, gid)
-			s.fwdMu.Unlock()
-		}
-		for _, sh := range s.shards {
-			sh := sh
-			sh.steal = func() bool { return s.stealFor(sh) }
-			sh.dropForward = dropForward
-		}
-	}
+	s.gens = []*generation{{base: 0, stride: stride, shards: shards}}
+	s.all = shards
 	return s, nil
 }
 
-// stealEnabled reports whether cross-shard work stealing is active.
-func (s *Server) stealEnabled() bool { return len(s.shards) > 1 && s.shards[0].steal != nil }
+// wireShard installs the server-side hooks on a freshly built shard. The
+// steal hook is wired even on a momentarily-singleton topology: a later
+// reshard may grow the active set, and stealFor is a cheap no-op until it
+// does. dropForward is wired unconditionally — reshard migrations write
+// forwarding entries even with stealing disabled, and retention compaction
+// must be able to release them either way. Hooks are set before the shard's
+// loop starts and never change.
+func (s *Server) wireShard(sh *shard) *shard {
+	if !s.disableSteal {
+		sh.steal = func() bool { return s.stealFor(sh) }
+	}
+	sh.dropForward = s.dropForward
+	return sh
+}
+
+// active returns the current generation's shard list. The slice is immutable
+// once published, so it stays valid after the lock is released; a racing
+// reshard is caught by the errRetired re-route in Submit.
+func (s *Server) active() []*shard {
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
+	return s.gens[len(s.gens)-1].shards
+}
+
+// allShards returns every shard ever created, retired ones included —
+// the set reads merge (historical traces and records live on retired
+// shards). The slice is copied; the shard pointers are stable.
+func (s *Server) allShards() []*shard {
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
+	return append([]*shard(nil), s.all...)
+}
 
 // partitionFleet splits the fleet into shard groups of global machine
 // indices. n > 0 deals machines round-robin into n groups; n == 0 groups by
@@ -293,9 +381,17 @@ func checkNoDatabankSplit(machines []model.Machine, n int) error {
 	return nil
 }
 
-// ShardCount returns the number of scheduling shards the fleet is
-// partitioned into.
-func (s *Server) ShardCount() int { return len(s.shards) }
+// ShardCount returns the number of active scheduling shards the fleet is
+// currently partitioned into.
+func (s *Server) ShardCount() int { return len(s.active()) }
+
+// Generation returns the current topology generation (0 until the first
+// structural reshard).
+func (s *Server) Generation() int {
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
+	return len(s.gens) - 1
+}
 
 // Start launches every shard's scheduling loop. Safe to call once.
 func (s *Server) Start() {
@@ -306,13 +402,17 @@ func (s *Server) Start() {
 	}
 	s.started = true
 	s.mu.Unlock()
-	for _, sh := range s.shards {
+	for _, sh := range s.allShards() {
 		sh.start()
 	}
 }
 
-// Close stops accepting submissions and terminates the shard loops.
+// Close stops accepting submissions and terminates the shard loops. It
+// serializes against Reshard so a topology change can never spawn a loop the
+// shutdown misses.
 func (s *Server) Close() {
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -320,7 +420,7 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	for _, sh := range s.shards {
+	for _, sh := range s.allShards() {
 		sh.close()
 	}
 }
@@ -332,18 +432,37 @@ func (s *Server) Close() {
 // no healthy shard hosts the databanks, in which case the least-loaded
 // stalled shard takes it and the response carries that shard's error as a
 // warning. The shard's loop admits the job at its next wake-up, so
-// submissions racing one re-solve share it.
+// submissions racing one re-solve share it. A submission that loses the race
+// against a concurrent reshard (the chosen shard retired between the
+// topology snapshot and the enqueue) transparently re-routes against the new
+// topology.
 func (s *Server) Submit(req *model.SubmitRequest) (model.SubmitResponse, error) {
 	job, err := req.Job()
 	if err != nil {
 		return model.SubmitResponse{}, err
 	}
+	// Each attempt that fails with errRetired raced one completed reshard;
+	// the retry bound only guards against a pathological reshard storm.
+	for attempt := 0; attempt < 8; attempt++ {
+		resp, err := s.submitRouted(job)
+		if errors.Is(err, errRetired) {
+			continue
+		}
+		return resp, err
+	}
+	return model.SubmitResponse{}, fmt.Errorf("server: submission kept racing re-sharding; retry")
+}
+
+// submitRouted is one routing attempt of Submit against a snapshot of the
+// active topology.
+func (s *Server) submitRouted(job model.Job) (model.SubmitResponse, error) {
+	shards := s.active()
 	var best, bestStalled *shard
 	var bestWork, bestStalledWork *big.Rat
 	var stalledErr string
 	var idle []*shard     // zero-backlog shards seen during routing
 	var nonHosts []*shard // shards that cannot host this job
-	for _, sh := range s.shards {
+	for _, sh := range shards {
 		if !sh.hosts(job.Databanks) {
 			nonHosts = append(nonHosts, sh)
 			continue
@@ -370,11 +489,11 @@ func (s *Server) Submit(req *model.SubmitRequest) (model.SubmitResponse, error) 
 		best = bestStalled
 		resp.Warning = fmt.Sprintf("routed to stalled shard %d (no healthy shard hosts the databanks): %s", best.idx, stalledErr)
 	}
-	local, err := best.submit(job)
+	gid, err := best.submit(job)
 	if err != nil {
 		return model.SubmitResponse{}, err
 	}
-	resp.ID = best.globalID(local)
+	resp.ID = gid
 	// New work on one shard is a steal opportunity for every idle one: poke
 	// every zero-backlog shard so its loop re-runs the steal check instead
 	// of sleeping until the next direct submission. Shards that cannot host
@@ -382,7 +501,7 @@ func (s *Server) Submit(req *model.SubmitRequest) (model.SubmitResponse, error) 
 	// shard past the donor-keeps-one threshold and make its *other* jobs
 	// stealable by them. (Idleness was read before best.submit, but a poke
 	// is just a wake-up — a shard that meanwhile found work ignores it.)
-	if s.stealEnabled() {
+	if !s.disableSteal && len(shards) > 1 {
 		for _, sh := range idle {
 			if sh != best {
 				sh.poke()
@@ -399,7 +518,10 @@ func (s *Server) Submit(req *model.SubmitRequest) (model.SubmitResponse, error) 
 
 // locate resolves a global job ID to the shard that currently owns it and
 // the job's local ID there: migrated jobs through the forwarding table,
-// everything else by the arithmetic birth-shard encoding.
+// everything else by the arithmetic encoding of the generation that issued
+// the ID — the newest generation whose base does not exceed it (bases
+// strictly increase, and each generation only issues IDs at or above its
+// base, so the match is unique).
 func (s *Server) locate(id int) (*shard, int, bool) {
 	if id < 0 {
 		return nil, 0, false
@@ -410,30 +532,61 @@ func (s *Server) locate(id int) (*shard, int, bool) {
 	if ok {
 		return loc.sh, loc.local, true
 	}
-	p := len(s.shards)
-	return s.shards[id%p], id / p, true
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
+	for g := len(s.gens) - 1; g >= 0; g-- {
+		gen := s.gens[g]
+		if id < gen.base {
+			continue
+		}
+		off := id - gen.base
+		return gen.shards[off%gen.stride], off / gen.stride, true
+	}
+	return nil, 0, false // unreachable: generation 0 has base 0
 }
 
 // jobStatus reads one job's wire status by global ID, chasing the forwarding
 // table: a read that decoded the birth shard arithmetically while a
 // migration was in flight finds a migrated-away record and retries, by which
 // time the table (written under the donor's lock) names the new owner.
-// Definitive misses (never-issued IDs, compacted records) answer in one
-// attempt; only the migrated-away case is retried, and each retry can only
-// miss again if the job migrated yet another time in between.
+// Never-issued IDs and compacted records answer not-found; a miss on a nil
+// record is only definitive after re-resolving the ID to the same place,
+// because a slow read can land on a stale location whose record was both
+// migrated away *and* compacted in the meantime — the forwarding table then
+// already names the live owner, and answering 404 would vanish a live job.
+// (Location pairs are never reused — records only append — so a re-resolve
+// that still matches really means the record is gone for good.) Each retry
+// can only miss again if the job migrated yet another time in between.
 func (s *Server) jobStatus(id int) (model.JobStatus, bool) {
-	for attempt := 0; attempt < 4; attempt++ {
+	var prevSh *shard
+	prevLocal := -1
+	for attempt := 0; attempt < 6; attempt++ {
 		sh, local, ok := s.locate(id)
 		if !ok {
 			return model.JobStatus{}, false
 		}
+		// The same location twice in a row means nothing moved between the
+		// attempts — the miss is permanent. This is the terminal state of a
+		// fully compacted migration chain: the dangling donor record keeps
+		// answering "migrated away" while the forwarding entry it once had
+		// is gone, and without this check every read of the dead ID would
+		// burn all its attempts re-chasing it. (A migration in flight always
+		// changes the resolved location, because records are never reused.)
+		if sh == prevSh && local == prevLocal {
+			return model.JobStatus{}, false
+		}
+		prevSh, prevLocal = sh, local
 		st, known, migrated := sh.jobStatus(local, id)
 		if known {
 			return st, true
 		}
-		if !migrated {
-			return model.JobStatus{}, false
+		if migrated {
+			continue
 		}
+		if sh2, local2, ok2 := s.locate(id); ok2 && (sh2 != sh || local2 != local) {
+			continue // stale location: the job moved while we were reading
+		}
+		return model.JobStatus{}, false
 	}
 	return model.JobStatus{}, false
 }

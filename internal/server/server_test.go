@@ -111,7 +111,7 @@ func TestSingleJobLifecycle(t *testing.T) {
 	s.Start()
 	drive(t, vc, func() bool { return s.Stats().JobsCompleted == 1 })
 
-	st, known, _ := s.shards[0].jobStatus(id, id)
+	st, known, _ := s.active()[0].jobStatus(id, id)
 	if !known {
 		t.Fatal("job unknown after completion")
 	}
@@ -157,7 +157,7 @@ func TestDatabankRoutingUnderService(t *testing.T) {
 	}
 	s.Start()
 	drive(t, vc, func() bool { return s.Stats().JobsCompleted == 2 })
-	sh := s.shards[0]
+	sh := s.active()[0]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, p := range sh.eng.Schedule().Pieces {
@@ -192,7 +192,7 @@ func TestScheduleWindowing(t *testing.T) {
 	}
 	s.Start()
 	drive(t, vc, func() bool { return s.Stats().JobsCompleted == 1 })
-	sh := s.shards[0]
+	sh := s.active()[0]
 	sh.mu.Lock()
 	full := len(sh.eng.Schedule().Pieces)
 	afterEnd := len(sh.eng.Schedule().Since(big.NewRat(100, 1)).Pieces)

@@ -50,19 +50,40 @@ type jobRecord struct {
 // jobs — so the superlinear residual LP cost is paid on P-times-smaller
 // instances.
 type shard struct {
-	idx    int // shard index in the server's partition
-	stride int // total shard count; global ID = local*stride + idx
+	// idx is the shard's immutable creation index: unique across the whole
+	// life of the server (re-sharding keeps spawning shards with fresh
+	// indices), it names the shard in stats and errors and fixes the global
+	// mutex-acquisition order for multi-shard operations (steals and
+	// reshards lock mus in ascending idx).
+	idx int
 
-	clock      Clock
-	machines   []model.Machine // this shard's machines, in fleet order
-	machineIdx []int           // global fleet index of each local machine
-	policy     sim.Policy
-	mwf        *sim.OnlineMWF // non-nil when policy is an OnlineMWF variant
+	clock    Clock
+	machines []model.Machine // this shard's machines, in fleet order
+	policy   sim.Policy
+	mwf      *sim.OnlineMWF // non-nil when policy is an OnlineMWF variant
 
 	mu      sync.Mutex
 	eng     *sim.Engine
 	records []*jobRecord
 	pending []*jobRecord // accepted but not yet admitted
+	// Global-ID encoding of this shard within the *current* generation:
+	// gid = gidBase + local*stride + pos, where stride is the generation's
+	// shard count and pos the shard's position in it. A reshard that keeps
+	// the shard re-encodes it (new base/stride/pos, all under mu) so future
+	// IDs decode through the new generation, while records born earlier keep
+	// their stored gids and decode through the generation that issued them.
+	gidBase int
+	stride  int
+	pos     int
+	// machineIdx maps local machine indices to global fleet indices; a
+	// reshard that keeps the shard rewrites it (under mu) when the fleet
+	// document renumbers machines.
+	machineIdx []int
+	// retired marks a shard dropped from the active topology by a reshard:
+	// its jobs have been migrated away, its loop is about to stop, and it
+	// only keeps serving reads of its historical records and trace. The
+	// router and the steal protocol must never place new work on it.
+	retired bool
 	// eligible[i] caches which local job IDs local machine i can serve
 	// (databank check done once at acceptance, not on every cost lookup).
 	eligible []map[int]bool
@@ -92,6 +113,8 @@ type shard struct {
 	lastErr         error
 	stolenIn        int // jobs migrated here by work stealing
 	migratedOut     int // jobs stolen away from here
+	reshardIn       int // jobs migrated here by a live reshard
+	reshardOut      int // jobs a live reshard migrated away from here
 	// migratedIDs lists donor-side records awaiting retention compaction
 	// (Engine.Compact cannot return them: the engine no longer knows them).
 	migratedIDs []int
@@ -136,11 +159,15 @@ func copyRat(r *big.Rat) *big.Rat {
 }
 
 // newShard builds one scheduling shard over the given slice of the fleet.
-// machineIdx maps local machine indices to global fleet indices.
-func newShard(idx, stride int, clock Clock, machines []model.Machine, machineIdx []int, pol sim.Policy, retention *big.Rat) *shard {
+// idx is the immutable creation index; (gidBase, stride, pos) is the shard's
+// global-ID encoding within its birth generation; machineIdx maps local
+// machine indices to global fleet indices.
+func newShard(idx, pos, stride, gidBase int, clock Clock, machines []model.Machine, machineIdx []int, pol sim.Policy, retention *big.Rat) *shard {
 	sh := &shard{
 		idx:        idx,
+		pos:        pos,
 		stride:     stride,
+		gidBase:    gidBase,
 		clock:      clock,
 		machines:   machines,
 		machineIdx: machineIdx,
@@ -164,9 +191,11 @@ func newShard(idx, stride int, clock Clock, machines []model.Machine, machineIdx
 	return sh
 }
 
-// globalID encodes a shard-local job ID into the wire-visible global ID.
-// With a single shard the encoding is the identity.
-func (sh *shard) globalID(local int) int { return local*sh.stride + sh.idx }
+// globalID encodes a shard-local job ID into the wire-visible global ID
+// under the shard's current-generation encoding. With a single never-
+// resharded shard the encoding is the identity. Callers hold sh.mu (a
+// reshard that keeps the shard re-encodes these fields under it).
+func (sh *shard) globalID(local int) int { return sh.gidBase + local*sh.stride + sh.pos }
 
 // hosts reports whether some machine of the shard hosts every databank.
 func (sh *shard) hosts(databanks []string) bool {
@@ -244,11 +273,16 @@ func (sh *shard) close() {
 
 // submit accepts one job onto this shard, stamping its flow origin (release)
 // now, under the shard lock — so per-shard release dates are non-decreasing
-// in local ID order. It returns the local ID; the loop admits the job at its
-// next wake-up, so submissions racing one re-solve share it.
+// in local ID order. It returns the wire-visible global ID; the loop admits
+// the job at its next wake-up, so submissions racing one re-solve share it.
+// A shard retired by a racing reshard answers errRetired: the router re-reads
+// the active topology and routes again.
 func (sh *shard) submit(job model.Job) (int, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.retired {
+		return 0, errRetired
+	}
 	if sh.closed {
 		return 0, ErrClosed
 	}
@@ -286,7 +320,50 @@ func (sh *shard) submit(job model.Job) (int, error) {
 		sh.eligible[i][rec.id] = true
 	}
 	sh.poke()
-	return rec.id, nil
+	return rec.gid, nil
+}
+
+// orphanRecord flips a donor-side record to the migrated state after its job
+// was extracted (stolen or resharded away): eligibility scrubbed, the
+// migration time stamped — every donor piece of the job ends by it, so
+// retention can compact the record once the horizon passes — and the record
+// queued for that compaction. Callers hold sh.mu.
+func (sh *shard) orphanRecord(rec *jobRecord) {
+	for i := range sh.eligible {
+		delete(sh.eligible[i], rec.id)
+	}
+	rec.state = StateMigrated
+	rec.migratedAt = sh.eng.Now()
+	sh.migratedIDs = append(sh.migratedIDs, rec.id)
+}
+
+// adoptRecord creates the destination-side record of a migrated job: a fresh
+// local slot under the original global ID, flow origin, and exact remaining
+// fraction, queued for admission at the shard's next wake-up. counted
+// migrates with the job, so arrival statistics see each submission exactly
+// once no matter how often it moves. Callers hold sh.mu.
+func (sh *shard) adoptRecord(rec *jobRecord, remaining *big.Rat) *jobRecord {
+	nrec := &jobRecord{
+		id:        len(sh.records),
+		gid:       rec.gid, // the global ID survives the move
+		name:      rec.name,
+		weight:    rec.weight,
+		size:      rec.size,
+		databanks: rec.databanks,
+		state:     StateQueued,
+		release:   rec.release, // flow origin: still the first submission
+		remaining: remaining,
+		stolen:    true,
+		counted:   rec.counted,
+	}
+	sh.records = append(sh.records, nrec)
+	sh.pending = append(sh.pending, nrec)
+	for i := range sh.machines {
+		if sh.machines[i].Hosts(nrec.databanks) {
+			sh.eligible[i][nrec.id] = true
+		}
+	}
+	return nrec
 }
 
 // residualWork returns the shard's current backlog (a copy): the routing
@@ -317,19 +394,47 @@ func (sh *shard) poke() {
 	}
 }
 
+// historyEmpty reports whether every record has been compacted away and
+// nothing is pending — a retired shard with no history left has nothing to
+// serve and its loop can stop for good. Callers hold sh.mu.
+func (sh *shard) historyEmpty() bool {
+	if len(sh.pending) != 0 {
+		return false
+	}
+	for _, rec := range sh.records {
+		if rec != nil {
+			return false
+		}
+	}
+	return true
+}
+
 // loop is the scheduling event loop: process everything due, arm a timer
 // for the next engine event, sleep until the timer or a submission wakes it.
 // A loop that finds itself idle — no live jobs, nothing pending, no latched
 // error — first tries to steal work from an overloaded shard, and on success
-// goes straight back to processing instead of sleeping.
+// goes straight back to processing instead of sleeping. A *retired* shard
+// under a retention policy keeps a low-duty-cycle loop alive purely to run
+// compaction — one wake-up per retention window — so `-retention` keeps
+// bounding memory (and releasing forwarding entries) across reshards; once
+// its whole history is compacted the loop exits for good.
 func (sh *shard) loop() {
 	defer close(sh.stopped)
 	for {
 		sh.mu.Lock()
 		sh.process()
 		next := sh.eng.NextEvent()
-		idle := sh.lastErr == nil && sh.eng.Live() == 0 && len(sh.pending) == 0
+		// A retired shard must never pull work back onto itself: its loop is
+		// only alive to finish compacting its history.
+		idle := sh.lastErr == nil && sh.eng.Live() == 0 && len(sh.pending) == 0 && !sh.retired
+		retiredDone := sh.retired && (sh.retention == nil || sh.historyEmpty())
+		if sh.retired && !retiredDone && next == nil {
+			next = new(big.Rat).Add(sh.clock.Now(), sh.retention)
+		}
 		sh.mu.Unlock()
+		if retiredDone {
+			return
+		}
 
 		// The steal call runs outside mu: it locks donor and thief shards in
 		// index order, which must not nest inside an already-held mu.
@@ -705,9 +810,10 @@ func (sh *shard) statsSnapshot() shardSnapshot {
 			Shard:    sh.idx,
 			Machines: names,
 			Now:      sh.eng.Now().RatString(),
-			// Births only: stolen-in copies are counted by their birth shard,
-			// so the fleet aggregate sees every job exactly once.
-			JobsAccepted:    len(sh.records) - sh.stolenIn,
+			// Births only: records created by a steal or reshard migration are
+			// counted by their birth shard, so the fleet aggregate sees every
+			// job exactly once.
+			JobsAccepted:    len(sh.records) - sh.stolenIn - sh.reshardIn,
 			JobsLive:        sh.eng.Live(),
 			JobsCompleted:   sh.eng.CompletedCount(),
 			Events:          sh.eng.Decisions(),
@@ -717,6 +823,9 @@ func (sh *shard) statsSnapshot() shardSnapshot {
 			CompactedJobs:   sh.compactedJobs,
 			StolenJobs:      sh.stolenIn,
 			Migrations:      sh.migratedOut,
+			ReshardedIn:     sh.reshardIn,
+			ReshardedOut:    sh.reshardOut,
+			Retired:         sh.retired,
 			Backlog:         sh.backlog.RatString(),
 			Stalled:         sh.stalled,
 		},

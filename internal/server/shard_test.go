@@ -173,7 +173,7 @@ func TestSubmitSkipsStalledShard(t *testing.T) {
 	}
 	// Fault injection: revoke the job's eligibility so shard 0's loop latches
 	// a rejected admit.
-	sh := srv.shards[0]
+	sh := srv.active()[0]
 	sh.mu.Lock()
 	for i := range sh.eligible {
 		delete(sh.eligible[i], poisonResp.ID/2)
@@ -234,7 +234,7 @@ func TestFailedAdmitKeepsTailPending(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := srv.shards[0]
+	sh := srv.active()[0]
 	sh.mu.Lock()
 	for i := range sh.eligible {
 		delete(sh.eligible[i], poisoned.ID)
@@ -527,7 +527,7 @@ func TestQueuedUntilEngineAccepts(t *testing.T) {
 	id := resp.ID
 	// Fault injection: revoke the job's eligibility before the loop starts,
 	// so the engine rejects the admit ("cannot run on any machine").
-	sh := srv.shards[0]
+	sh := srv.active()[0]
 	sh.mu.Lock()
 	for i := range sh.eligible {
 		delete(sh.eligible[i], id)
@@ -577,7 +577,7 @@ func TestCostGuardsCompactedRecords(t *testing.T) {
 	}
 	waitStats(t, srv, func(st model.StatsResponse) bool { return st.CompactedJobs >= 1 })
 
-	sh := srv.shards[0]
+	sh := srv.active()[0]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.records[id] != nil {
@@ -642,9 +642,18 @@ func validateShard(t *testing.T, sh *shard) {
 // process exactly fraction 1 under the original release date.
 func validateServer(t *testing.T, srv *Server) {
 	t.Helper()
+	// The merge spans every shard ever created: after a reshard, retired and
+	// active shards cover the same fleet indices, so the fleet is sized by
+	// the largest index and later (newer) shards overwrite earlier ones —
+	// pieces executed before a replication event stay valid against the
+	// updated machine, whose databank set only ever grew in these tests.
 	fleetSize := 0
-	for _, sh := range srv.shards {
-		fleetSize += len(sh.machines)
+	for _, sh := range srv.allShards() {
+		for _, gi := range sh.machineIdx {
+			if gi+1 > fleetSize {
+				fleetSize = gi + 1
+			}
+		}
 	}
 	machines := make([]model.Machine, fleetSize)
 	type gidJob struct {
@@ -653,7 +662,7 @@ func validateServer(t *testing.T, srv *Server) {
 	}
 	var jobs []gidJob
 	var pieces []schedule.Piece
-	for _, sh := range srv.shards {
+	for _, sh := range srv.allShards() {
 		sh.mu.Lock()
 		for i := range sh.machines {
 			machines[sh.machineIdx[i]] = sh.machines[i]

@@ -23,14 +23,16 @@ type stealItem struct {
 }
 
 // stealFor migrates work onto an idle thief shard, trying donors in order
-// of decreasing backlog. It reports whether any job moved.
+// of decreasing backlog. It reports whether any job moved. Donors come from
+// the *active* topology: retired shards have nothing left to give, and a
+// retired thief is rejected inside the locked critical section.
 func (s *Server) stealFor(thief *shard) bool {
 	type cand struct {
 		sh   *shard
 		work *big.Rat
 	}
 	var cands []cand
-	for _, sh := range s.shards {
+	for _, sh := range s.active() {
 		if sh == thief {
 			continue
 		}
@@ -105,13 +107,17 @@ type stealOutcome struct {
 // stealLocked is the critical section of a migration. Callers hold both
 // shards' mus.
 func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
-	// The thief must still be an idle, healthy, open shard: a submission may
-	// have raced in while the locks were acquired, and stealing onto a shard
-	// that already has work (or can never schedule it) helps nobody. A
-	// closed donor is off limits too — during Server.Close a still-running
-	// shard must not extract live jobs from an already-drained one just to
-	// have its own close() mark them rejected.
-	if thief.closed || donor.closed || thief.lastErr != nil || thief.eng.Live() > 0 || len(thief.pending) > 0 {
+	// The thief must still be an idle, healthy, open, *active* shard: a
+	// submission may have raced in while the locks were acquired, and
+	// stealing onto a shard that already has work (or can never schedule it)
+	// helps nobody. A closed donor is off limits too — during Server.Close a
+	// still-running shard must not extract live jobs from an already-drained
+	// one just to have its own close() mark them rejected — and so is either
+	// side of a racing reshard: a retired thief's loop is about to stop, and
+	// a retired donor's jobs are already being migrated by the reshard
+	// itself.
+	if thief.closed || donor.closed || thief.retired || donor.retired ||
+		thief.lastErr != nil || thief.eng.Live() > 0 || len(thief.pending) > 0 {
 		return nil
 	}
 	// Census of the donor's jobs: everything pending plus everything live.
@@ -184,37 +190,9 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 			}
 			donor.pending = pending
 		}
-		for i := range donor.eligible {
-			delete(donor.eligible[i], rec.id)
-		}
-		rec.state = StateMigrated
-		// Every donor piece of the job ends by the donor engine's present:
-		// once the retention horizon passes this point the record (kept only
-		// to translate those pieces) can be compacted.
-		rec.migratedAt = donor.eng.Now()
-		donor.migratedIDs = append(donor.migratedIDs, rec.id)
+		donor.orphanRecord(rec)
 		donor.migratedOut++
-
-		nrec := &jobRecord{
-			id:        len(thief.records),
-			gid:       rec.gid, // the global ID survives the move
-			name:      rec.name,
-			weight:    rec.weight,
-			size:      rec.size,
-			databanks: rec.databanks,
-			state:     StateQueued,
-			release:   rec.release, // flow origin: still the first submission
-			remaining: remaining,
-			stolen:    true,
-			counted:   rec.counted, // a pre-admission steal is still uncounted
-		}
-		thief.records = append(thief.records, nrec)
-		thief.pending = append(thief.pending, nrec)
-		for i := range thief.machines {
-			if thief.machines[i].Hosts(nrec.databanks) {
-				thief.eligible[i][nrec.id] = true
-			}
-		}
+		nrec := thief.adoptRecord(rec, remaining)
 		thief.stolenIn++
 		s.fwdMu.Lock()
 		s.forward[rec.gid] = fwdLoc{sh: thief, local: nrec.id}

@@ -35,11 +35,11 @@ func submitTo(t *testing.T, sh *shard, size string, databanks ...string) int {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, err := sh.submit(job)
+	gid, err := sh.submit(job)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return sh.globalID(local)
+	return gid
 }
 
 // TestStealMigratesHalfExecutedJob is the end-to-end migration scenario on
@@ -69,10 +69,10 @@ func TestStealMigratesHalfExecutedJob(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	idD := submitTo(t, srv.shards[0], "2", "shared")
-	idA := submitTo(t, srv.shards[0], "6", "shared")
-	idC := submitTo(t, srv.shards[0], "10", "hot")
-	idB := submitTo(t, srv.shards[1], "3", "shared")
+	idD := submitTo(t, srv.active()[0], "2", "shared")
+	idA := submitTo(t, srv.active()[0], "6", "shared")
+	idC := submitTo(t, srv.active()[0], "10", "hot")
+	idB := submitTo(t, srv.active()[1], "3", "shared")
 	_ = idD
 	srv.Start()
 	// Admission barrier: the loops must batch all four arrivals at t=0
@@ -109,7 +109,7 @@ func TestStealMigratesHalfExecutedJob(t *testing.T) {
 	srv.fwdMu.RLock()
 	loc, forwarded := srv.forward[idA]
 	srv.fwdMu.RUnlock()
-	if !forwarded || loc.sh != srv.shards[1] {
+	if !forwarded || loc.sh != srv.active()[1] {
 		t.Fatalf("forwarding table does not point job %d at shard 1", idA)
 	}
 
@@ -245,10 +245,10 @@ func TestStealDisabledPinsJobs(t *testing.T) {
 	}
 	defer srv.Close()
 
-	submitTo(t, srv.shards[0], "2", "shared")
-	idA := submitTo(t, srv.shards[0], "6", "shared")
-	submitTo(t, srv.shards[0], "10", "hot")
-	submitTo(t, srv.shards[1], "3", "shared")
+	submitTo(t, srv.active()[0], "2", "shared")
+	idA := submitTo(t, srv.active()[0], "6", "shared")
+	submitTo(t, srv.active()[0], "10", "hot")
+	submitTo(t, srv.active()[1], "3", "shared")
 	srv.Start()
 	waitStats(t, srv, func(st model.StatsResponse) bool { return st.BatchedArrivals >= 4 })
 	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 4 })
@@ -263,7 +263,7 @@ func TestStealDisabledPinsJobs(t *testing.T) {
 	if !known || stA.CompletedAt != "6" {
 		t.Errorf("A without stealing completes at %s, want 6 (on its own shard)", stA.CompletedAt)
 	}
-	sh := srv.shards[0]
+	sh := srv.active()[0]
 	sh.mu.Lock()
 	for _, pc := range sh.eng.Schedule().Pieces {
 		if sh.records[pc.Job].gid == idA && sh.machineIdx[pc.Machine] != 0 && sh.machineIdx[pc.Machine] != 2 {
@@ -271,7 +271,7 @@ func TestStealDisabledPinsJobs(t *testing.T) {
 		}
 	}
 	sh.mu.Unlock()
-	for _, sh := range srv.shards {
+	for _, sh := range srv.allShards() {
 		validateShard(t, sh)
 	}
 }
@@ -293,7 +293,7 @@ func TestStealRescuesFullyIdleShard(t *testing.T) {
 	// timer. A router-level submission then lands on shard 1 (least
 	// backlog), and when it finishes at t=4 the shard goes idle and steals.
 	for j := 0; j < 6; j++ {
-		submitTo(t, srv.shards[0], "4", "shared")
+		submitTo(t, srv.active()[0], "4", "shared")
 	}
 	if _, err := srv.Submit(&model.SubmitRequest{Size: "4", Databanks: []string{"shared"}}); err != nil {
 		t.Fatal(err)
@@ -335,10 +335,10 @@ func TestRetentionCompactsMigratedRecords(t *testing.T) {
 	}
 	defer srv.Close()
 
-	submitTo(t, srv.shards[0], "2", "shared")
-	idA := submitTo(t, srv.shards[0], "6", "shared")
-	submitTo(t, srv.shards[0], "10", "hot")
-	submitTo(t, srv.shards[1], "3", "shared")
+	submitTo(t, srv.active()[0], "2", "shared")
+	idA := submitTo(t, srv.active()[0], "6", "shared")
+	submitTo(t, srv.active()[0], "10", "hot")
+	submitTo(t, srv.active()[1], "3", "shared")
 	srv.Start()
 	waitStats(t, srv, func(st model.StatsResponse) bool { return st.BatchedArrivals >= 4 })
 	// Step the clock to the steal point (t=3, B's completion) and wait for
@@ -364,7 +364,7 @@ func TestRetentionCompactsMigratedRecords(t *testing.T) {
 	if entries != 0 {
 		t.Errorf("forwarding table holds %d entries after compaction, want 0", entries)
 	}
-	sh := srv.shards[0]
+	sh := srv.active()[0]
 	sh.mu.Lock()
 	migrated := sh.records[idA/2]
 	pendingMigrated := len(sh.migratedIDs)

@@ -4,10 +4,16 @@
 #   BENCH_lp.json      the LP/solver suite (baseline section preserved, so
 #                      every run shows the trajectory against the
 #                      pre-hybrid seed)
-#   BENCH_server.json  the sharded divflowd throughput suite: shards=1/2/4
+#   BENCH_server.json  the sharded divflowd suite: shards=1/2/4 throughput
 #                      over the same virtual-clock burst (the multi-shard
-#                      scaling claim) plus the imbalanced-workload steal
-#                      on/off pair (the work-stealing claim), measured
+#                      scaling claim), the imbalanced-workload steal on/off
+#                      pair (the work-stealing claim), and the mid-burst
+#                      reshard vs static pair (the live re-sharding claim)
+#
+# All suites run into staging files first and are installed together only
+# when every `go test -bench` invocation succeeded: a failed bench exits
+# non-zero and leaves the committed JSONs exactly as they were, never a
+# half-updated pair.
 #
 # Usage:
 #
@@ -17,7 +23,25 @@ set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
 LABEL="$(git rev-parse --short HEAD 2>/dev/null || echo dev)"
-go run ./cmd/benchjson -benchtime "$BENCHTIME" -label "$LABEL" -out BENCH_lp.json
+
+STAGE_LP="$(mktemp)"
+STAGE_SERVER="$(mktemp)"
+trap 'rm -f "$STAGE_LP" "$STAGE_SERVER"' EXIT
+
+# Seed the staging files with the committed documents so benchjson preserves
+# the baseline sections.
+cp BENCH_lp.json "$STAGE_LP" 2>/dev/null || true
+cp BENCH_server.json "$STAGE_SERVER" 2>/dev/null || true
+
+go run ./cmd/benchjson -benchtime "$BENCHTIME" -label "$LABEL" -out "$STAGE_LP"
 go run ./cmd/benchjson -pkg ./internal/server \
-  -bench 'BenchmarkServerThroughput|BenchmarkServerStealImbalance' \
-  -benchtime "$BENCHTIME" -label "$LABEL" -out BENCH_server.json
+  -bench 'BenchmarkServerThroughput|BenchmarkServerStealImbalance|BenchmarkServerReshard' \
+  -benchtime "$BENCHTIME" -label "$LABEL" -out "$STAGE_SERVER"
+
+# Every suite succeeded: install both atomically. mktemp creates files
+# 0600; restore the committed files' normal mode before moving them in.
+chmod 644 "$STAGE_LP" "$STAGE_SERVER"
+mv "$STAGE_LP" BENCH_lp.json
+mv "$STAGE_SERVER" BENCH_server.json
+trap - EXIT
+echo "bench.sh: updated BENCH_lp.json and BENCH_server.json (benchtime $BENCHTIME, label $LABEL)"
