@@ -16,6 +16,12 @@
 //	GET  /v1/schedule      executed Gantt so far (?since=<rat> to window)
 //	GET  /v1/stats         solve/batch/cache counters and flow metrics
 //	POST /v1/platform      admin: live re-shard against an updated platform JSON
+//	GET  /healthz          200 healthy / 503 naming the stalled shards
+//	GET  /metrics          Prometheus text exposition (-metrics=false removes it)
+//	GET  /v1/events        structured scheduling-event journal (?since=&type=&shard=)
+//
+// -events-log mirrors every journaled event to an NDJSON file, and
+// -debug-addr serves net/http/pprof on a second, operator-only listener.
 //
 // The platform is live: a replication event that changes databank placement
 // is applied at runtime either by POSTing the updated platform JSON to
@@ -33,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr serves DefaultServeMux
 	"os"
 	"os/signal"
 	"strings"
@@ -61,6 +68,12 @@ func main() {
 			"cross-shard work stealing: an idle shard migrates queued or live jobs (exact remaining fractions, original IDs and flow origins) from the largest-backlog shard; false pins jobs to the shard they were routed to")
 		reshard = flag.Bool("reshard", true,
 			"live re-sharding: POST /v1/platform (or rewrite the -platform file and send SIGHUP) repartitions the running fleet when databank placement changes; false pins the startup partition")
+		metrics = flag.Bool("metrics", true,
+			"telemetry: GET /metrics (Prometheus text) and GET /v1/events (scheduling-event journal); false removes both and every telemetry cost from the scheduling paths")
+		eventsLog = flag.String("events-log", "",
+			"append every journaled scheduling event to this NDJSON file (requires -metrics)")
+		debugAddr = flag.String("debug-addr", "",
+			"serve net/http/pprof on this address (operator-only; empty disables profiling)")
 	)
 	flag.Parse()
 	if *platform == "" {
@@ -79,9 +92,21 @@ func main() {
 	if *shards < 0 {
 		log.Fatalf("bad -shards %d: want >= 0", *shards)
 	}
-	cfg := server.Config{Machines: machines, Policy: *policy, Shards: plat.Shards, DisableSteal: !*steal, DisableReshard: !*reshard}
+	cfg := server.Config{Machines: machines, Policy: *policy, Shards: plat.Shards,
+		DisableSteal: !*steal, DisableReshard: !*reshard, DisableObs: !*metrics}
 	if *shards > 0 {
 		cfg.Shards = *shards
+	}
+	if *eventsLog != "" {
+		if !*metrics {
+			log.Fatal("-events-log needs -metrics (the journal is disabled)")
+		}
+		f, err := os.OpenFile(*eventsLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.EventSink = f
 	}
 	if *retention != "" {
 		r, ok := new(big.Rat).SetString(*retention)
@@ -96,6 +121,18 @@ func main() {
 	}
 	srv.Start()
 	defer srv.Close()
+
+	if *debugAddr != "" {
+		// pprof registers on http.DefaultServeMux; serving that mux on a
+		// separate listener keeps the profiling surface off the service
+		// address, so exposing the API never exposes the profiler.
+		go func() {
+			log.Printf("pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {

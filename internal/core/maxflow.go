@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"time"
 
 	"divflow/internal/affine"
 	"divflow/internal/intervals"
@@ -31,6 +32,11 @@ type Result struct {
 	// perturbed instances (the online adaptation) pass it back through
 	// SolveOptions.Warm to start from it instead of from scratch.
 	Basis *lp.Basis
+	// Wall is the wall-clock duration of the whole solve (milestone
+	// enumeration through schedule extraction): the per-solve latency the
+	// telemetry layer exports, timed here so every caller measures the same
+	// span.
+	Wall time.Duration
 }
 
 // SolveOptions tunes the exact solvers without changing their results.
@@ -82,6 +88,7 @@ func MinMaxWeightedFlowWithOptions(inst *model.Instance, origins []*big.Rat, mod
 }
 
 func minMaxWeightedFlow(inst *model.Instance, origins []*big.Rat, mode schedule.Model, opts *SolveOptions) (*Result, error) {
+	start := time.Now()
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,6 +156,7 @@ func minMaxWeightedFlow(inst *model.Instance, origins []*big.Rat, mode schedule.
 		LPSolves:      solves,
 		Solver:        tally,
 		Basis:         sol.basis,
+		Wall:          time.Since(start),
 	}, nil
 }
 

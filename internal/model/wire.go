@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"divflow/internal/obs"
 	"divflow/internal/stats"
 )
 
@@ -116,21 +117,32 @@ type JobStatus struct {
 // often it migrates; StolenJobs counts jobs this shard stole from overloaded
 // shards and Migrations jobs stolen away from it.
 type ShardStats struct {
-	Shard           int      `json:"shard"`
-	Machines        []string `json:"machines"`
-	Now             string   `json:"now"`
-	JobsAccepted    int      `json:"jobsAccepted"`
-	JobsLive        int      `json:"jobsLive"`
-	JobsCompleted   int      `json:"jobsCompleted"`
-	Events          int      `json:"events"`
-	LPSolves        int      `json:"lpSolves"`
-	PlanCacheHits   int      `json:"planCacheHits"`
-	ArrivalBatches  int      `json:"arrivalBatches"`
-	BatchedArrivals int      `json:"batchedArrivals"`
-	LargestBatch    int      `json:"largestBatch"`
-	CompactedJobs   int      `json:"compactedJobs,omitempty"`
-	StolenJobs      int      `json:"stolenJobs,omitempty"`
-	Migrations      int      `json:"migrations,omitempty"`
+	Shard int `json:"shard"`
+	// Generation is the newest topology generation the shard is (or was) a
+	// member of: kept shards advance with every reshard that keeps them,
+	// retired shards stay at the generation their service ended in.
+	Generation    int      `json:"generation"`
+	Machines      []string `json:"machines"`
+	Now           string   `json:"now"`
+	JobsAccepted  int      `json:"jobsAccepted"`
+	JobsQueued    int      `json:"jobsQueued"`
+	JobsLive      int      `json:"jobsLive"`
+	JobsCompleted int      `json:"jobsCompleted"`
+	Events        int      `json:"events"`
+	LPSolves      int      `json:"lpSolves"`
+	PlanCacheHits int      `json:"planCacheHits"`
+	// Solver is this shard's own hybrid-engine path breakdown (the aggregate
+	// StatsResponse.Solver is the sum over shards): a single shard burning
+	// exact fallbacks — a pathological workload shape, or a warm-start chain
+	// gone stale — is visible here while the fleet aggregate still looks
+	// healthy.
+	Solver          stats.SolverTally `json:"solver"`
+	ArrivalBatches  int               `json:"arrivalBatches"`
+	BatchedArrivals int               `json:"batchedArrivals"`
+	LargestBatch    int               `json:"largestBatch"`
+	CompactedJobs   int               `json:"compactedJobs,omitempty"`
+	StolenJobs      int               `json:"stolenJobs,omitempty"`
+	Migrations      int               `json:"migrations,omitempty"`
 	// ReshardedIn counts jobs a live reshard migrated onto this shard and
 	// ReshardedOut jobs it migrated away; Retired marks a shard dropped from
 	// the active topology by a reshard — it no longer schedules, but keeps
@@ -182,8 +194,11 @@ type StatsResponse struct {
 	P95Flow         float64 `json:"p95Flow,omitempty"`
 	// CompactedJobs counts completed jobs whose records and schedule pieces
 	// were dropped by the retention policy; their flow/stretch contributions
-	// remain in the aggregates above. P95Flow is estimated over a bounded
-	// window of the most recent completions.
+	// remain in the aggregates above. P95Flow is estimated from the same
+	// fixed-bucket flow histogram GET /metrics exports
+	// (divflow_flow_time{shard}), with the same linear-interpolation
+	// estimator Prometheus's histogram_quantile uses — so the two surfaces
+	// cannot disagree on the same percentile.
 	CompactedJobs int `json:"compactedJobs,omitempty"`
 	// StolenJobs counts cross-shard work-stealing migrations received
 	// (jobs an idle shard pulled from an overloaded one) and Migrations the
@@ -297,4 +312,24 @@ func ParsePlatformConfig(data []byte) (*Platform, error) {
 		machines[i].InverseSpeed = s
 	}
 	return &Platform{Machines: machines, Shards: doc.Shards}, nil
+}
+
+// HealthResponse is the body of GET /healthz: "ok" with HTTP 200 while every
+// active shard is healthy, "stalled" with HTTP 503 otherwise, naming the
+// active shards whose loops latched a scheduling error. Retired shards are
+// history, not health, and never appear here.
+type HealthResponse struct {
+	Status        string   `json:"status"`
+	StalledShards []int    `json:"stalledShards,omitempty"`
+	Errors        []string `json:"errors,omitempty"`
+}
+
+// EventsResponse is the body of GET /v1/events: one page of the structured
+// event journal. Next is the cursor to pass back as ?since= to see only
+// newer events; Dropped counts events between the requested cursor and the
+// oldest retained one that the bounded ring had already overwritten.
+type EventsResponse struct {
+	Events  []obs.Event `json:"events"`
+	Next    int64       `json:"next"`
+	Dropped int64       `json:"dropped,omitempty"`
 }

@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"divflow/internal/model"
+	"divflow/internal/obs"
 	"divflow/internal/schedule"
 	"divflow/internal/stats"
 )
@@ -24,6 +25,13 @@ import (
 //	GET  /v1/stats         service counters (model.StatsResponse)
 //	POST /v1/platform      admin: live re-shard against an updated platform
 //	                       JSON (model.ReshardResponse)
+//	GET  /healthz          200 while every active shard is healthy, 503
+//	                       naming the stalled shards (model.HealthResponse)
+//	GET  /metrics          Prometheus text exposition (absent with
+//	                       telemetry disabled)
+//	GET  /v1/events        structured event journal (model.EventsResponse);
+//	                       ?since=&type=&shard=&limit= page and filter it
+//	                       (absent with telemetry disabled)
 //
 // Reads merge the per-shard state: job IDs are shard-encoded, the schedule
 // interleaves every shard's pieces over fleet machine indices, and stats
@@ -37,6 +45,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/platform", s.handlePlatform)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.tel.enabled {
+		mux.Handle("GET /metrics", s.tel.reg.Handler())
+		mux.HandleFunc("GET /v1/events", s.handleEvents)
+	}
 	return mux
 }
 
@@ -175,6 +188,65 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealth is the liveness/readiness probe: 200 while every active shard
+// is healthy, 503 naming the stalled shards. It reuses the latched-error
+// state the router reads (routeInfo takes only backlogMu), so a probe never
+// waits behind an in-flight exact solve. Retired shards are history, not
+// health; they are not consulted.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	resp := model.HealthResponse{Status: "ok"}
+	for _, sh := range s.active() {
+		if _, routeErr := sh.routeInfo(); routeErr != "" {
+			resp.StalledShards = append(resp.StalledShards, sh.idx)
+			resp.Errors = append(resp.Errors, routeErr)
+		}
+	}
+	if len(resp.StalledShards) > 0 {
+		resp.Status = "stalled"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleEvents pages through the event journal: ?since= resumes from a
+// cursor (the next field of the previous response), ?type= and ?shard=
+// filter, ?limit= bounds the page.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since int64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q: want a non-negative integer", v))
+			return
+		}
+		since = n
+	}
+	f := obs.Filter{Type: q.Get("type"), Shard: -1}
+	if v := q.Get("shard"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad shard %q: want a non-negative integer", v))
+			return
+		}
+		f.Shard = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q: want a positive integer", v))
+			return
+		}
+		f.Limit = n
+	}
+	events, next, dropped := s.tel.journal.Since(since, f)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, model.EventsResponse{Events: events, Next: next, Dropped: dropped})
+}
+
 // Stats merges the per-shard counters into fleet-wide aggregates plus the
 // per-shard breakdown. Retired shards stay in the breakdown (marked
 // retired): their counters are history the aggregates must keep.
@@ -195,7 +267,7 @@ func (s *Server) Stats() model.StatsResponse {
 	var solver stats.SolverTally
 	flowSum := new(big.Rat)
 	var maxWF, maxStretch *big.Rat
-	var recent []float64
+	var flowAll obs.HistogramSnapshot
 	doneCount := 0
 	for _, sh := range shardList {
 		snap := sh.statsSnapshot()
@@ -226,7 +298,7 @@ func (s *Server) Stats() model.StatsResponse {
 		if snap.now.Cmp(now) > 0 {
 			now = snap.now
 		}
-		solver.Merge(snap.solver)
+		solver.Merge(snap.wire.Solver)
 		doneCount += snap.doneCount
 		flowSum.Add(flowSum, snap.flowSum)
 		if snap.maxWF != nil && (maxWF == nil || snap.maxWF.Cmp(maxWF) > 0) {
@@ -235,7 +307,7 @@ func (s *Server) Stats() model.StatsResponse {
 		if snap.maxStretch != nil && (maxStretch == nil || snap.maxStretch.Cmp(maxStretch) > 0) {
 			maxStretch = snap.maxStretch
 		}
-		recent = append(recent, snap.recentFlows...)
+		flowAll.Merge(snap.flow)
 	}
 	resp.Now = now.RatString()
 	resp.Solver = solver
@@ -244,7 +316,10 @@ func (s *Server) Stats() model.StatsResponse {
 		resp.MaxStretch = maxStretch.RatString()
 		mean := new(big.Rat).Quo(flowSum, big.NewRat(int64(doneCount), 1))
 		resp.MeanFlow, _ = mean.Float64()
-		resp.P95Flow = stats.Percentile(recent, 95)
+		// The same bucket counts /metrics exports, the same estimator
+		// Prometheus's histogram_quantile applies to them: the two surfaces
+		// cannot disagree on the P95.
+		resp.P95Flow = flowAll.Quantile(95)
 	}
 	return resp
 }

@@ -217,6 +217,76 @@ func BenchmarkServerReshard(b *testing.B) {
 	}
 }
 
+// BenchmarkServerThroughputObserved prices the telemetry layer: the same
+// 48-job burst as BenchmarkServerThroughput (P=2), once with the default
+// instrumentation (journal appends, latency histograms, scrape-time
+// registry) and once with -metrics=false. The two jobs/s numbers bound the
+// observability overhead on the hottest path; the instrumented arm must
+// stay within a few percent of the kill-switch arm. Recorded as
+// BENCH_server.json via cmd/benchjson (scripts/bench.sh).
+func BenchmarkServerThroughputObserved(b *testing.B) {
+	for _, instrumented := range []bool{true, false} {
+		name := "obs=on"
+		if !instrumented {
+			name = "obs=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				machines := make([]model.Machine, benchFleetSize)
+				for m := range machines {
+					machines[m] = model.Machine{
+						Name:         fmt.Sprintf("u%d", m),
+						InverseSpeed: rat(1, int64(1+m%2)),
+						Databanks:    []string{"shared"},
+					}
+				}
+				vc := NewVirtualClock()
+				srv, err := New(Config{Machines: machines, Shards: 2, Clock: vc, DisableObs: !instrumented})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqs := make([]model.SubmitRequest, benchJobs)
+				for j := range reqs {
+					reqs[j] = model.SubmitRequest{
+						Size:      fmt.Sprintf("%d", 1+(j*7)%13),
+						Weight:    fmt.Sprintf("%d", 1+j%3),
+						Databanks: []string{"shared"},
+					}
+				}
+				b.StartTimer()
+				for j := range reqs {
+					if _, err := srv.Submit(&reqs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				srv.Start()
+				for {
+					st := srv.Stats()
+					if st.LastError != "" {
+						b.Fatal(st.LastError)
+					}
+					if st.JobsCompleted == benchJobs {
+						break
+					}
+					if !vc.AdvanceToNextTimer() {
+						runtime.Gosched()
+					}
+				}
+				b.StopTimer()
+				if instrumented {
+					if n := srv.tel.journal.NextSeq(); n == 0 {
+						b.Fatal("instrumented run journaled nothing")
+					}
+				}
+				srv.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(benchJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
 // BenchmarkServerThroughput measures end-to-end virtual-clock throughput of
 // the sharded service under the default exact policy (online-mwf-lazy) for
 // P = 1, 2, 4 shards. Recorded as BENCH_server.json via cmd/benchjson

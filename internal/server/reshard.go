@@ -7,8 +7,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"divflow/internal/model"
+	"divflow/internal/obs"
 	"divflow/internal/sim"
 )
 
@@ -227,7 +229,11 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 		return resp, nil
 	}
 
-	// Structural reshard. Catch every retiring shard up to the present
+	// Structural reshard, timed end to end (catch-ups, migration, topology
+	// publish) for the divflow_reshard_migration_seconds histogram.
+	start := s.tel.now()
+
+	// Catch every retiring shard up to the present
 	// first, each under its own mu alone: its engine may be asleep at its
 	// last event with an allocation that has been (notionally) executing
 	// since, and extracting remaining fractions at that stale time would
@@ -341,6 +347,15 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 		resp.SpawnedShards = append(resp.SpawnedShards, nsh.idx)
 	}
 
+	// Stamp the new generation on every member (all mus are held): events
+	// and stats emitted from here on carry it. Retiring shards keep the
+	// generation their service ended in. s.gens is stable under reshardMu,
+	// so reading its length without topoMu is safe — we are its only writer.
+	newGen := len(s.gens)
+	for _, sh := range gen2 {
+		sh.gen = newGen
+	}
+
 	// Migrate every queued and live job off the retiring shards, exactly as
 	// a steal would: donor record flips to migrated (its executed pieces
 	// stay, translated by the record), the destination gets a fresh record
@@ -390,6 +405,7 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 		s.fwdMu.Lock()
 		s.forward[rec.gid] = fwdLoc{sh: dest, local: nrec.id}
 		s.fwdMu.Unlock()
+		dest.obs.event(obs.EventMigrate, rec.gid, nil, fmt.Sprintf("resharded from shard %d", donor.idx))
 		resid[dest].Add(resid[dest], rec.size)
 		// Backlog conservation; one backlogMu at a time, never nested.
 		donor.backlogMu.Lock()
@@ -427,6 +443,13 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 	s.topoMu.Unlock()
 	resp.ShardCount = len(gen2)
 	unlock()
+
+	s.tel.event(obs.EventReshard, newGen, -1, fmt.Sprintf(
+		"%d shards (%d kept, %d spawned, %d retired), %d jobs migrated",
+		len(gen2), len(resp.KeptShards), len(spawned), len(retiring), resp.MigratedJobs))
+	if !start.IsZero() {
+		s.tel.reshardSeconds.Observe(time.Since(start).Seconds())
+	}
 
 	s.renumberRetired(newFleet, gen2)
 

@@ -22,10 +22,12 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"sync"
 
 	"divflow/internal/model"
+	"divflow/internal/obs"
 )
 
 // ErrClosed is returned by Submit once the server is shutting down.
@@ -96,6 +98,18 @@ type Config struct {
 	// computed at startup stays fixed for the server's whole life, pinning
 	// the pre-reshard behavior.
 	DisableReshard bool
+	// DisableObs turns telemetry off (the -metrics=false kill switch):
+	// GET /metrics and GET /v1/events answer 404, no events are journaled,
+	// and the scheduling paths skip every telemetry-only wall-clock read.
+	// GET /healthz and the /v1/stats percentiles keep working.
+	DisableObs bool
+	// EventSink, when non-nil, additionally receives every journaled event
+	// as one NDJSON line (the -events-log file). A write error is latched
+	// and stops further sink writes, never the scheduling paths.
+	EventSink io.Writer
+	// EventBufferSize overrides the event journal's ring capacity
+	// (obs.DefJournalCapacity when zero).
+	EventBufferSize int
 }
 
 // generation is one epoch of the shard topology: the shards active between
@@ -126,6 +140,7 @@ type Server struct {
 	disableSteal bool
 	noReshard    bool
 	dropForward  func(gid int)
+	tel          *telemetry
 
 	// topoMu guards the shard topology: the generation list and the flat
 	// list of every shard ever created. Readers snapshot under RLock; only
@@ -196,6 +211,7 @@ func New(cfg Config) (*Server, error) {
 		disableSteal: cfg.DisableSteal,
 		noReshard:    cfg.DisableReshard,
 		forward:      make(map[int]fwdLoc),
+		tel:          newTelemetry(!cfg.DisableObs, cfg.EventSink, cfg.EventBufferSize),
 	}
 	if cfg.Retention != nil && cfg.Retention.Sign() > 0 {
 		s.retention = new(big.Rat).Set(cfg.Retention)
@@ -223,6 +239,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.gens = []*generation{{base: 0, stride: stride, shards: shards}}
 	s.all = shards
+	// Scrape-time metric collection reads the same per-shard snapshots
+	// /v1/stats merges; registered once the topology exists.
+	s.tel.reg.OnCollect(s.collectMetrics)
 	return s, nil
 }
 
@@ -238,6 +257,10 @@ func (s *Server) wireShard(sh *shard) *shard {
 		sh.steal = func() bool { return s.stealFor(sh) }
 	}
 	sh.dropForward = s.dropForward
+	sh.obs = s.tel.newShardObs(sh)
+	if sh.mwf != nil {
+		sh.mwf.Observer = sh.obs
+	}
 	return sh
 }
 
@@ -439,6 +462,8 @@ func (s *Server) Close() {
 func (s *Server) Submit(req *model.SubmitRequest) (model.SubmitResponse, error) {
 	job, err := req.Job()
 	if err != nil {
+		s.tel.rejections.Inc()
+		s.tel.event(obs.EventReject, s.Generation(), -1, err.Error())
 		return model.SubmitResponse{}, err
 	}
 	// Each attempt that fails with errRetired raced one completed reshard;
@@ -484,6 +509,9 @@ func (s *Server) submitRouted(job model.Job) (model.SubmitResponse, error) {
 	resp := model.SubmitResponse{State: StateQueued}
 	if best == nil {
 		if bestStalled == nil {
+			s.tel.rejections.Inc()
+			s.tel.event(obs.EventReject, s.Generation(), -1,
+				fmt.Sprintf("no machine hosts databanks %v", job.Databanks))
 			return resp, fmt.Errorf("server: no machine hosts databanks %v", job.Databanks)
 		}
 		best = bestStalled

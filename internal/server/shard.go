@@ -4,11 +4,12 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 
 	"divflow/internal/model"
+	"divflow/internal/obs"
 	"divflow/internal/schedule"
 	"divflow/internal/sim"
-	"divflow/internal/stats"
 )
 
 // jobRecord is the shard-side state of one submitted job. IDs are shard-local
@@ -41,6 +42,11 @@ type jobRecord struct {
 	// stolen away: every donor piece of the job ends at or before it, so
 	// once the retention horizon passes it the record can be compacted.
 	migratedAt *big.Rat
+	// submittedWall is the wall-clock submission instant, feeding the
+	// submit→admit latency histogram; zero with telemetry disabled (the
+	// clock is never read then) and on migrated records (a re-admission on
+	// the destination shard is not a fresh submission).
+	submittedWall time.Time
 }
 
 // shard is one independent scheduling loop over a slice of the fleet: its own
@@ -79,6 +85,15 @@ type shard struct {
 	// reshard that keeps the shard rewrites it (under mu) when the fleet
 	// document renumbers machines.
 	machineIdx []int
+	// gen is the newest topology generation the shard belongs (or belonged)
+	// to: 0 at startup, advanced under mu by every reshard that keeps the
+	// shard, frozen at retirement. Events and stats are tagged with it.
+	gen int
+	// obs is the shard's telemetry bundle (histogram children and journal
+	// hookup). Always non-nil: newShard installs a detached bundle whose
+	// flow histogram still backs the P95 estimate, and the server replaces
+	// it with the registry-backed one before the loop starts.
+	obs *shardObs
 	// retired marks a shard dropped from the active topology by a reshard:
 	// its jobs have been migrated away, its loop is about to stop, and it
 	// only keeps serving reads of its historical records and trace. The
@@ -125,15 +140,10 @@ type shard struct {
 	// Completed-job statistics are accumulated at completion time, not
 	// recomputed from records, so compaction can forget the records without
 	// losing the all-time aggregates.
-	doneCount  int
-	flowSum    *big.Rat
-	maxWF      *big.Rat
-	maxStretch *big.Rat
-	// recentFlows is a bounded ring of the latest completions' float flows,
-	// backing the P95 estimate with bounded memory.
-	recentFlows []float64
-	flowPos     int
-
+	doneCount     int
+	flowSum       *big.Rat
+	maxWF         *big.Rat
+	maxStretch    *big.Rat
 	retention     *big.Rat
 	lastCompact   *big.Rat // horizon of the last compaction
 	compactedJobs int
@@ -182,6 +192,7 @@ func newShard(idx, pos, stride, gidBase int, clock Clock, machines []model.Machi
 		sh.retention = new(big.Rat).Set(retention)
 		sh.lastCompact = new(big.Rat)
 	}
+	sh.obs = detachedShardObs()
 	sh.mwf, _ = pol.(*sim.OnlineMWF)
 	sh.eligible = make([]map[int]bool, len(sh.machines))
 	for i := range sh.eligible {
@@ -264,6 +275,7 @@ func (sh *shard) close() {
 		for i := range sh.eligible {
 			delete(sh.eligible[i], rec.id)
 		}
+		sh.obs.event(obs.EventReject, rec.gid, nil, "shutdown drained the queued job")
 	}
 	sh.pending = nil
 	sh.backlogMu.Lock()
@@ -311,6 +323,7 @@ func (sh *shard) submit(job model.Job) (int, error) {
 	if rec.name == "" {
 		rec.name = fmt.Sprintf("job-%d", sh.globalID(rec.id))
 	}
+	rec.submittedWall = sh.obs.now()
 	sh.records = append(sh.records, rec)
 	sh.pending = append(sh.pending, rec)
 	sh.backlogMu.Lock()
@@ -319,6 +332,7 @@ func (sh *shard) submit(job model.Job) (int, error) {
 	for _, i := range hosts {
 		sh.eligible[i][rec.id] = true
 	}
+	sh.obs.event(obs.EventSubmit, rec.gid, rec.release, "")
 	sh.poke()
 	return rec.gid, nil
 }
@@ -543,6 +557,11 @@ func (sh *shard) process() {
 		// must leave the record queued, not claim scheduling that never
 		// happened.
 		rec.state = StateScheduled
+		if !rec.submittedWall.IsZero() {
+			sh.obs.submitAdmit.Observe(time.Since(rec.submittedWall).Seconds())
+			rec.submittedWall = time.Time{}
+		}
+		sh.obs.event(obs.EventAdmit, rec.gid, now, "")
 		if !rec.counted {
 			rec.counted = true
 			native++
@@ -568,9 +587,6 @@ func (sh *shard) step(t *big.Rat) bool {
 	return sh.decide()
 }
 
-// maxRecentFlows bounds the sample backing the P95 flow estimate.
-const maxRecentFlows = 4096
-
 // recordCompletion folds one finished job into the all-time aggregates, so
 // later compaction of its record loses no statistics. Callers hold sh.mu.
 func (sh *shard) recordCompletion(rec *jobRecord) {
@@ -588,13 +604,10 @@ func (sh *shard) recordCompletion(rec *jobRecord) {
 	if sh.maxStretch == nil || st.Cmp(sh.maxStretch) > 0 {
 		sh.maxStretch = st
 	}
+	// The flow histogram is observed unconditionally — it is the backing
+	// store of the /v1/stats P95 estimate, not just an exported metric.
 	f, _ := flow.Float64()
-	if len(sh.recentFlows) < maxRecentFlows {
-		sh.recentFlows = append(sh.recentFlows, f)
-	} else {
-		sh.recentFlows[sh.flowPos] = f
-		sh.flowPos = (sh.flowPos + 1) % maxRecentFlows
-	}
+	sh.obs.flow.Observe(f)
 }
 
 // compact enforces the retention bound: everything that finished more than
@@ -619,6 +632,7 @@ func (sh *shard) compact(now *big.Rat) {
 	// backwards.
 	sh.noteMakespan()
 	sh.lastCompact = horizon
+	before := sh.compactedJobs
 	drop := func(id int) {
 		rec := sh.records[id]
 		// Only the job's *current* owner releases the forwarding entry: a
@@ -645,6 +659,9 @@ func (sh *shard) compact(now *big.Rat) {
 		}
 	}
 	sh.migratedIDs = keep
+	if n := sh.compactedJobs - before; n > 0 {
+		sh.obs.event(obs.EventCompact, -1, horizon, fmt.Sprintf("%d records dropped", n))
+	}
 }
 
 // noteMakespan raises the makespan high-water mark to the current executed
@@ -684,6 +701,7 @@ func (sh *shard) decide() bool {
 		}
 		sh.lastErr = err
 		sh.publishRouteErr()
+		sh.obs.event(obs.EventShardStall, -1, sh.eng.Now(), err.Error())
 	}
 	return true
 }
@@ -692,6 +710,7 @@ func (sh *shard) decide() bool {
 func (sh *shard) fail(err error) {
 	if sh.lastErr == nil {
 		sh.lastErr = err
+		sh.obs.event(obs.EventShardStall, -1, sh.eng.Now(), err.Error())
 	}
 	sh.stalled = true
 	sh.publishRouteErr()
@@ -787,14 +806,19 @@ func (sh *shard) scheduleSnapshot(since *big.Rat) (pieces []schedule.Piece, now,
 // response: the wire breakdown plus the exact aggregates the server folds
 // into fleet-wide summaries.
 type shardSnapshot struct {
-	wire        model.ShardStats
-	now         *big.Rat
-	doneCount   int
-	flowSum     *big.Rat
-	maxWF       *big.Rat
-	maxStretch  *big.Rat
-	recentFlows []float64
-	solver      stats.SolverTally
+	wire       model.ShardStats
+	now        *big.Rat
+	doneCount  int
+	flowSum    *big.Rat
+	maxWF      *big.Rat
+	maxStretch *big.Rat
+	// flow is the shard's completed-flow histogram: the server merges the
+	// per-shard snapshots and estimates the fleet P95 from the merge, the
+	// same estimator a dashboard applies to the exported buckets.
+	flow obs.HistogramSnapshot
+	// backlogF is the float approximation of the exact backlog, for the
+	// divflow_backlog_work gauge.
+	backlogF float64
 }
 
 // statsSnapshot captures the shard's counters under its lock.
@@ -807,13 +831,15 @@ func (sh *shard) statsSnapshot() shardSnapshot {
 	}
 	snap := shardSnapshot{
 		wire: model.ShardStats{
-			Shard:    sh.idx,
-			Machines: names,
-			Now:      sh.eng.Now().RatString(),
+			Shard:      sh.idx,
+			Generation: sh.gen,
+			Machines:   names,
+			Now:        sh.eng.Now().RatString(),
 			// Births only: records created by a steal or reshard migration are
 			// counted by their birth shard, so the fleet aggregate sees every
 			// job exactly once.
 			JobsAccepted:    len(sh.records) - sh.stolenIn - sh.reshardIn,
+			JobsQueued:      len(sh.pending),
 			JobsLive:        sh.eng.Live(),
 			JobsCompleted:   sh.eng.CompletedCount(),
 			Events:          sh.eng.Decisions(),
@@ -836,14 +862,15 @@ func (sh *shard) statsSnapshot() shardSnapshot {
 		// aggregate state out of it — recordCompletion happens to replace
 		// rather than mutate the maxima today, but the snapshot must not
 		// depend on that staying true.
-		maxWF:       copyRat(sh.maxWF),
-		maxStretch:  copyRat(sh.maxStretch),
-		recentFlows: append([]float64(nil), sh.recentFlows...),
+		maxWF:      copyRat(sh.maxWF),
+		maxStretch: copyRat(sh.maxStretch),
+		flow:       sh.obs.flow.Snapshot(),
 	}
+	snap.backlogF, _ = sh.backlog.Float64()
 	if sh.mwf != nil {
 		snap.wire.LPSolves = sh.mwf.Solves()
 		snap.wire.PlanCacheHits = sh.mwf.CacheHits()
-		snap.solver = sh.mwf.SolverTally()
+		snap.wire.Solver = sh.mwf.SolverTally()
 	}
 	if sh.lastErr != nil {
 		snap.wire.LastError = sh.lastErr.Error()

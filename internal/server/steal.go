@@ -1,8 +1,12 @@
 package server
 
 import (
+	"fmt"
 	"math/big"
 	"sort"
+	"time"
+
+	"divflow/internal/obs"
 )
 
 // Cross-shard work stealing. PR 3's router pins a job to the shard it was
@@ -58,6 +62,9 @@ func (s *Server) stealFor(thief *shard) bool {
 // extraction, insertion, the forwarding-table update, and the backlog
 // transfer are one atomic step as far as every reader is concerned.
 func (s *Server) stealFrom(thief, donor *shard) bool {
+	// Timed end to end — donor catch-up included, since that catch-up (and
+	// any exact re-solve it triggers) is the real cost of a steal.
+	start := s.tel.now()
 	// Catch the donor up to the present first, under its mu alone: its
 	// engine may be asleep at its last event with an allocation that has
 	// been (notionally) executing since — extracting remaining fractions at
@@ -93,6 +100,9 @@ func (s *Server) stealFrom(thief, donor *shard) bool {
 	if moved == nil {
 		return false
 	}
+	if !start.IsZero() {
+		thief.obs.steal.Observe(time.Since(start).Seconds())
+	}
 	// The donor's next event changed (stolen completions vanished): wake its
 	// loop so it re-arms its timer instead of sleeping toward a stale one.
 	donor.poke()
@@ -102,6 +112,7 @@ func (s *Server) stealFrom(thief, donor *shard) bool {
 // stealOutcome reports what stealLocked moved.
 type stealOutcome struct {
 	removedLive bool
+	moved       int
 }
 
 // stealLocked is the critical section of a migration. Callers hold both
@@ -197,6 +208,8 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 		s.fwdMu.Lock()
 		s.forward[rec.gid] = fwdLoc{sh: thief, local: nrec.id}
 		s.fwdMu.Unlock()
+		out.moved++
+		thief.obs.event(obs.EventMigrate, rec.gid, nil, fmt.Sprintf("stolen from shard %d", donor.idx))
 		movedSize.Add(movedSize, rec.size)
 	}
 	if movedSize.Sign() == 0 {
@@ -215,5 +228,9 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 	thief.backlog.Add(thief.backlog, movedSize)
 	b.backlogMu.Unlock()
 	a.backlogMu.Unlock()
+	// Journaled under both mus: the thief's generation read is stable and
+	// the event lands before any reader can see the post-steal topology.
+	thief.obs.event(obs.EventSteal, -1, donor.eng.Now(),
+		fmt.Sprintf("%d jobs from shard %d", out.moved, donor.idx))
 	return out
 }

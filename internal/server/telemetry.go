@@ -1,0 +1,328 @@
+package server
+
+import (
+	"io"
+	"math/big"
+	"strconv"
+	"sync"
+	"time"
+
+	"divflow/internal/obs"
+	"divflow/internal/stats"
+)
+
+// Solver-path labels of divflow_solve_seconds and divflow_solver_path_total.
+// One scheduling decision can settle several inner range LPs on different
+// paths; the decision is labeled by the worst path any of them took, so a
+// "float_verified" sample really means no LP of that solve needed more.
+const (
+	pathWarm          = "warm"
+	pathFloatVerified = "float_verified"
+	pathCrossover     = "crossover"
+	pathExactFallback = "exact_fallback"
+)
+
+// solvePath classifies one solve's per-call tally by its worst path.
+func solvePath(t stats.SolverTally) string {
+	switch {
+	case t.Fallbacks > 0:
+		return pathExactFallback
+	case t.Crossovers > 0:
+		return pathCrossover
+	case t.FloatVerified > 0:
+		return pathFloatVerified
+	default:
+		return pathWarm
+	}
+}
+
+// telemetry is the server's observability state: the metric registry behind
+// GET /metrics and the event journal behind GET /v1/events. It always exists
+// — the per-shard flow histograms it owns back the /v1/stats P95 estimate
+// even with the exporter disabled — but enabled=false (the -metrics=false
+// kill switch) turns off everything with a measurable cost on the scheduling
+// paths: journal appends and the wall-clock reads feeding the latency
+// histograms. The HTTP surface then 404s /metrics and /v1/events.
+//
+// Counters and gauges describing shard state are not incremented inline:
+// Server.collectMetrics refreshes them at scrape time from the same
+// statsSnapshot GET /v1/stats reads, so the two surfaces cannot disagree.
+// Only quantities with no authoritative counter elsewhere (latency
+// histograms, rejected submissions) are recorded inline.
+type telemetry struct {
+	enabled bool
+	reg     *obs.Registry
+	journal *obs.Journal
+
+	// collectMu serializes scrape-time collection: two interleaved scrapes
+	// could otherwise write an older snapshot's value after a newer one's,
+	// making a monotone counter appear to regress between two reads.
+	collectMu sync.Mutex
+
+	// Inline instruments.
+	rejections     *obs.Counter
+	submitAdmit    *obs.HistogramVec // {shard}: submit→admit wall seconds
+	solveSeconds   *obs.HistogramVec // {shard,path}: per-solve wall seconds
+	stealSeconds   *obs.HistogramVec // {shard}: donor catch-up + migration
+	reshardSeconds *obs.Histogram    // structural reshard migration
+	flowTime       *obs.HistogramVec // {shard}: completed flows, virtual time
+
+	// Scrape-time families (Server.collectMetrics).
+	submissions     *obs.CounterVec
+	completions     *obs.CounterVec
+	engineEvents    *obs.CounterVec
+	lpSolves        *obs.CounterVec
+	cacheHits       *obs.CounterVec
+	arrivalBatches  *obs.CounterVec
+	batchedArrivals *obs.CounterVec
+	stolenIn        *obs.CounterVec
+	stolenOut       *obs.CounterVec
+	reshardedIn     *obs.CounterVec
+	reshardedOut    *obs.CounterVec
+	compacted       *obs.CounterVec
+	solverPath      *obs.CounterVec
+	solverWarm      *obs.CounterVec
+	reshardEvents   *obs.Counter
+	journalEvents   *obs.Counter
+	backlog         *obs.GaugeVec
+	jobsLive        *obs.GaugeVec
+	jobsQueued      *obs.GaugeVec
+	shardStalled    *obs.GaugeVec
+	shardRetired    *obs.GaugeVec
+	shardGen        *obs.GaugeVec
+	topoGen         *obs.Gauge
+	activeShards    *obs.Gauge
+}
+
+// newTelemetry builds the registry (every family registered up front, so a
+// scrape before the first event still shows the full schema for families with
+// children) and the journal. sink, when non-nil, receives every journaled
+// event as one NDJSON line; bufSize sizes the ring (0 selects the default).
+func newTelemetry(enabled bool, sink io.Writer, bufSize int) *telemetry {
+	r := obs.NewRegistry()
+	t := &telemetry{
+		enabled: enabled,
+		reg:     r,
+		journal: obs.NewJournal(bufSize, sink),
+
+		rejections: r.Counter("divflow_rejections_total",
+			"Submissions refused (unparseable, or no machine hosts the databanks).").With(),
+		submitAdmit: r.Histogram("divflow_submit_admit_seconds",
+			"Wall time from submission to engine admission.", obs.DefLatencyBuckets, "shard"),
+		solveSeconds: r.Histogram("divflow_solve_seconds",
+			"Wall time of one scheduling decision's exact solve, by worst solver path.",
+			obs.DefLatencyBuckets, "shard", "path"),
+		stealSeconds: r.Histogram("divflow_steal_seconds",
+			"Wall time of one successful steal (donor catch-up through migration), by thief shard.",
+			obs.DefLatencyBuckets, "shard"),
+		reshardSeconds: r.Histogram("divflow_reshard_migration_seconds",
+			"Wall time of one structural reshard (catch-ups, migration, topology publish).",
+			obs.DefLatencyBuckets).With(),
+		flowTime: r.Histogram("divflow_flow_time",
+			"Completed jobs' flow times (virtual time units); backs the /v1/stats P95.",
+			obs.DefFlowBuckets, "shard"),
+
+		submissions: r.Counter("divflow_submissions_total",
+			"Jobs accepted, by birth shard.", "shard"),
+		completions: r.Counter("divflow_jobs_completed_total",
+			"Jobs completed, by completing shard.", "shard"),
+		engineEvents: r.Counter("divflow_engine_events_total",
+			"Scheduling decisions (engine events) taken.", "shard"),
+		lpSolves: r.Counter("divflow_lp_solves_total",
+			"Exact residual LP solves performed.", "shard"),
+		cacheHits: r.Counter("divflow_plan_cache_hits_total",
+			"Decision points served from the cached plan.", "shard"),
+		arrivalBatches: r.Counter("divflow_arrival_batches_total",
+			"Admission batches (arrivals sharing one re-solve).", "shard"),
+		batchedArrivals: r.Counter("divflow_batched_arrivals_total",
+			"First admissions folded into arrival batches.", "shard"),
+		stolenIn: r.Counter("divflow_jobs_stolen_in_total",
+			"Jobs migrated here by work stealing.", "shard"),
+		stolenOut: r.Counter("divflow_jobs_stolen_out_total",
+			"Jobs stolen away from here.", "shard"),
+		reshardedIn: r.Counter("divflow_jobs_resharded_in_total",
+			"Jobs migrated here by live reshards.", "shard"),
+		reshardedOut: r.Counter("divflow_jobs_resharded_out_total",
+			"Jobs migrated away from here by live reshards.", "shard"),
+		compacted: r.Counter("divflow_compacted_jobs_total",
+			"Job records dropped by the retention policy.", "shard"),
+		solverPath: r.Counter("divflow_solver_path_total",
+			"Inner LP solves settled, by hybrid-engine path.", "shard", "path"),
+		solverWarm: r.Counter("divflow_solver_warm_total",
+			"Warm-start attempts of inner LP solves, by outcome.", "shard", "result"),
+		reshardEvents: r.Counter("divflow_reshard_events_total",
+			"Completed structural reshards (topology generation advances).").With(),
+		journalEvents: r.Counter("divflow_journal_events_total",
+			"Events appended to the journal (GET /v1/events).").With(),
+
+		backlog: r.Gauge("divflow_backlog_work",
+			"Residual work routed to the shard (float approximation of the exact rational).", "shard"),
+		jobsLive: r.Gauge("divflow_jobs_live",
+			"Jobs live in the shard engine.", "shard"),
+		jobsQueued: r.Gauge("divflow_jobs_queued",
+			"Jobs accepted but not yet admitted.", "shard"),
+		shardStalled: r.Gauge("divflow_shard_stalled",
+			"1 while the shard has latched a scheduling error.", "shard"),
+		shardRetired: r.Gauge("divflow_shard_retired",
+			"1 once a reshard retired the shard from the active topology.", "shard"),
+		shardGen: r.Gauge("divflow_shard_generation",
+			"Newest topology generation the shard is (or was) a member of.", "shard"),
+		topoGen: r.Gauge("divflow_topology_generation",
+			"Current topology generation (0 until the first structural reshard).").With(),
+		activeShards: r.Gauge("divflow_active_shards",
+			"Shards in the active topology.").With(),
+	}
+	return t
+}
+
+// now reads the wall clock only when telemetry is on: the zero time tells
+// instrumentation sites to skip their histogram observation, so the
+// -metrics=false kill switch removes every clock read from the hot paths.
+func (t *telemetry) now() time.Time {
+	if !t.enabled {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// event journals one server-level event (Shard = -1).
+func (t *telemetry) event(typ string, gen, gid int, detail string) {
+	if !t.enabled {
+		return
+	}
+	t.journal.Append(obs.Event{Type: typ, Shard: -1, Gen: gen, GID: gid, Detail: detail})
+}
+
+// shardObs is one shard's bundle of telemetry instruments: cached histogram
+// children (no per-observation map lookups on the completion path) plus the
+// journal hookup. It also implements sim.MWFObserver, so the policy's solve
+// telemetry lands here without the shard layer re-deriving it. Shards built
+// outside a server (unit tests driving newShard directly) get a detached
+// bundle whose flow histogram still works — it backs the P95 estimate — and
+// whose every other method is a no-op.
+type shardObs struct {
+	tel   *telemetry // nil on a detached bundle
+	sh    *shard
+	label string
+
+	flow        *obs.Histogram
+	submitAdmit *obs.Histogram
+	steal       *obs.Histogram
+}
+
+// detachedShardObs is the bundle newShard installs before the server wires
+// the real one.
+func detachedShardObs() *shardObs {
+	return &shardObs{flow: obs.NewHistogram(obs.DefFlowBuckets)}
+}
+
+// newShardObs builds the registry-backed bundle for one shard.
+func (t *telemetry) newShardObs(sh *shard) *shardObs {
+	label := strconv.Itoa(sh.idx)
+	return &shardObs{
+		tel:         t,
+		sh:          sh,
+		label:       label,
+		flow:        t.flowTime.With(label),
+		submitAdmit: t.submitAdmit.With(label),
+		steal:       t.stealSeconds.With(label),
+	}
+}
+
+// on reports whether the bundle feeds a live telemetry layer.
+func (o *shardObs) on() bool { return o.tel != nil && o.tel.enabled }
+
+// now is telemetry.now for shard-side instrumentation sites.
+func (o *shardObs) now() time.Time {
+	if !o.on() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// event journals one event of this shard. Callers hold the shard's mu (the
+// generation field is read under it); vtime may be nil.
+func (o *shardObs) event(typ string, gid int, vtime *big.Rat, detail string) {
+	if !o.on() {
+		return
+	}
+	e := obs.Event{Type: typ, Shard: o.sh.idx, Gen: o.sh.gen, GID: gid, Detail: detail}
+	if vtime != nil {
+		e.VTime = vtime.RatString()
+	}
+	o.tel.journal.Append(e)
+}
+
+// ObserveSolve implements sim.MWFObserver: one settled exact solve, timed by
+// the core solver. Called under the shard's mu.
+func (o *shardObs) ObserveSolve(wall time.Duration, solver stats.SolverTally) {
+	if !o.on() {
+		return
+	}
+	path := solvePath(solver)
+	o.tel.solveSeconds.With(o.label, path).Observe(wall.Seconds())
+	o.event(obs.EventSolve, -1, o.sh.eng.Now(), path)
+}
+
+// ObserveCacheHit implements sim.MWFObserver: one decision point served from
+// the cached plan. Called under the shard's mu.
+func (o *shardObs) ObserveCacheHit() {
+	if !o.on() {
+		return
+	}
+	o.event(obs.EventPlanCacheHit, -1, o.sh.eng.Now(), "")
+}
+
+// collectMetrics refreshes every scrape-time family from the same per-shard
+// snapshots GET /v1/stats merges — each shard's mu is taken briefly, exactly
+// like a stats read — so the exporter and the stats endpoint answer from one
+// source. Registered as the registry's collect hook; runs at every scrape.
+func (s *Server) collectMetrics() {
+	t := s.tel
+	t.collectMu.Lock()
+	defer t.collectMu.Unlock()
+	s.topoMu.RLock()
+	gen := len(s.gens) - 1
+	active := len(s.gens[len(s.gens)-1].shards)
+	reshards := s.reshards
+	s.topoMu.RUnlock()
+	t.topoGen.Set(float64(gen))
+	t.activeShards.Set(float64(active))
+	t.reshardEvents.Set(uint64(reshards))
+	t.journalEvents.Set(uint64(t.journal.NextSeq()))
+	for _, sh := range s.allShards() {
+		snap := sh.statsSnapshot()
+		w := &snap.wire
+		l := strconv.Itoa(w.Shard)
+		t.submissions.With(l).Set(uint64(w.JobsAccepted))
+		t.completions.With(l).Set(uint64(w.JobsCompleted))
+		t.engineEvents.With(l).Set(uint64(w.Events))
+		t.lpSolves.With(l).Set(uint64(w.LPSolves))
+		t.cacheHits.With(l).Set(uint64(w.PlanCacheHits))
+		t.arrivalBatches.With(l).Set(uint64(w.ArrivalBatches))
+		t.batchedArrivals.With(l).Set(uint64(w.BatchedArrivals))
+		t.stolenIn.With(l).Set(uint64(w.StolenJobs))
+		t.stolenOut.With(l).Set(uint64(w.Migrations))
+		t.reshardedIn.With(l).Set(uint64(w.ReshardedIn))
+		t.reshardedOut.With(l).Set(uint64(w.ReshardedOut))
+		t.compacted.With(l).Set(uint64(w.CompactedJobs))
+		t.solverPath.With(l, pathFloatVerified).Set(uint64(w.Solver.FloatVerified))
+		t.solverPath.With(l, pathCrossover).Set(uint64(w.Solver.Crossovers))
+		t.solverPath.With(l, pathExactFallback).Set(uint64(w.Solver.Fallbacks))
+		t.solverWarm.With(l, "hit").Set(uint64(w.Solver.WarmHits))
+		t.solverWarm.With(l, "miss").Set(uint64(w.Solver.WarmMisses))
+		t.backlog.With(l).Set(snap.backlogF)
+		t.jobsLive.With(l).Set(float64(w.JobsLive))
+		t.jobsQueued.With(l).Set(float64(w.JobsQueued))
+		t.shardStalled.With(l).Set(boolGauge(w.Stalled))
+		t.shardRetired.With(l).Set(boolGauge(w.Retired))
+		t.shardGen.With(l).Set(float64(w.Generation))
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/big"
+	"time"
 
 	"divflow/internal/core"
 	"divflow/internal/lp"
@@ -24,6 +25,14 @@ type OnlineMWF struct {
 	// schedule.Divisible reproduces the divisible adaptation,
 	// schedule.Preemptive the variant of Section 4.4.
 	Mode schedule.Model
+	// Observer, when non-nil, receives per-decision telemetry: the wall
+	// duration and solver-path tally of every settled inner solve, and every
+	// decision point served from the cached plan. It is called synchronously
+	// on the scheduling goroutine (divflowd invokes Assign under the shard
+	// mutex), so implementations must be cheap — a histogram observation and
+	// a journal append, not I/O. Unlike the counters below it survives
+	// Reset: it describes where telemetry goes, not per-run state.
+	Observer MWFObserver
 	// LazyResolve, when set, caches the plan of the last solve and skips
 	// the exact solver at every later event whose residual workload matches
 	// what the plan predicted for that time — an ablation of the re-solve
@@ -59,6 +68,15 @@ type OnlineMWF struct {
 	// inner LP solves took.
 	basis *lp.Basis
 	tally stats.SolverTally
+}
+
+// MWFObserver receives OnlineMWF's per-decision telemetry. ObserveSolve is
+// called after every inner exact solve that settled (with the wall time the
+// core solver measured and the per-call solver-path tally); ObserveCacheHit
+// after every decision point the cached plan answered without a solve.
+type MWFObserver interface {
+	ObserveSolve(wall time.Duration, solver stats.SolverTally)
+	ObserveCacheHit()
 }
 
 type planPiece struct {
@@ -138,6 +156,9 @@ func (p *OnlineMWF) Assign(s *Snapshot) Allocation {
 	}
 	if p.LazyResolve && p.plan != nil && p.planPredicts(s) {
 		p.cacheHits++
+		if p.Observer != nil {
+			p.Observer.ObserveCacheHit()
+		}
 		return p.followPlan(s)
 	}
 	res, ids, err := p.resolve(s)
@@ -300,6 +321,9 @@ func (p *OnlineMWF) resolve(s *Snapshot) (*core.Result, []int, error) {
 	}
 	p.basis = res.Basis
 	p.tally.Merge(res.Solver)
+	if p.Observer != nil {
+		p.Observer.ObserveSolve(res.Wall, res.Solver)
+	}
 	return res, ids, nil
 }
 

@@ -109,6 +109,63 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// HistogramQuantile estimates the p-th percentile (0 <= p <= 100) from
+// fixed-bucket histogram counts: bounds are the finite bucket upper bounds
+// (strictly increasing) and counts the per-bucket (non-cumulative)
+// observation counts, with one extra final slot for observations above every
+// finite bound. The estimate interpolates linearly inside the bucket the
+// rank falls in — the estimator Prometheus's histogram_quantile applies to
+// exported buckets — so a dashboard reading /metrics and a client reading
+// /v1/stats cannot disagree on the same quantile. The first bucket
+// interpolates from zero; a rank landing in the overflow bucket answers the
+// highest finite bound (there is no upper edge to interpolate toward). NaN
+// for an empty histogram.
+func HistogramQuantile(bounds []float64, counts []uint64, p float64) float64 {
+	if len(counts) != len(bounds)+1 {
+		return math.NaN()
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i == len(bounds) {
+			// Overflow bucket: the best available answer is the largest
+			// finite bound (or NaN when every observation overflowed an
+			// empty bound list, which cannot happen for len(bounds) > 0).
+			if len(bounds) == 0 {
+				return math.NaN()
+			}
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		inBucket := rank - float64(cum-c)
+		if inBucket < 0 {
+			inBucket = 0
+		}
+		return lower + (bounds[i]-lower)*(inBucket/float64(c))
+	}
+	return bounds[len(bounds)-1]
+}
+
 // GeoMean returns the geometric mean of strictly positive samples (NaN when
 // empty or any sample is non-positive). Used to aggregate competitive
 // ratios across seeds.

@@ -7,8 +7,10 @@
 #   BENCH_server.json  the sharded divflowd suite: shards=1/2/4 throughput
 #                      over the same virtual-clock burst (the multi-shard
 #                      scaling claim), the imbalanced-workload steal on/off
-#                      pair (the work-stealing claim), and the mid-burst
-#                      reshard vs static pair (the live re-sharding claim)
+#                      pair (the work-stealing claim), the mid-burst
+#                      reshard vs static pair (the live re-sharding claim),
+#                      and the obs on/off pair (the telemetry-overhead
+#                      bound)
 #
 # All suites run into staging files first and are installed together only
 # when every `go test -bench` invocation succeeded: a failed bench exits
