@@ -74,6 +74,14 @@ func main() {
 			"append every journaled scheduling event to this NDJSON file (requires -metrics)")
 		debugAddr = flag.String("debug-addr", "",
 			"serve net/http/pprof on this address (operator-only; empty disables profiling)")
+		walDir = flag.String("wal-dir", "",
+			"durable crash recovery: append every state change to a write-ahead log in this directory and restore from it at startup; empty runs in-memory only")
+		fsync = flag.Bool("fsync", false,
+			"sync the write-ahead log after every append (requires -wal-dir); off, tail durability is bounded by the OS page cache")
+		snapshotEvery = flag.Int("snapshot-every", 0,
+			"write a fleet snapshot (and truncate the log behind it) every N WAL appends; 0 selects the default (1024)")
+		restartStalled = flag.Bool("restart-stalled", false,
+			"rebuild a shard whose loop latched an error or panicked, in place from its intact engine state (bounded retries per shard)")
 	)
 	flag.Parse()
 	if *platform == "" {
@@ -93,7 +101,12 @@ func main() {
 		log.Fatalf("bad -shards %d: want >= 0", *shards)
 	}
 	cfg := server.Config{Machines: machines, Policy: *policy, Shards: plat.Shards,
-		DisableSteal: !*steal, DisableReshard: !*reshard, DisableObs: !*metrics}
+		DisableSteal: !*steal, DisableReshard: !*reshard, DisableObs: !*metrics,
+		WALDir: *walDir, Fsync: *fsync, SnapshotEvery: *snapshotEvery,
+		RestartStalled: *restartStalled}
+	if *walDir == "" && (*fsync || *snapshotEvery > 0) {
+		log.Fatal("-fsync and -snapshot-every need -wal-dir")
+	}
 	if *shards > 0 {
 		cfg.Shards = *shards
 	}
@@ -118,6 +131,12 @@ func main() {
 	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *walDir != "" {
+		if replayed := srv.ReplayedRecords(); replayed > 0 || srv.RestoredNow().Sign() > 0 {
+			log.Printf("restored durable state from %s: %d WAL records replayed, resuming at virtual time %s",
+				*walDir, replayed, srv.RestoredNow().RatString())
+		}
 	}
 	srv.Start()
 	defer srv.Close()

@@ -147,12 +147,34 @@ type ShardStats struct {
 	// ReshardedOut jobs it migrated away; Retired marks a shard dropped from
 	// the active topology by a reshard — it no longer schedules, but keeps
 	// serving the records and executed trace of its generation.
-	ReshardedIn  int    `json:"reshardedIn,omitempty"`
-	ReshardedOut int    `json:"reshardedOut,omitempty"`
-	Retired      bool   `json:"retired,omitempty"`
-	Backlog      string `json:"backlog"`
-	Stalled      bool   `json:"stalled,omitempty"`
-	LastError    string `json:"lastError,omitempty"`
+	ReshardedIn  int  `json:"reshardedIn,omitempty"`
+	ReshardedOut int  `json:"reshardedOut,omitempty"`
+	Retired      bool `json:"retired,omitempty"`
+	// Freed marks a retired shard whose fully-compacted history was released:
+	// only the ID-decoding tombstone remains, so counters below it are the
+	// aggregates frozen at the free.
+	Freed   bool   `json:"freed,omitempty"`
+	Backlog string `json:"backlog"`
+	Stalled bool   `json:"stalled,omitempty"`
+	// Panics counts loop panics the supervisor caught on this shard and
+	// Restarts how often -restart-stalled rebuilt it from in-memory state.
+	Panics    int    `json:"panics,omitempty"`
+	Restarts  int    `json:"restarts,omitempty"`
+	LastError string `json:"lastError,omitempty"`
+}
+
+// WALStats is the durability section of StatsResponse, present when the
+// server runs with a write-ahead log.
+type WALStats struct {
+	// Appends counts records durably appended since startup; Snapshots the
+	// fleet snapshots written. Replayed is the number of WAL records replayed
+	// through the normal admission paths at the last startup.
+	Appends   int `json:"appends"`
+	Snapshots int `json:"snapshots,omitempty"`
+	Replayed  int `json:"replayed,omitempty"`
+	// Error is the latched WAL failure, if any: durability is frozen at a
+	// consistent prefix while the service keeps scheduling.
+	Error string `json:"error,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -219,6 +241,9 @@ type StatsResponse struct {
 	ReshardEvents int          `json:"reshardEvents,omitempty"`
 	ReshardedJobs int          `json:"reshardedJobs,omitempty"`
 	Shards        []ShardStats `json:"shards,omitempty"`
+	// WAL is the durability layer's counters, nil when the server runs
+	// without a write-ahead log.
+	WAL *WALStats `json:"wal,omitempty"`
 }
 
 // ReshardResponse is the body answering POST /v1/platform: the outcome of a
@@ -317,11 +342,14 @@ func ParsePlatformConfig(data []byte) (*Platform, error) {
 // HealthResponse is the body of GET /healthz: "ok" with HTTP 200 while every
 // active shard is healthy, "stalled" with HTTP 503 otherwise, naming the
 // active shards whose loops latched a scheduling error. Retired shards are
-// history, not health, and never appear here.
+// history, not health, and never appear here. A latched write-ahead-log
+// failure degrades the status ("degraded", still HTTP 200 — the service
+// keeps scheduling, only durability is frozen) and surfaces the error.
 type HealthResponse struct {
 	Status        string   `json:"status"`
 	StalledShards []int    `json:"stalledShards,omitempty"`
 	Errors        []string `json:"errors,omitempty"`
+	WALError      string   `json:"walError,omitempty"`
 }
 
 // EventsResponse is the body of GET /v1/events: one page of the structured

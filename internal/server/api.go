@@ -201,6 +201,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			resp.Errors = append(resp.Errors, routeErr)
 		}
 	}
+	if err := s.dur.latchedErr(); err != nil {
+		// Frozen durability degrades the probe but does not fail it: the
+		// scheduler is still serving, only crash recovery is gone.
+		resp.Status = "degraded"
+		resp.WALError = err.Error()
+	}
 	if len(resp.StalledShards) > 0 {
 		resp.Status = "stalled"
 		writeJSON(w, http.StatusServiceUnavailable, resp)
@@ -262,6 +268,14 @@ func (s *Server) Stats() model.StatsResponse {
 		ShardCount:    activeCount,
 		Generation:    generationNum,
 		ReshardEvents: reshardEvents,
+	}
+	if s.dur != nil {
+		appends, snapshots, replayed, walErr := s.dur.counters()
+		w := &model.WALStats{Appends: appends, Snapshots: snapshots, Replayed: replayed}
+		if walErr != nil {
+			w.Error = walErr.Error()
+		}
+		resp.WAL = w
 	}
 	now := new(big.Rat)
 	var solver stats.SolverTally

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"math/big"
+	"os"
 	"runtime"
 	"testing"
 
@@ -277,6 +278,97 @@ func BenchmarkServerThroughputObserved(b *testing.B) {
 				if instrumented {
 					if n := srv.tel.journal.NextSeq(); n == 0 {
 						b.Fatal("instrumented run journaled nothing")
+					}
+				}
+				srv.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(benchJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkServerThroughputWAL prices the durability layer: the same 48-job
+// burst as BenchmarkServerThroughput (P=2), once with the write-ahead log on
+// (no fsync — the daemon's default durability mode) and once fully in
+// memory. Every submission, admission batch, and completion appends one
+// framed record, so the pair bounds the WAL overhead on the hottest path;
+// the durable arm must stay within ~15% of the in-memory arm. Recorded as
+// BENCH_server.json via cmd/benchjson (scripts/bench.sh).
+// benchWALDir returns a fresh log directory for one durable benchmark
+// iteration, on tmpfs when the host has one. Without -fsync the WAL never
+// waits for the disk — durability is bounded by the OS page cache — so the
+// pair should price the append path itself, not whatever writeback storms
+// the rest of the benchmark suite has queued up on the test disk.
+func benchWALDir(b *testing.B) string {
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		dir, err := os.MkdirTemp("/dev/shm", "divflow-bench-wal-")
+		if err == nil {
+			b.Cleanup(func() { os.RemoveAll(dir) })
+			return dir
+		}
+	}
+	return b.TempDir()
+}
+
+func BenchmarkServerThroughputWAL(b *testing.B) {
+	for _, durable := range []bool{true, false} {
+		name := "wal=on"
+		if !durable {
+			name = "wal=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				machines := make([]model.Machine, benchFleetSize)
+				for m := range machines {
+					machines[m] = model.Machine{
+						Name:         fmt.Sprintf("u%d", m),
+						InverseSpeed: rat(1, int64(1+m%2)),
+						Databanks:    []string{"shared"},
+					}
+				}
+				cfg := Config{Machines: machines, Shards: 2, Clock: NewVirtualClock()}
+				if durable {
+					cfg.WALDir = benchWALDir(b)
+				}
+				vc := cfg.Clock.(*VirtualClock)
+				srv, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqs := make([]model.SubmitRequest, benchJobs)
+				for j := range reqs {
+					reqs[j] = model.SubmitRequest{
+						Size:      fmt.Sprintf("%d", 1+(j*7)%13),
+						Weight:    fmt.Sprintf("%d", 1+j%3),
+						Databanks: []string{"shared"},
+					}
+				}
+				b.StartTimer()
+				for j := range reqs {
+					if _, err := srv.Submit(&reqs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				srv.Start()
+				for {
+					st := srv.Stats()
+					if st.LastError != "" {
+						b.Fatal(st.LastError)
+					}
+					if st.JobsCompleted == benchJobs {
+						break
+					}
+					if !vc.AdvanceToNextTimer() {
+						runtime.Gosched()
+					}
+				}
+				b.StopTimer()
+				if durable {
+					st := srv.Stats()
+					if st.WAL == nil || st.WAL.Error != "" || st.WAL.Appends == 0 {
+						b.Fatalf("durable run WAL stats = %+v", st.WAL)
 					}
 				}
 				srv.Close()

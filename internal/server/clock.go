@@ -21,17 +21,36 @@ type Clock interface {
 	At(t *big.Rat) (<-chan struct{}, func())
 }
 
-// RealClock is the wall clock, with its epoch at construction time.
+// RealClock is the wall clock, with its epoch at construction time. A
+// restored daemon shifts the epoch back by the recovered virtual time
+// (NewRealClockAt), so the restored engines continue on the same time axis
+// they snapshotted under.
 type RealClock struct {
-	epoch time.Time
+	epoch  time.Time
+	offset *big.Rat // added to every reading; nil means zero
 }
 
 // NewRealClock returns a wall clock starting now.
 func NewRealClock() *RealClock { return &RealClock{epoch: time.Now()} }
 
+// NewRealClockAt returns a wall clock whose current reading is start: the
+// restore path hands it the recovered fleet's virtual now, and wall time
+// advances from there.
+func NewRealClockAt(start *big.Rat) *RealClock {
+	c := &RealClock{epoch: time.Now()}
+	if start != nil && start.Sign() > 0 {
+		c.offset = new(big.Rat).Set(start)
+	}
+	return c
+}
+
 // Now implements Clock with nanosecond resolution.
 func (c *RealClock) Now() *big.Rat {
-	return big.NewRat(time.Since(c.epoch).Nanoseconds(), int64(time.Second))
+	now := big.NewRat(time.Since(c.epoch).Nanoseconds(), int64(time.Second))
+	if c.offset != nil {
+		now.Add(now, c.offset)
+	}
+	return now
 }
 
 // At implements Clock. The sleep duration is rounded to the nanosecond and

@@ -1,0 +1,1245 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+	"time"
+
+	"divflow/internal/model"
+	"divflow/internal/obs"
+	"divflow/internal/sim"
+	"divflow/internal/stats"
+	"divflow/internal/wal"
+)
+
+// Durable crash recovery. With Config.WALDir set, every state mutation of the
+// fleet is logged write-ahead: submissions (with their exact rational size,
+// weight, and release), admission batches (the virtual time the loop admitted
+// them at — the one input the executed trace is a deterministic function of),
+// steal and reshard migrations, topology-generation installs, and — as pure
+// truncation markers — completions and compaction horizons. Periodic
+// snapshots capture the whole fleet exactly (per-shard engine states with the
+// live jobs' remaining fractions, the forwarding table, the generation list,
+// all counters); the log is truncated behind each. On startup the newest
+// valid snapshot is loaded (torn ones skipped), and the WAL suffix past its
+// watermark is replayed through the normal admission paths at the recorded
+// virtual times — so the restored fleet's merged trace validates exactly and
+// matches an uninterrupted run bit for bit.
+//
+// The failure policy is freeze-and-serve: the first WAL append, fsync, or
+// snapshot failure latches an error, after which no further appends or
+// snapshots happen — the on-disk state stays a consistent prefix of the
+// execution — while the daemon keeps scheduling. GET /healthz reports the
+// degraded state ("degraded", still HTTP 200).
+
+// WAL record types.
+const (
+	walTypeSubmit   = "submit"
+	walTypeAdmit    = "admit"
+	walTypeComplete = "complete"
+	walTypeMigrate  = "migrate"
+	walTypeTopo     = "topology"
+	walTypeCompact  = "compact"
+)
+
+// recSubmit logs one accepted submission. Rationals marshal as exact "p/q"
+// strings (big.Rat implements TextMarshaler/TextUnmarshaler).
+type recSubmit struct {
+	Shard     int      `json:"shard"` // creation index
+	Local     int      `json:"local"`
+	GID       int      `json:"gid"`
+	Name      string   `json:"name,omitempty"`
+	Weight    *big.Rat `json:"weight"`
+	Size      *big.Rat `json:"size"`
+	Release   *big.Rat `json:"release"`
+	Databanks []string `json:"databanks,omitempty"`
+}
+
+// recAdmit logs one admission batch: the virtual time the loop admitted the
+// listed pending jobs at. The executed trace is a deterministic function of
+// these times, so replaying admissions at them reproduces it exactly.
+type recAdmit struct {
+	Shard  int      `json:"shard"`
+	At     *big.Rat `json:"at"`
+	Locals []int    `json:"locals"`
+}
+
+// recComplete is a truncation marker: the completion replays for free when
+// the engine is advanced across it, but the record moves the restored
+// virtual-time watermark forward.
+type recComplete struct {
+	Shard int      `json:"shard"`
+	Local int      `json:"local"`
+	GID   int      `json:"gid"`
+	At    *big.Rat `json:"at"`
+}
+
+// recMigrate logs one job moving between shards (steal or reshard), at the
+// donor's exact engine time of the extraction. Decide marks the migrate that
+// triggered the donor's post-steal re-plan, so replay reproduces the same
+// decision count.
+type recMigrate struct {
+	From      int      `json:"from"`
+	FromLocal int      `json:"fromLocal"`
+	To        int      `json:"to"`
+	ToLocal   int      `json:"toLocal"`
+	GID       int      `json:"gid"`
+	Remaining *big.Rat `json:"remaining,omitempty"`
+	At        *big.Rat `json:"at"`
+	Reason    string   `json:"reason"` // "steal" | "reshard"
+	Decide    bool     `json:"decide,omitempty"`
+}
+
+// walMachine is one machine in a WAL or snapshot document.
+type walMachine struct {
+	Name         string   `json:"name"`
+	InverseSpeed *big.Rat `json:"inverseSpeed"`
+	Databanks    []string `json:"databanks,omitempty"`
+}
+
+func encodeMachines(ms []model.Machine) []walMachine {
+	out := make([]walMachine, len(ms))
+	for i := range ms {
+		out[i] = walMachine{Name: ms[i].Name, InverseSpeed: ms[i].InverseSpeed, Databanks: ms[i].Databanks}
+	}
+	return out
+}
+
+func decodeMachines(ms []walMachine) ([]model.Machine, error) {
+	out := make([]model.Machine, len(ms))
+	for i := range ms {
+		if ms[i].InverseSpeed == nil || ms[i].InverseSpeed.Sign() <= 0 {
+			return nil, fmt.Errorf("server: restore: machine %d (%s) needs InverseSpeed > 0", i, ms[i].Name)
+		}
+		out[i] = model.Machine{Name: ms[i].Name, InverseSpeed: ms[i].InverseSpeed, Databanks: ms[i].Databanks}
+	}
+	return out, nil
+}
+
+// walTopoShard is one member of a recTopo generation, in position order.
+type walTopoShard struct {
+	Idx        int          `json:"idx"`
+	Kept       bool         `json:"kept,omitempty"`
+	Machines   []walMachine `json:"machines,omitempty"` // spawned shards only
+	MachineIdx []int        `json:"machineIdx"`
+}
+
+// recTopo logs one structural reshard: everything needed to rebuild the new
+// generation — appended before the migrations that reference its spawned
+// shards, and before the topology publish.
+type recTopo struct {
+	Gen       int            `json:"gen"`
+	Base      int            `json:"base"`
+	Stride    int            `json:"stride"`
+	Shards    []walTopoShard `json:"shards"`
+	Retired   []int          `json:"retired,omitempty"`
+	Fleet     []walMachine   `json:"fleet"`
+	ShardsCfg int            `json:"shardsCfg,omitempty"`
+	At        *big.Rat       `json:"at"`
+}
+
+// recCompact logs one retention compaction (the horizon is derived from Now
+// exactly as the live path derives it, but recording both keeps the document
+// self-describing).
+type recCompact struct {
+	Shard   int      `json:"shard"`
+	Now     *big.Rat `json:"now"`
+	Horizon *big.Rat `json:"horizon"`
+}
+
+// durability is the server's write-ahead-log state: the open log, the
+// append/snapshot counters, the latched error, and the snapshot trigger.
+// Appends always happen under some shard's mu (or under reshardMu plus every
+// shard mu, for topology records), with d.mu innermost — so a snapshot, which
+// holds every shard mu, observes an exact watermark.
+type durability struct {
+	tel       *telemetry
+	dir       string
+	snapEvery int
+
+	mu        sync.Mutex
+	log       *wal.Log
+	appends   int
+	snapshots int
+	replayed  int
+	sinceSnap int
+	err       error
+	replaying bool
+
+	snapReq chan struct{}
+	stop    chan struct{}
+	once    sync.Once
+}
+
+// defaultSnapshotEvery is the snapshot cadence (appends between snapshots)
+// when Config.SnapshotEvery is zero.
+const defaultSnapshotEvery = 1024
+
+// counters returns the durability counters for /v1/stats and /metrics.
+func (d *durability) counters() (appends, snapshots, replayed int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.appends, d.snapshots, d.replayed, d.err
+}
+
+// latchedErr returns the frozen WAL failure, nil while durable.
+func (d *durability) latchedErr() error {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+// latchLocked freezes durability at the first failure. Callers hold d.mu.
+func (d *durability) latchLocked(err error) {
+	if d.err != nil {
+		return
+	}
+	d.err = err
+	if d.tel.enabled {
+		d.tel.walErrors.Inc()
+		d.tel.event(obs.EventWALError, -1, -1, err.Error())
+	}
+}
+
+// append logs one record. Failures latch; callers never see them — the
+// scheduling paths must keep running when durability freezes.
+func (d *durability) append(typ string, v any) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	if d.replaying || d.err != nil || d.log == nil {
+		d.mu.Unlock()
+		return
+	}
+	if _, err := d.log.Append(typ, v); err != nil {
+		d.latchLocked(err)
+		d.mu.Unlock()
+		return
+	}
+	d.appends++
+	d.sinceSnap++
+	due := d.snapEvery > 0 && d.sinceSnap >= d.snapEvery
+	d.mu.Unlock()
+	if due {
+		select {
+		case d.snapReq <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// appendSubmit logs one accepted submission write-ahead. Callers hold sh.mu.
+func (d *durability) appendSubmit(sh *shard, rec *jobRecord) {
+	if d == nil {
+		return
+	}
+	d.append(walTypeSubmit, &recSubmit{
+		Shard: sh.idx, Local: rec.id, GID: rec.gid, Name: rec.name,
+		Weight: rec.weight, Size: rec.size, Release: rec.release,
+		Databanks: rec.databanks,
+	})
+}
+
+// appendAdmit logs one admission batch write-ahead. Callers hold sh.mu.
+func (d *durability) appendAdmit(sh *shard, at *big.Rat, batch []*jobRecord) {
+	if d == nil {
+		return
+	}
+	locals := make([]int, len(batch))
+	for i, rec := range batch {
+		locals[i] = rec.id
+	}
+	d.append(walTypeAdmit, &recAdmit{Shard: sh.idx, At: at, Locals: locals})
+}
+
+// appendComplete logs one completion marker. Callers hold sh.mu.
+func (d *durability) appendComplete(sh *shard, rec *jobRecord) {
+	if d == nil {
+		return
+	}
+	d.append(walTypeComplete, &recComplete{Shard: sh.idx, Local: rec.id, GID: rec.gid, At: rec.completed})
+}
+
+// appendCompact logs one retention compaction. Callers hold sh.mu.
+func (d *durability) appendCompact(sh *shard, now, horizon *big.Rat) {
+	if d == nil {
+		return
+	}
+	d.append(walTypeCompact, &recCompact{Shard: sh.idx, Now: now, Horizon: horizon})
+}
+
+// appendMigrate logs one cross-shard migration. Callers hold both shards'
+// mus.
+func (d *durability) appendMigrate(from, to *shard, fromLocal, toLocal, gid int, remaining, at *big.Rat, reason string, decide bool) {
+	if d == nil {
+		return
+	}
+	d.append(walTypeMigrate, &recMigrate{
+		From: from.idx, FromLocal: fromLocal, To: to.idx, ToLocal: toLocal,
+		GID: gid, Remaining: remaining, At: at, Reason: reason, Decide: decide,
+	})
+}
+
+// --- Snapshots ---------------------------------------------------------
+
+// snapRecord is one jobRecord in a snapshot document.
+type snapRecord struct {
+	ID         int      `json:"id"`
+	GID        int      `json:"gid"`
+	Name       string   `json:"name,omitempty"`
+	Weight     *big.Rat `json:"weight"`
+	Size       *big.Rat `json:"size"`
+	Databanks  []string `json:"databanks,omitempty"`
+	State      string   `json:"state"`
+	Release    *big.Rat `json:"release"`
+	Completed  *big.Rat `json:"completed,omitempty"`
+	Remaining  *big.Rat `json:"remaining,omitempty"`
+	Stolen     bool     `json:"stolen,omitempty"`
+	Counted    bool     `json:"counted,omitempty"`
+	MigratedAt *big.Rat `json:"migratedAt,omitempty"`
+}
+
+// snapShard is one shard's full exported state.
+type snapShard struct {
+	Idx        int               `json:"idx"`
+	Pos        int               `json:"pos"`
+	Stride     int               `json:"stride"`
+	GidBase    int               `json:"gidBase"`
+	Gen        int               `json:"gen"`
+	Retired    bool              `json:"retired,omitempty"`
+	Freed      bool              `json:"freed,omitempty"`
+	Machines   []walMachine      `json:"machines"`
+	MachineIdx []int             `json:"machineIdx"`
+	Records    []*snapRecord     `json:"records,omitempty"` // aligned; null = compacted
+	PendingIDs []int             `json:"pendingIds,omitempty"`
+	Engine     *sim.EngineState  `json:"engine,omitempty"`
+	Plan       *sim.MWFPlanState `json:"plan,omitempty"`
+
+	ArrivalBatches  int      `json:"arrivalBatches,omitempty"`
+	BatchedArrivals int      `json:"batchedArrivals,omitempty"`
+	LargestBatch    int      `json:"largestBatch,omitempty"`
+	StolenIn        int      `json:"stolenIn,omitempty"`
+	MigratedOut     int      `json:"migratedOut,omitempty"`
+	ReshardIn       int      `json:"reshardIn,omitempty"`
+	ReshardOut      int      `json:"reshardOut,omitempty"`
+	MigratedIDs     []int    `json:"migratedIds,omitempty"`
+	DoneCount       int      `json:"doneCount,omitempty"`
+	FlowSum         *big.Rat `json:"flowSum,omitempty"`
+	MaxWF           *big.Rat `json:"maxWF,omitempty"`
+	MaxStretch      *big.Rat `json:"maxStretch,omitempty"`
+	LastCompact     *big.Rat `json:"lastCompact,omitempty"`
+	CompactedJobs   int      `json:"compactedJobs,omitempty"`
+	MakespanHW      *big.Rat `json:"makespanHW,omitempty"`
+	Backlog         *big.Rat `json:"backlog"`
+	Panics          int      `json:"panics,omitempty"`
+	Restarts        int      `json:"restarts,omitempty"`
+	LastErr         string   `json:"lastErr,omitempty"`
+	Stalled         bool     `json:"stalled,omitempty"`
+
+	FrozenNow       *big.Rat          `json:"frozenNow,omitempty"`
+	FrozenCompleted int               `json:"frozenCompleted,omitempty"`
+	FrozenDecisions int               `json:"frozenDecisions,omitempty"`
+	FrozenAccepted  int               `json:"frozenAccepted,omitempty"`
+	FrozenSolves    int               `json:"frozenSolves,omitempty"`
+	FrozenCacheHits int               `json:"frozenCacheHits,omitempty"`
+	FrozenSolver    stats.SolverTally `json:"frozenSolver,omitempty"`
+}
+
+// snapGen is one topology generation in a snapshot (shards by creation
+// index, in position order).
+type snapGen struct {
+	Base   int   `json:"base"`
+	Stride int   `json:"stride"`
+	Shards []int `json:"shards"`
+}
+
+// snapFwd is one forwarding-table entry.
+type snapFwd struct {
+	GID   int `json:"gid"`
+	Shard int `json:"shard"`
+	Local int `json:"local"`
+}
+
+// snapDoc is the whole fleet's snapshot document.
+type snapDoc struct {
+	Policy    string      `json:"policy"`
+	ShardsCfg int         `json:"shardsCfg,omitempty"`
+	Reshards  int         `json:"reshards,omitempty"`
+	Gens      []snapGen   `json:"gens"`
+	Forward   []snapFwd   `json:"forward,omitempty"`
+	Shards    []snapShard `json:"shards"`
+}
+
+func encodeRecord(rec *jobRecord) *snapRecord {
+	if rec == nil {
+		return nil
+	}
+	return &snapRecord{
+		ID: rec.id, GID: rec.gid, Name: rec.name, Weight: rec.weight,
+		Size: rec.size, Databanks: rec.databanks, State: rec.state,
+		Release: rec.release, Completed: rec.completed, Remaining: rec.remaining,
+		Stolen: rec.stolen, Counted: rec.counted, MigratedAt: rec.migratedAt,
+	}
+}
+
+func decodeRecord(sr *snapRecord) (*jobRecord, error) {
+	if sr.Weight == nil || sr.Size == nil || sr.Release == nil {
+		return nil, fmt.Errorf("server: restore: record %d missing fields", sr.GID)
+	}
+	return &jobRecord{
+		id: sr.ID, gid: sr.GID, name: sr.Name, weight: sr.Weight,
+		size: sr.Size, databanks: sr.Databanks, state: sr.State,
+		release: sr.Release, completed: sr.Completed, remaining: sr.Remaining,
+		stolen: sr.Stolen, counted: sr.Counted, migratedAt: sr.MigratedAt,
+	}, nil
+}
+
+// exportShardLocked builds one shard's snapshot entry. Callers hold sh.mu.
+func exportShardLocked(sh *shard) snapShard {
+	ss := snapShard{
+		Idx: sh.idx, Pos: sh.pos, Stride: sh.stride, GidBase: sh.gidBase,
+		Gen: sh.gen, Retired: sh.retired, Freed: sh.freed,
+		Machines:   encodeMachines(sh.machines),
+		MachineIdx: append([]int(nil), sh.machineIdx...),
+
+		ArrivalBatches: sh.arrivalBatches, BatchedArrivals: sh.batchedArrivals,
+		LargestBatch: sh.largestBatch, StolenIn: sh.stolenIn,
+		MigratedOut: sh.migratedOut, ReshardIn: sh.reshardIn, ReshardOut: sh.reshardOut,
+		MigratedIDs: append([]int(nil), sh.migratedIDs...),
+		DoneCount:   sh.doneCount, FlowSum: sh.flowSum, MaxWF: sh.maxWF,
+		MaxStretch: sh.maxStretch, LastCompact: sh.lastCompact,
+		CompactedJobs: sh.compactedJobs, MakespanHW: sh.makespanHW,
+		Panics: sh.panics, Restarts: sh.restarts, Stalled: sh.stalled,
+
+		FrozenNow: sh.frozenNow, FrozenCompleted: sh.frozenCompleted,
+		FrozenDecisions: sh.frozenDecisions, FrozenAccepted: sh.frozenAccepted,
+		FrozenSolves: sh.frozenSolves, FrozenCacheHits: sh.frozenCacheHits,
+		FrozenSolver: sh.frozenSolver,
+	}
+	for _, rec := range sh.records {
+		ss.Records = append(ss.Records, encodeRecord(rec))
+	}
+	for _, rec := range sh.pending {
+		ss.PendingIDs = append(ss.PendingIDs, rec.id)
+	}
+	if !sh.freed {
+		ss.Engine = sh.eng.ExportState()
+		if sh.mwf != nil {
+			ss.Plan = sh.mwf.ExportPlanState()
+		}
+	}
+	if sh.lastErr != nil {
+		ss.LastErr = sh.lastErr.Error()
+	}
+	sh.backlogMu.Lock()
+	ss.Backlog = new(big.Rat).Set(sh.backlog)
+	sh.backlogMu.Unlock()
+	return ss
+}
+
+// Snapshot writes one fleet snapshot now (the same path the cadence-driven
+// background snapshots take) and truncates the WAL behind its watermark.
+func (s *Server) Snapshot() error {
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return s.snapshotLocked()
+}
+
+// snapshotLocked exports and writes one snapshot. Callers hold reshardMu (so
+// no topology change is in flight); it takes every shard's mu in idx order,
+// freezing every append source, so the watermark is exact.
+func (s *Server) snapshotLocked() error {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	if err := d.latchedErr(); err != nil {
+		// Durability already froze: a snapshot of the diverged in-memory
+		// state must never replace the consistent on-disk prefix.
+		return err
+	}
+	all := s.allShards()
+	sort.Slice(all, func(a, b int) bool { return all[a].idx < all[b].idx })
+	for _, sh := range all {
+		sh.mu.Lock()
+	}
+	doc := snapDoc{Policy: s.policyCfg, ShardsCfg: s.shardsCfg}
+	s.topoMu.RLock()
+	doc.Reshards = s.reshards
+	for _, gen := range s.gens {
+		sg := snapGen{Base: gen.base, Stride: gen.stride}
+		for _, sh := range gen.shards {
+			sg.Shards = append(sg.Shards, sh.idx)
+		}
+		doc.Gens = append(doc.Gens, sg)
+	}
+	s.topoMu.RUnlock()
+	s.fwdMu.RLock()
+	for gid, loc := range s.forward {
+		doc.Forward = append(doc.Forward, snapFwd{GID: gid, Shard: loc.sh.idx, Local: loc.local})
+	}
+	s.fwdMu.RUnlock()
+	sort.Slice(doc.Forward, func(a, b int) bool { return doc.Forward[a].GID < doc.Forward[b].GID })
+	for _, sh := range all {
+		doc.Shards = append(doc.Shards, exportShardLocked(sh))
+	}
+	d.mu.Lock()
+	seq := d.log.LastSeq()
+	d.mu.Unlock()
+	for i := len(all) - 1; i >= 0; i-- {
+		all[i].mu.Unlock()
+	}
+
+	payload, err := json.Marshal(&doc)
+	if err == nil {
+		err = wal.WriteSnapshot(d.dir, seq, payload)
+	}
+	if err == nil {
+		// Read the snapshot back before truncating the log behind it: a write
+		// torn by a crash (or disk fault) publishes a file whose CRC cannot
+		// validate, and truncating on its strength would drop records the
+		// fallback snapshot still needs.
+		if gotSeq, _, ok := wal.LoadSnapshot(d.dir); !ok || gotSeq != seq {
+			err = fmt.Errorf("snapshot at watermark %d failed verification after write", seq)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err != nil {
+		d.latchLocked(fmt.Errorf("server: snapshot: %w", err))
+		return d.err
+	}
+	// Segments wholly at or below the watermark are folded into the
+	// snapshot; the suffix past it stays for replay.
+	if terr := d.log.TruncateBefore(seq + 1); terr != nil {
+		d.latchLocked(terr)
+		return d.err
+	}
+	d.snapshots++
+	d.sinceSnap = 0
+	if d.tel.enabled {
+		d.tel.event(obs.EventSnapshot, -1, -1, fmt.Sprintf("watermark %d", seq))
+	}
+	return nil
+}
+
+// snapshotLoop is the cadence-driven snapshot goroutine: append sites signal
+// it (non-blocking) every SnapshotEvery appends.
+func (s *Server) snapshotLoop() {
+	d := s.dur
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.snapReq:
+			if err := s.Snapshot(); err != nil && !errors.Is(err, ErrClosed) {
+				// Latched and reported through /healthz; nothing to do here.
+				continue
+			}
+		}
+	}
+}
+
+// --- Restore ------------------------------------------------------------
+
+// restoreState is what openWAL recovered from disk, handed to New's restore
+// branch.
+type restoreState struct {
+	log     *wal.Log
+	doc     *snapDoc // nil when no valid snapshot existed
+	suffix  []wal.Record
+	now     *big.Rat // watermark virtual time of the restored state
+	started time.Time
+}
+
+// openWAL loads the newest valid snapshot and the WAL suffix past its
+// watermark. A torn snapshot or torn log tail is skipped/truncated by the
+// wal package; a snapshot that fails to decode is an error (the disk state
+// claims validity but cannot be interpreted — refusing to guess beats
+// silently dropping history).
+func openWAL(dir string, fsync bool) (*restoreState, error) {
+	st := &restoreState{started: time.Now(), now: new(big.Rat)}
+	snapSeq, payload, haveSnap := wal.LoadSnapshot(dir)
+	log, recs, err := wal.Open(dir, wal.Options{Fsync: fsync})
+	if err != nil {
+		return nil, err
+	}
+	if haveSnap {
+		var doc snapDoc
+		if err := json.Unmarshal(payload, &doc); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("server: restore: snapshot decode: %w", err)
+		}
+		st.doc = &doc
+		for i := range doc.Shards {
+			ss := &doc.Shards[i]
+			if ss.Engine != nil && ss.Engine.Now != nil && ss.Engine.Now.Cmp(st.now) > 0 {
+				st.now.Set(ss.Engine.Now)
+			}
+			if ss.FrozenNow != nil && ss.FrozenNow.Cmp(st.now) > 0 {
+				st.now.Set(ss.FrozenNow)
+			}
+		}
+	}
+	for _, rec := range recs {
+		if haveSnap && rec.Seq <= snapSeq {
+			continue
+		}
+		st.suffix = append(st.suffix, rec)
+		if t := recordTime(rec); t != nil && t.Cmp(st.now) > 0 {
+			st.now.Set(t)
+		}
+	}
+	st.log = log
+	return st, nil
+}
+
+// recordTime extracts the virtual time a record describes, nil when it
+// carries none (or fails to decode — replay will surface that properly).
+func recordTime(rec wal.Record) *big.Rat {
+	var probe struct {
+		At      *big.Rat `json:"at"`
+		Release *big.Rat `json:"release"`
+		Now     *big.Rat `json:"now"`
+	}
+	if json.Unmarshal(rec.Data, &probe) != nil {
+		return nil
+	}
+	switch {
+	case probe.At != nil:
+		return probe.At
+	case probe.Now != nil:
+		return probe.Now
+	default:
+		return probe.Release
+	}
+}
+
+// hasState reports whether the disk held anything to restore.
+func (st *restoreState) hasState() bool { return st.doc != nil || len(st.suffix) > 0 }
+
+// restoreShard rebuilds one shard from its snapshot entry.
+func (s *Server) restoreShard(ss *snapShard) (*shard, error) {
+	machines, err := decodeMachines(ss.Machines)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := NewPolicy(s.policyCfg)
+	if err != nil {
+		return nil, err
+	}
+	sh := s.wireShard(newShard(ss.Idx, ss.Pos, ss.Stride, ss.GidBase, s.clock, machines, ss.MachineIdx, pol, s.retention))
+	sh.gen = ss.Gen
+	sh.retired = ss.Retired
+	for _, sr := range ss.Records {
+		if sr == nil {
+			sh.records = append(sh.records, nil)
+			continue
+		}
+		rec, err := decodeRecord(sr)
+		if err != nil {
+			return nil, err
+		}
+		if rec.id != len(sh.records) {
+			return nil, fmt.Errorf("server: restore: shard %d record %d out of order", ss.Idx, rec.id)
+		}
+		sh.records = append(sh.records, rec)
+		if rec.state == StateQueued || rec.state == StateScheduled || rec.state == StateDone {
+			for i := range sh.machines {
+				if sh.machines[i].Hosts(rec.databanks) {
+					sh.eligible[i][rec.id] = true
+				}
+			}
+		}
+	}
+	for _, id := range ss.PendingIDs {
+		if id < 0 || id >= len(sh.records) || sh.records[id] == nil {
+			return nil, fmt.Errorf("server: restore: shard %d pending %d unknown", ss.Idx, id)
+		}
+		sh.pending = append(sh.pending, sh.records[id])
+	}
+	if ss.Freed {
+		sh.frozenNow = ss.FrozenNow
+		sh.frozenCompleted = ss.FrozenCompleted
+		sh.frozenDecisions = ss.FrozenDecisions
+		sh.frozenAccepted = ss.FrozenAccepted
+		sh.frozenSolves = ss.FrozenSolves
+		sh.frozenCacheHits = ss.FrozenCacheHits
+		sh.frozenSolver = ss.FrozenSolver
+		sh.makespanHW = ss.MakespanHW
+		sh.freed = true
+		sh.records = nil
+		sh.pending = nil
+		sh.eligible = nil
+		sh.eng = nil
+		sh.policy = nil
+		sh.mwf = nil
+	} else {
+		if ss.Engine == nil {
+			return nil, fmt.Errorf("server: restore: shard %d has no engine state", ss.Idx)
+		}
+		if err := sh.eng.RestoreState(ss.Engine); err != nil {
+			return nil, fmt.Errorf("server: restore: shard %d: %w", ss.Idx, err)
+		}
+		if sh.mwf != nil && ss.Plan != nil {
+			sh.mwf.RestorePlanState(ss.Plan)
+		}
+	}
+	sh.arrivalBatches = ss.ArrivalBatches
+	sh.batchedArrivals = ss.BatchedArrivals
+	sh.largestBatch = ss.LargestBatch
+	sh.stolenIn = ss.StolenIn
+	sh.migratedOut = ss.MigratedOut
+	sh.reshardIn = ss.ReshardIn
+	sh.reshardOut = ss.ReshardOut
+	sh.migratedIDs = append([]int(nil), ss.MigratedIDs...)
+	sh.doneCount = ss.DoneCount
+	if ss.FlowSum != nil {
+		sh.flowSum = ss.FlowSum
+	}
+	sh.maxWF = ss.MaxWF
+	sh.maxStretch = ss.MaxStretch
+	if ss.LastCompact != nil {
+		sh.lastCompact = ss.LastCompact
+	}
+	sh.compactedJobs = ss.CompactedJobs
+	if !ss.Freed {
+		sh.makespanHW = ss.MakespanHW
+	}
+	sh.panics = ss.Panics
+	sh.restarts = ss.Restarts
+	if ss.Backlog != nil {
+		sh.backlog = ss.Backlog
+	}
+	if ss.LastErr != "" {
+		sh.lastErr = errors.New(ss.LastErr)
+		sh.stalled = true
+		sh.publishRouteErr()
+	} else {
+		sh.stalled = ss.Stalled
+	}
+	return sh, nil
+}
+
+// restore rebuilds the server's whole topology from a snapshot document (or
+// the fresh-start topology the caller built when none existed) and replays
+// the WAL suffix through the normal admission paths. Called from New, before
+// any loop starts, so it is single-threaded; the shard locks it takes are
+// for the helpers' documented invariants.
+func (s *Server) restore(st *restoreState) error {
+	if st.doc != nil {
+		if st.doc.Policy != s.policyCfg && !(st.doc.Policy == "" && s.policyCfg == "") {
+			// The policy is part of the recorded execution: replaying an
+			// online-mwf history through srpt would "validate" into a
+			// different run.
+			return fmt.Errorf("server: restore: snapshot taken under policy %q, server configured with %q",
+				st.doc.Policy, s.policyCfg)
+		}
+		if st.doc.ShardsCfg > 0 {
+			s.shardsCfg = st.doc.ShardsCfg
+		}
+		byIdx := make(map[int]*shard, len(st.doc.Shards))
+		s.all = nil
+		for i := range st.doc.Shards {
+			sh, err := s.restoreShard(&st.doc.Shards[i])
+			if err != nil {
+				return err
+			}
+			byIdx[sh.idx] = sh
+			s.all = append(s.all, sh)
+		}
+		s.gens = nil
+		for _, sg := range st.doc.Gens {
+			gen := &generation{base: sg.Base, stride: sg.Stride}
+			for _, idx := range sg.Shards {
+				sh, ok := byIdx[idx]
+				if !ok {
+					return fmt.Errorf("server: restore: generation names unknown shard %d", idx)
+				}
+				gen.shards = append(gen.shards, sh)
+			}
+			s.gens = append(s.gens, gen)
+		}
+		if len(s.gens) == 0 {
+			return errors.New("server: restore: snapshot has no generations")
+		}
+		s.reshards = st.doc.Reshards
+		for _, fw := range st.doc.Forward {
+			sh, ok := byIdx[fw.Shard]
+			if !ok {
+				return fmt.Errorf("server: restore: forwarding entry names unknown shard %d", fw.Shard)
+			}
+			s.forward[fw.GID] = fwdLoc{sh: sh, local: fw.Local}
+		}
+	}
+	if err := s.replay(st.suffix); err != nil {
+		return err
+	}
+	s.repairRetired(st.now)
+	return nil
+}
+
+// shardByIdx resolves a creation index during replay.
+func (s *Server) shardByIdx(idx int) (*shard, error) {
+	for _, sh := range s.all {
+		if sh.idx == idx {
+			return sh, nil
+		}
+	}
+	return nil, fmt.Errorf("server: replay: unknown shard %d", idx)
+}
+
+// replay re-executes the WAL suffix through the normal admission paths at
+// the recorded virtual times. The write-ahead hooks are gated off for its
+// duration, so replay never re-logs what the log already holds.
+func (s *Server) replay(recs []wal.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.dur.mu.Lock()
+	s.dur.replaying = true
+	s.dur.mu.Unlock()
+	defer func() {
+		s.dur.mu.Lock()
+		s.dur.replaying = false
+		s.dur.replayed = len(recs)
+		s.dur.mu.Unlock()
+	}()
+	for _, rec := range recs {
+		var err error
+		switch rec.Type {
+		case walTypeSubmit:
+			var r recSubmit
+			if err = json.Unmarshal(rec.Data, &r); err == nil {
+				err = s.replaySubmit(&r)
+			}
+		case walTypeAdmit:
+			var r recAdmit
+			if err = json.Unmarshal(rec.Data, &r); err == nil {
+				err = s.replayAdmit(&r)
+			}
+		case walTypeComplete:
+			var r recComplete
+			if err = json.Unmarshal(rec.Data, &r); err == nil {
+				err = s.replayComplete(&r)
+			}
+		case walTypeMigrate:
+			var r recMigrate
+			if err = json.Unmarshal(rec.Data, &r); err == nil {
+				err = s.replayMigrate(&r)
+			}
+		case walTypeTopo:
+			var r recTopo
+			if err = json.Unmarshal(rec.Data, &r); err == nil {
+				err = s.replayTopo(&r)
+			}
+		case walTypeCompact:
+			var r recCompact
+			if err = json.Unmarshal(rec.Data, &r); err == nil {
+				err = s.replayCompact(&r)
+			}
+		default:
+			err = fmt.Errorf("unknown record type %q", rec.Type)
+		}
+		if err != nil {
+			return fmt.Errorf("server: replay: record %d (%s): %w", rec.Seq, rec.Type, err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) replaySubmit(r *recSubmit) error {
+	sh, err := s.shardByIdx(r.Shard)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.records) != r.Local {
+		return fmt.Errorf("shard %d expects local %d, record says %d", sh.idx, len(sh.records), r.Local)
+	}
+	if r.Weight == nil || r.Size == nil || r.Release == nil {
+		return fmt.Errorf("submit %d missing fields", r.GID)
+	}
+	rec := &jobRecord{
+		id: r.Local, gid: r.GID, name: r.Name, weight: r.Weight,
+		size: r.Size, databanks: r.Databanks, state: StateQueued,
+		release: r.Release,
+	}
+	sh.records = append(sh.records, rec)
+	sh.pending = append(sh.pending, rec)
+	sh.backlogMu.Lock()
+	sh.backlog.Add(sh.backlog, rec.size)
+	sh.backlogMu.Unlock()
+	hosted := false
+	for i := range sh.machines {
+		if sh.machines[i].Hosts(rec.databanks) {
+			sh.eligible[i][rec.id] = true
+			hosted = true
+		}
+	}
+	if !hosted {
+		return fmt.Errorf("submit %d: no machine of shard %d hosts %v", r.GID, sh.idx, r.Databanks)
+	}
+	sh.obs.event(obs.EventSubmit, rec.gid, rec.release, "replayed")
+	return nil
+}
+
+func (s *Server) replayAdmit(r *recAdmit) error {
+	sh, err := s.shardByIdx(r.Shard)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r.At == nil {
+		return errors.New("admit record missing time")
+	}
+	if len(sh.pending) != len(r.Locals) {
+		return fmt.Errorf("shard %d has %d pending, admit record lists %d", sh.idx, len(sh.pending), len(r.Locals))
+	}
+	for i, rec := range sh.pending {
+		if rec.id != r.Locals[i] {
+			return fmt.Errorf("shard %d pending[%d] = %d, admit record says %d", sh.idx, i, rec.id, r.Locals[i])
+		}
+	}
+	// The same admission path the live loop runs, at the recorded virtual
+	// time: catch the engine up, then admit the batch. Completions crossed on
+	// the way replay implicitly.
+	if _, ok := sh.catchUpTo(r.At); !ok {
+		return nil // the original run latched here too; the error is restored
+	}
+	sh.admitAll(r.At)
+	return nil
+}
+
+func (s *Server) replayComplete(r *recComplete) error {
+	sh, err := s.shardByIdx(r.Shard)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r.At == nil {
+		return errors.New("complete record missing time")
+	}
+	// Advancing across the completion's exact event time executes it through
+	// step(): the record itself carries no state the engine does not rederive.
+	sh.catchUpTo(r.At)
+	return nil
+}
+
+func (s *Server) replayCompact(r *recCompact) error {
+	sh, err := s.shardByIdx(r.Shard)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r.Now == nil {
+		return errors.New("compact record missing time")
+	}
+	if _, ok := sh.catchUpTo(r.Now); !ok {
+		return nil
+	}
+	sh.compact(r.Now)
+	return nil
+}
+
+func (s *Server) replayMigrate(r *recMigrate) error {
+	from, err := s.shardByIdx(r.From)
+	if err != nil {
+		return err
+	}
+	to, err := s.shardByIdx(r.To)
+	if err != nil {
+		return err
+	}
+	if r.At == nil {
+		return errors.New("migrate record missing time")
+	}
+	first, second := from, to
+	if to.idx < from.idx {
+		first, second = to, from
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	defer first.mu.Unlock()
+	// The donor's engine time at the extraction is part of the recorded
+	// execution: migratedAt drives the record's later compaction.
+	from.catchUpTo(r.At)
+	if r.FromLocal < 0 || r.FromLocal >= len(from.records) || from.records[r.FromLocal] == nil {
+		return fmt.Errorf("shard %d has no record %d", from.idx, r.FromLocal)
+	}
+	rec := from.records[r.FromLocal]
+	var remaining *big.Rat
+	if rj, err := from.eng.Remove(rec.id); err == nil {
+		remaining = rj.Remaining
+	} else {
+		pending := from.pending[:0]
+		found := false
+		for _, p := range from.pending {
+			if p == rec {
+				found = true
+				continue
+			}
+			pending = append(pending, p)
+		}
+		from.pending = pending
+		if !found {
+			return fmt.Errorf("job %d neither live nor pending on shard %d", r.GID, from.idx)
+		}
+		remaining = rec.remaining
+	}
+	from.orphanRecord(rec)
+	nrec := to.adoptRecord(rec, remaining)
+	if nrec.id != r.ToLocal {
+		return fmt.Errorf("job %d landed at local %d on shard %d, record says %d", r.GID, nrec.id, to.idx, r.ToLocal)
+	}
+	if r.Reason == "reshard" {
+		from.reshardOut++
+		to.reshardIn++
+	} else {
+		from.migratedOut++
+		to.stolenIn++
+	}
+	s.fwdMu.Lock()
+	s.forward[rec.gid] = fwdLoc{sh: to, local: nrec.id}
+	s.fwdMu.Unlock()
+	from.backlogMu.Lock()
+	from.backlog.Sub(from.backlog, rec.size)
+	from.backlogMu.Unlock()
+	to.backlogMu.Lock()
+	to.backlog.Add(to.backlog, rec.size)
+	to.backlogMu.Unlock()
+	to.obs.event(obs.EventMigrate, rec.gid, nil, fmt.Sprintf("replayed %s from shard %d", r.Reason, from.idx))
+	// The live steal re-plans the donor once per steal batch; the flagged
+	// record reproduces that single decision at the same point.
+	if r.Decide && from.lastErr == nil {
+		from.decide()
+	}
+	return nil
+}
+
+func (s *Server) replayTopo(r *recTopo) error {
+	if r.Stride != len(r.Shards) || r.Stride == 0 {
+		return fmt.Errorf("topology record stride %d over %d shards", r.Stride, len(r.Shards))
+	}
+	var gen2 []*shard
+	for pos, ts := range r.Shards {
+		if ts.Kept {
+			sh, err := s.shardByIdx(ts.Idx)
+			if err != nil {
+				return err
+			}
+			sh.gidBase, sh.stride, sh.pos = r.Base, r.Stride, pos
+			sh.machineIdx = append([]int(nil), ts.MachineIdx...)
+			sh.gen = r.Gen
+			gen2 = append(gen2, sh)
+			continue
+		}
+		machines, err := decodeMachines(ts.Machines)
+		if err != nil {
+			return err
+		}
+		pol, err := NewPolicy(s.policyCfg)
+		if err != nil {
+			return err
+		}
+		nsh := s.wireShard(newShard(ts.Idx, pos, r.Stride, r.Base, s.clock, machines, append([]int(nil), ts.MachineIdx...), pol, s.retention))
+		nsh.gen = r.Gen
+		s.all = append(s.all, nsh)
+		gen2 = append(gen2, nsh)
+	}
+	for _, idx := range r.Retired {
+		sh, err := s.shardByIdx(idx)
+		if err != nil {
+			return err
+		}
+		sh.retired = true
+	}
+	if r.ShardsCfg > 0 {
+		s.shardsCfg = r.ShardsCfg
+	}
+	s.gens = append(s.gens, &generation{base: r.Base, stride: r.Stride, shards: gen2})
+	s.reshards++
+	fleet, err := decodeMachines(r.Fleet)
+	if err != nil {
+		return err
+	}
+	s.renumberRetired(fleet, gen2)
+	return nil
+}
+
+// repairRetired finishes an interrupted reshard: a crash between the
+// topology record and the last migration record leaves queued or live jobs
+// on retired shards. They are re-migrated through the normal paths — with
+// the write-ahead hooks live again, so the repair itself is durable — using
+// the same least-residual-work placement the reshard would have used, in the
+// same order, so the repaired run matches the uninterrupted one.
+func (s *Server) repairRetired(now *big.Rat) {
+	act := s.gens[len(s.gens)-1].shards
+	resid := make(map[*shard]*big.Rat, len(act))
+	for _, sh := range act {
+		resid[sh] = sh.residualWork()
+	}
+	for _, donor := range s.all {
+		if !donor.retired || donor.freed {
+			continue
+		}
+		donor.mu.Lock()
+		// Catch the donor up to the restored virtual time before extracting:
+		// the lost migrate records are what carried the original donor's
+		// catch-up to the reshard time, so without this the work it executed
+		// since its last replayed record would be retroactively discarded and
+		// the repaired remainings would not match the uninterrupted run's.
+		if donor.lastErr == nil {
+			donor.catchUpTo(now)
+		}
+		var stranded []*jobRecord
+		stranded = append(stranded, donor.pending...)
+		donor.pending = nil
+		type liveJob struct {
+			rec       *jobRecord
+			remaining *big.Rat
+		}
+		var live []liveJob
+		for _, br := range donor.eng.RemoveAll() {
+			live = append(live, liveJob{rec: donor.records[br.ID], remaining: br.Job.Remaining})
+		}
+		migrate := func(rec *jobRecord, remaining *big.Rat) {
+			donor.orphanRecord(rec)
+			donor.reshardOut++
+			var dest, destStalled *shard
+			for _, sh := range act {
+				if !sh.hosts(rec.databanks) {
+					continue
+				}
+				if sh.lastErr != nil {
+					if destStalled == nil || resid[sh].Cmp(resid[destStalled]) < 0 {
+						destStalled = sh
+					}
+					continue
+				}
+				if dest == nil || resid[sh].Cmp(resid[dest]) < 0 {
+					dest = sh
+				}
+			}
+			if dest == nil {
+				dest = destStalled
+			}
+			if dest == nil {
+				// No host on the current topology: the job is lost to the
+				// crash window. Leave it migrated-away and surface the gap.
+				s.tel.event(obs.EventReject, -1, rec.gid, "restore: no shard hosts the stranded job")
+				return
+			}
+			dest.mu.Lock()
+			nrec := dest.adoptRecord(rec, remaining)
+			dest.reshardIn++
+			s.dur.appendMigrate(donor, dest, rec.id, nrec.id, rec.gid, remaining, donor.eng.Now(), "reshard", false)
+			dest.mu.Unlock()
+			s.fwdMu.Lock()
+			s.forward[rec.gid] = fwdLoc{sh: dest, local: nrec.id}
+			s.fwdMu.Unlock()
+			resid[dest].Add(resid[dest], rec.size)
+			donor.backlogMu.Lock()
+			donor.backlog.Sub(donor.backlog, rec.size)
+			donor.backlogMu.Unlock()
+			dest.backlogMu.Lock()
+			dest.backlog.Add(dest.backlog, rec.size)
+			dest.backlogMu.Unlock()
+		}
+		for _, rec := range stranded {
+			migrate(rec, rec.remaining)
+		}
+		for _, lj := range live {
+			migrate(lj.rec, lj.remaining)
+		}
+		donor.mu.Unlock()
+	}
+}
+
+// --- Shard restart ------------------------------------------------------
+
+// maxShardRestarts caps in-place restarts per shard: a deterministic failure
+// restarts into itself, and after the cap the shard stays latched for an
+// operator to look at.
+const maxShardRestarts = 5
+
+// restartShard rebuilds a latched shard in place from its intact engine
+// state: fresh policy, fresh engine, exact state restored, error cleared.
+// The plan cache is deliberately not carried over — the failure may live in
+// it. It reports whether the shard came back healthy.
+func (s *Server) restartShard(sh *shard) bool {
+	start := s.tel.now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.lastErr == nil || sh.closed || sh.retired || sh.freed {
+		return false
+	}
+	if sh.restarts >= maxShardRestarts {
+		return false
+	}
+	st := sh.eng.ExportState()
+	pol, err := NewPolicy(s.policyCfg)
+	if err != nil {
+		return false
+	}
+	eng := sim.NewEngine(len(sh.machines), sh.cost, pol)
+	if err := eng.RestoreState(st); err != nil {
+		// The panic caught the engine mid-mutation: its exported state does
+		// not validate, so an in-place rebuild would run from garbage.
+		return false
+	}
+	sh.restarts++
+	sh.eng, sh.policy = eng, pol
+	sh.mwf, _ = pol.(*sim.OnlineMWF)
+	if sh.mwf != nil {
+		sh.mwf.Observer = sh.obs
+	}
+	sh.lastErr = nil
+	sh.stalled = false
+	sh.backlogMu.Lock()
+	sh.routeErr = ""
+	sh.backlogMu.Unlock()
+	sh.obs.event(obs.EventShardRestart, -1, eng.Now(), fmt.Sprintf("restart %d of %d", sh.restarts, maxShardRestarts))
+	sh.decide()
+	if !start.IsZero() {
+		s.tel.recoverySecs.Observe(time.Since(start).Seconds())
+	}
+	return sh.lastErr == nil
+}
+
+// RestoredNow returns the virtual time the fleet was restored at (zero for a
+// fresh start or a server without a WAL).
+func (s *Server) RestoredNow() *big.Rat {
+	if s.restoredNow == nil {
+		return new(big.Rat)
+	}
+	return new(big.Rat).Set(s.restoredNow)
+}
+
+// ReplayedRecords returns how many WAL records the last startup replayed.
+func (s *Server) ReplayedRecords() int {
+	if s.dur == nil {
+		return 0
+	}
+	_, _, replayed, _ := s.dur.counters()
+	return replayed
+}

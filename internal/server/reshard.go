@@ -356,6 +356,35 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 		sh.gen = newGen
 	}
 
+	// The topology record lands in the WAL before any migration that
+	// references the new generation's shards, and before the publish: replay
+	// rebuilds the generation first, then applies the recorded placements. A
+	// crash in between leaves stranded jobs on retired donors, which restore
+	// re-migrates with the same placement rule (repairRetired).
+	if s.dur != nil {
+		topoRec := &recTopo{
+			Gen:       newGen,
+			Base:      base,
+			Stride:    newStride,
+			Fleet:     encodeMachines(newFleet),
+			ShardsCfg: p.Shards,
+			At:        s.clock.Now(),
+		}
+		for gi, sh := range gen2 {
+			ts := walTopoShard{Idx: sh.idx, MachineIdx: append([]int(nil), groups[gi]...)}
+			if keep[gi] != nil {
+				ts.Kept = true
+			} else {
+				ts.Machines = encodeMachines(groupMachines[gi])
+			}
+			topoRec.Shards = append(topoRec.Shards, ts)
+		}
+		for _, sh := range retiring {
+			topoRec.Retired = append(topoRec.Retired, sh.idx)
+		}
+		s.dur.append(walTypeTopo, topoRec)
+	}
+
 	// Migrate every queued and live job off the retiring shards, exactly as
 	// a steal would: donor record flips to migrated (its executed pieces
 	// stay, translated by the record), the destination gets a fresh record
@@ -405,6 +434,11 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 		s.fwdMu.Lock()
 		s.forward[rec.gid] = fwdLoc{sh: dest, local: nrec.id}
 		s.fwdMu.Unlock()
+		// Logged with the recorded placement (never re-derived on replay) at
+		// the donor's exact engine time, which fixes the record's later
+		// compaction horizon. Every active shard's mu is held.
+		s.dur.appendMigrate(donor, dest, rec.id, nrec.id, rec.gid, remaining,
+			donor.eng.Now(), "reshard", false)
 		dest.obs.event(obs.EventMigrate, rec.gid, nil, fmt.Sprintf("resharded from shard %d", donor.idx))
 		resid[dest].Add(resid[dest], rec.size)
 		// Backlog conservation; one backlogMu at a time, never nested.

@@ -25,6 +25,7 @@ import (
 	"io"
 	"math/big"
 	"sync"
+	"time"
 
 	"divflow/internal/model"
 	"divflow/internal/obs"
@@ -110,6 +111,28 @@ type Config struct {
 	// EventBufferSize overrides the event journal's ring capacity
 	// (obs.DefJournalCapacity when zero).
 	EventBufferSize int
+	// WALDir, when non-empty, turns on durable crash recovery (the -wal-dir
+	// flag): every submission, admission batch, migration, topology change,
+	// and compaction horizon is appended to a write-ahead log in this
+	// directory, with periodic fleet snapshots truncating the log behind
+	// them. On startup, existing durable state in the directory is
+	// authoritative: the newest valid snapshot is loaded and the WAL suffix
+	// replayed through the normal admission paths, and Machines is then only
+	// used for a fresh start. The first WAL failure latches: durability
+	// freezes (the on-disk state stays a consistent prefix) while the daemon
+	// keeps scheduling, and /healthz reports "degraded".
+	WALDir string
+	// Fsync syncs the WAL after every append (the -fsync flag). Off,
+	// durability of the tail is bounded by the OS page cache; a clean Close
+	// still flushes everything.
+	Fsync bool
+	// SnapshotEvery is the snapshot cadence in WAL appends (default 1024).
+	SnapshotEvery int
+	// RestartStalled wires the in-place restart supervisor (the
+	// -restart-stalled flag): a shard whose loop latched an error or
+	// panicked is rebuilt from its intact engine state — fresh policy, fresh
+	// engine, exact state restored — up to a per-shard restart cap.
+	RestartStalled bool
 }
 
 // generation is one epoch of the shard topology: the shards active between
@@ -141,6 +164,12 @@ type Server struct {
 	noReshard    bool
 	dropForward  func(gid int)
 	tel          *telemetry
+
+	// dur is the durability layer (nil without Config.WALDir); restoredNow
+	// the virtual time startup restored the fleet at (nil on a fresh start).
+	dur            *durability
+	restoredNow    *big.Rat
+	restartStalled bool
 
 	// topoMu guards the shard topology: the generation list and the flat
 	// list of every shard ever created. Readers snapshot under RLock; only
@@ -195,23 +224,19 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	clock := cfg.Clock
-	if clock == nil {
-		clock = NewRealClock()
-	}
 	groups, err := partitionFleet(cfg.Machines, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		policyName:   pol.Name(),
-		policyCfg:    cfg.Policy,
-		shardsCfg:    cfg.Shards,
-		clock:        clock,
-		disableSteal: cfg.DisableSteal,
-		noReshard:    cfg.DisableReshard,
-		forward:      make(map[int]fwdLoc),
-		tel:          newTelemetry(!cfg.DisableObs, cfg.EventSink, cfg.EventBufferSize),
+		policyName:     pol.Name(),
+		policyCfg:      cfg.Policy,
+		shardsCfg:      cfg.Shards,
+		disableSteal:   cfg.DisableSteal,
+		noReshard:      cfg.DisableReshard,
+		restartStalled: cfg.RestartStalled,
+		forward:        make(map[int]fwdLoc),
+		tel:            newTelemetry(!cfg.DisableObs, cfg.EventSink, cfg.EventBufferSize),
 	}
 	if cfg.Retention != nil && cfg.Retention.Sign() > 0 {
 		s.retention = new(big.Rat).Set(cfg.Retention)
@@ -221,24 +246,76 @@ func New(cfg Config) (*Server, error) {
 		delete(s.forward, gid)
 		s.fwdMu.Unlock()
 	}
-	fleet := append([]model.Machine(nil), cfg.Machines...)
-	stride := len(groups)
-	var shards []*shard
-	for idx, group := range groups {
-		machines := make([]model.Machine, len(group))
-		for k, gi := range group {
-			machines[k] = fleet[gi]
+	// Open durable state before the clock exists: a restore resumes the real
+	// clock at the restored virtual time, so the fleet's time never jumps
+	// backwards across a restart.
+	var st *restoreState
+	if cfg.WALDir != "" {
+		if st, err = openWAL(cfg.WALDir, cfg.Fsync); err != nil {
+			return nil, err
 		}
-		shardPol := pol
-		if idx > 0 {
-			if shardPol, err = NewPolicy(cfg.Policy); err != nil {
-				return nil, err
-			}
-		}
-		shards = append(shards, s.wireShard(newShard(idx, idx, stride, 0, clock, machines, group, shardPol, s.retention)))
 	}
-	s.gens = []*generation{{base: 0, stride: stride, shards: shards}}
-	s.all = shards
+	clock := cfg.Clock
+	if clock == nil {
+		if st != nil && st.hasState() {
+			clock = NewRealClockAt(st.now)
+		} else {
+			clock = NewRealClock()
+		}
+	}
+	s.clock = clock
+	if st != nil {
+		snapEvery := cfg.SnapshotEvery
+		if snapEvery <= 0 {
+			snapEvery = defaultSnapshotEvery
+		}
+		s.dur = &durability{
+			tel:       s.tel,
+			dir:       cfg.WALDir,
+			snapEvery: snapEvery,
+			log:       st.log,
+			snapReq:   make(chan struct{}, 1),
+			stop:      make(chan struct{}),
+		}
+	}
+	if st == nil || st.doc == nil {
+		// Fresh topology from the configured fleet. (With durable state but no
+		// snapshot yet, the WAL suffix below replays onto this topology — the
+		// same one the original run built, since the log began under it.)
+		fleet := append([]model.Machine(nil), cfg.Machines...)
+		stride := len(groups)
+		var shards []*shard
+		for idx, group := range groups {
+			machines := make([]model.Machine, len(group))
+			for k, gi := range group {
+				machines[k] = fleet[gi]
+			}
+			shardPol := pol
+			if idx > 0 {
+				if shardPol, err = NewPolicy(cfg.Policy); err != nil {
+					return nil, err
+				}
+			}
+			shards = append(shards, s.wireShard(newShard(idx, idx, stride, 0, clock, machines, group, shardPol, s.retention)))
+		}
+		s.gens = []*generation{{base: 0, stride: stride, shards: shards}}
+		s.all = shards
+	}
+	if st != nil && st.hasState() {
+		if err := s.restore(st); err != nil {
+			st.log.Close()
+			return nil, err
+		}
+		s.restoredNow = new(big.Rat).Set(st.now)
+		s.tel.event(obs.EventRestore, len(s.gens)-1, -1, fmt.Sprintf(
+			"%d records replayed at virtual time %s", len(st.suffix), st.now.RatString()))
+		if s.tel.enabled {
+			s.tel.recoverySecs.Observe(time.Since(st.started).Seconds())
+		}
+	}
+	if s.dur != nil {
+		go s.snapshotLoop()
+	}
 	// Scrape-time metric collection reads the same per-shard snapshots
 	// /v1/stats merges; registered once the topology exists.
 	s.tel.reg.OnCollect(s.collectMetrics)
@@ -256,6 +333,10 @@ func (s *Server) wireShard(sh *shard) *shard {
 	if !s.disableSteal {
 		sh.steal = func() bool { return s.stealFor(sh) }
 	}
+	if s.restartStalled {
+		sh.restart = func() bool { return s.restartShard(sh) }
+	}
+	sh.wal = s.dur
 	sh.dropForward = s.dropForward
 	sh.obs = s.tel.newShardObs(sh)
 	if sh.mwf != nil {
@@ -445,6 +526,20 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	for _, sh := range s.allShards() {
 		sh.close()
+	}
+	if s.dur != nil {
+		// Stop the cadence goroutine first (it cannot be inside a snapshot:
+		// that needs reshardMu, which we hold), then write the final snapshot —
+		// the loops are drained, so a clean shutdown restores with zero replay.
+		// snapshotLocked refuses to run once durability latched, keeping the
+		// on-disk state a consistent prefix.
+		s.dur.once.Do(func() { close(s.dur.stop) })
+		s.snapshotLocked()
+		s.dur.mu.Lock()
+		if s.dur.log != nil {
+			s.dur.log.Close()
+		}
+		s.dur.mu.Unlock()
 	}
 }
 

@@ -3,13 +3,16 @@ package server
 import (
 	"fmt"
 	"math/big"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"divflow/internal/faults"
 	"divflow/internal/model"
 	"divflow/internal/obs"
 	"divflow/internal/schedule"
 	"divflow/internal/sim"
+	"divflow/internal/stats"
 )
 
 // jobRecord is the shard-side state of one submitted job. IDs are shard-local
@@ -120,6 +123,14 @@ type shard struct {
 	// largest-backlog shard; the loop calls it (outside mu) whenever it goes
 	// idle. Nil with stealing disabled or a single shard.
 	steal func() bool
+	// restart, when non-nil (-restart-stalled), asks the server to rebuild
+	// this shard in place from its intact engine state after the loop latched
+	// an error or panicked; the loop calls it outside mu.
+	restart func() bool
+	// wal, when non-nil, is the server's durability layer: submissions,
+	// admission batches, completions, migrations, and compaction horizons are
+	// appended to the write-ahead log at the point they mutate shard state.
+	wal *durability
 
 	arrivalBatches  int
 	batchedArrivals int
@@ -152,6 +163,24 @@ type shard struct {
 	// the makespan recomputed from the retained trace alone would move
 	// backwards (to zero once everything is compacted).
 	makespanHW *big.Rat
+
+	// panics counts loop panics the supervisor caught; restarts in-place
+	// rebuilds by the -restart-stalled supervisor.
+	panics   int
+	restarts int
+	// freed marks a retired shard whose fully-compacted history was released:
+	// records, queues, engine, and policy are gone, and only this struct —
+	// the ID-decoding tombstone — remains, with the frozen aggregates below.
+	freed bool
+	// frozen* capture the last engine-derived stats before free() drops the
+	// engine, so /v1/stats keeps reporting the retired shard's history.
+	frozenNow       *big.Rat
+	frozenCompleted int
+	frozenDecisions int
+	frozenAccepted  int
+	frozenSolves    int
+	frozenCacheHits int
+	frozenSolver    stats.SolverTally
 
 	started bool
 	closed  bool
@@ -323,6 +352,10 @@ func (sh *shard) submit(job model.Job) (int, error) {
 	if rec.name == "" {
 		rec.name = fmt.Sprintf("job-%d", sh.globalID(rec.id))
 	}
+	// Write-ahead: the submission is logged before any shard state changes,
+	// so a crash between the append and the mutation replays the job rather
+	// than losing an acknowledged submission.
+	sh.wal.appendSubmit(sh, rec)
 	rec.submittedWall = sh.obs.now()
 	sh.records = append(sh.records, rec)
 	sh.pending = append(sh.pending, rec)
@@ -435,31 +468,25 @@ func (sh *shard) historyEmpty() bool {
 func (sh *shard) loop() {
 	defer close(sh.stopped)
 	for {
-		sh.mu.Lock()
-		sh.process()
-		next := sh.eng.NextEvent()
-		// A retired shard must never pull work back onto itself: its loop is
-		// only alive to finish compacting its history.
-		idle := sh.lastErr == nil && sh.eng.Live() == 0 && len(sh.pending) == 0 && !sh.retired
-		retiredDone := sh.retired && (sh.retention == nil || sh.historyEmpty())
-		if sh.retired && !retiredDone && next == nil {
-			next = new(big.Rat).Add(sh.clock.Now(), sh.retention)
-		}
-		sh.mu.Unlock()
-		if retiredDone {
+		res := sh.loopIter()
+		if res.exit {
 			return
 		}
 
 		// The steal call runs outside mu: it locks donor and thief shards in
-		// index order, which must not nest inside an already-held mu.
-		if idle && sh.steal != nil && sh.steal() {
+		// index order, which must not nest inside an already-held mu. The
+		// restart hook runs outside mu for the same reason (it re-takes it).
+		if res.idle && sh.steal != nil && sh.steal() {
+			continue
+		}
+		if res.stalled && sh.restart != nil && sh.restart() {
 			continue
 		}
 
 		var timer <-chan struct{}
 		cancel := func() {}
-		if next != nil {
-			timer, cancel = sh.clock.At(next)
+		if res.next != nil {
+			timer, cancel = sh.clock.At(res.next)
 		}
 		select {
 		case <-sh.done:
@@ -474,6 +501,106 @@ func (sh *shard) loop() {
 	}
 }
 
+// loopResult is what one supervised loop iteration tells the outer loop.
+type loopResult struct {
+	next    *big.Rat // next engine event to sleep toward (nil: no deadline)
+	idle    bool     // healthy with nothing to do: try stealing
+	stalled bool     // latched error or panic: try restarting
+	exit    bool     // retired shard fully drained: stop for good
+}
+
+// loopIter is one supervised iteration of the scheduling loop: the locked
+// body runs under a recover barrier, so a panic anywhere in the engine or
+// policy latches the shard as stalled — counted, journaled, the daemon still
+// serving — instead of killing the process. The mutex is released by its own
+// defer before the recover handler runs, so a panicking iteration never
+// leaves mu held.
+func (sh *shard) loopIter() (res loopResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.recoverPanic(r)
+			res = loopResult{stalled: true}
+		}
+	}()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.freed {
+		// A freed tombstone (restored from a snapshot taken after the free)
+		// has no engine left; its loop has nothing to ever do.
+		return loopResult{exit: true}
+	}
+	sh.process()
+	res.next = sh.eng.NextEvent()
+	// A retired shard must never pull work back onto itself: its loop is
+	// only alive to finish compacting its history.
+	res.idle = sh.lastErr == nil && sh.eng.Live() == 0 && len(sh.pending) == 0 && !sh.retired
+	res.stalled = sh.lastErr != nil && !sh.retired && !sh.closed
+	retiredDone := sh.retired && (sh.retention == nil || sh.historyEmpty())
+	if sh.retired && !retiredDone && res.next == nil {
+		res.next = new(big.Rat).Add(sh.clock.Now(), sh.retention)
+	}
+	if retiredDone {
+		// Once a retired shard's history has fully compacted away there is
+		// nothing left to serve: release everything but the ID-decoding
+		// tombstone, so long-lived fleets do not accumulate dead shard state
+		// across reshards.
+		if sh.retention != nil {
+			sh.free()
+		}
+		res.exit = true
+	}
+	return res
+}
+
+// recoverPanic latches a caught loop panic: the shard reports stalled (with
+// the panic as its error), the panic is counted and journaled with its stack,
+// and the loop goroutine survives. Callers must NOT hold mu.
+func (sh *shard) recoverPanic(r any) {
+	stack := debug.Stack()
+	if len(stack) > 4096 {
+		stack = stack[:4096]
+	}
+	err := fmt.Errorf("server: shard %d: loop panic: %v", sh.idx, r)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.panics++
+	sh.fail(err)
+	var vt *big.Rat
+	if sh.eng != nil {
+		vt = sh.eng.Now()
+	}
+	sh.obs.event(obs.EventShardPanic, -1, vt, fmt.Sprintf("%v\n%s", r, stack))
+}
+
+// free releases a fully-compacted retired shard's memory: records, queues,
+// eligibility maps, engine, and policy all go, with the engine-derived stats
+// frozen first so /v1/stats keeps the history. The struct itself stays in the
+// topology as the tombstone that decodes this shard's global IDs (to
+// not-found). Callers hold mu; the shard must be retired with empty history.
+func (sh *shard) free() {
+	if sh.freed {
+		return
+	}
+	sh.freed = true
+	sh.frozenNow = sh.eng.Now()
+	sh.frozenCompleted = sh.eng.CompletedCount()
+	sh.frozenDecisions = sh.eng.Decisions()
+	sh.frozenAccepted = len(sh.records) - sh.stolenIn - sh.reshardIn
+	if sh.mwf != nil {
+		sh.frozenSolves = sh.mwf.Solves()
+		sh.frozenCacheHits = sh.mwf.CacheHits()
+		sh.frozenSolver = sh.mwf.SolverTally()
+	}
+	sh.noteMakespan()
+	sh.records = nil
+	sh.pending = nil
+	sh.migratedIDs = nil
+	sh.eligible = nil
+	sh.eng = nil
+	sh.policy = nil
+	sh.mwf = nil
+}
+
 // catchUp advances the engine through every completion/review event that is
 // due and then to the present, executing the installed allocation — without
 // admitting pending submissions. The steal protocol calls it on a donor
@@ -484,7 +611,14 @@ func (sh *shard) loop() {
 // solve the steal is about to shrink. It reports whether the shard is still
 // healthy. Callers hold sh.mu.
 func (sh *shard) catchUp() (*big.Rat, bool) {
-	now := sh.clock.Now()
+	return sh.catchUpTo(sh.clock.Now())
+}
+
+// catchUpTo is catchUp against an explicit target time: the WAL replay path
+// drives shards to recorded virtual times instead of the clock, so a restored
+// engine retraces exactly the events the original crossed. Callers hold
+// sh.mu.
+func (sh *shard) catchUpTo(now *big.Rat) (*big.Rat, bool) {
 	if now.Cmp(sh.eng.Now()) < 0 {
 		// A timer fired marginally early (wall-clock rounding): treat the
 		// engine's exact time as authoritative.
@@ -515,9 +649,16 @@ func (sh *shard) process() {
 		return
 	}
 	sh.compact(now)
+	sh.admitAll(now)
+}
+
+// admitAll admits every pending submission as one batch at time now, logging
+// the batch write-ahead. Callers hold sh.mu; the engine is caught up to now.
+func (sh *shard) admitAll(now *big.Rat) {
 	if len(sh.pending) == 0 {
 		return
 	}
+	sh.wal.appendAdmit(sh, now, sh.pending)
 	batch := sh.pending
 	sh.pending = nil
 	// Arrival-batch statistics count each job's *first* admission only: a
@@ -582,6 +723,7 @@ func (sh *shard) step(t *big.Rat) bool {
 	for _, id := range done {
 		sh.records[id].state = StateDone
 		sh.records[id].completed = sh.eng.Completion(id)
+		sh.wal.appendComplete(sh, sh.records[id])
 		sh.recordCompletion(sh.records[id])
 	}
 	return sh.decide()
@@ -631,6 +773,7 @@ func (sh *shard) compact(now *big.Rat) {
 	// dropping pieces must never move the reported whole-execution makespan
 	// backwards.
 	sh.noteMakespan()
+	sh.wal.appendCompact(sh, now, horizon)
 	sh.lastCompact = horizon
 	before := sh.compactedJobs
 	drop := func(id int) {
@@ -677,6 +820,12 @@ func (sh *shard) noteMakespan() {
 // trace's makespan and the high-water mark from before compactions. Callers
 // hold sh.mu.
 func (sh *shard) makespan() *big.Rat {
+	if sh.eng == nil {
+		if sh.makespanHW != nil {
+			return new(big.Rat).Set(sh.makespanHW)
+		}
+		return new(big.Rat)
+	}
 	ms := sh.eng.Schedule().Makespan()
 	if sh.makespanHW != nil && sh.makespanHW.Cmp(ms) > 0 {
 		ms = new(big.Rat).Set(sh.makespanHW)
@@ -687,6 +836,10 @@ func (sh *shard) makespan() *big.Rat {
 // decide runs the policy and flags a stall (live work but no upcoming
 // event: the policy idled, or its inner solver failed). Callers hold sh.mu.
 func (sh *shard) decide() bool {
+	// The fault-injection harness plants a panic here — inside the locked
+	// loop body, exactly where a policy bug would blow up — to exercise the
+	// supervisor's recover/latch/restart path.
+	faults.MaybePanic(faults.PanicInPolicy)
 	if err := sh.eng.Decide(); err != nil {
 		sh.fail(err)
 		return false
@@ -779,6 +932,11 @@ func (sh *shard) jobStatus(local, gid int) (st model.JobStatus, known, migrated 
 func (sh *shard) scheduleSnapshot(since *big.Rat) (pieces []schedule.Piece, now, makespan *big.Rat) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.freed {
+		// A freed tombstone has no trace left; its makespan contribution
+		// survives in the high-water mark.
+		return nil, new(big.Rat).Set(sh.frozenNow), sh.makespan()
+	}
 	sched := sh.eng.Schedule()
 	makespan = sh.makespan()
 	if since != nil {
@@ -821,7 +979,9 @@ type shardSnapshot struct {
 	backlogF float64
 }
 
-// statsSnapshot captures the shard's counters under its lock.
+// statsSnapshot captures the shard's counters under its lock. A freed
+// tombstone answers from the aggregates frozen when its history was
+// released.
 func (sh *shard) statsSnapshot() shardSnapshot {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -829,20 +989,28 @@ func (sh *shard) statsSnapshot() shardSnapshot {
 	for i := range sh.machines {
 		names[i] = sh.machines[i].Name
 	}
+	engNow, live, completed, decisions, accepted := sh.frozenNow, 0, sh.frozenCompleted, sh.frozenDecisions, sh.frozenAccepted
+	if !sh.freed {
+		engNow = sh.eng.Now()
+		live = sh.eng.Live()
+		completed = sh.eng.CompletedCount()
+		decisions = sh.eng.Decisions()
+		accepted = len(sh.records) - sh.stolenIn - sh.reshardIn
+	}
 	snap := shardSnapshot{
 		wire: model.ShardStats{
 			Shard:      sh.idx,
 			Generation: sh.gen,
 			Machines:   names,
-			Now:        sh.eng.Now().RatString(),
+			Now:        engNow.RatString(),
 			// Births only: records created by a steal or reshard migration are
 			// counted by their birth shard, so the fleet aggregate sees every
 			// job exactly once.
-			JobsAccepted:    len(sh.records) - sh.stolenIn - sh.reshardIn,
+			JobsAccepted:    accepted,
 			JobsQueued:      len(sh.pending),
-			JobsLive:        sh.eng.Live(),
-			JobsCompleted:   sh.eng.CompletedCount(),
-			Events:          sh.eng.Decisions(),
+			JobsLive:        live,
+			JobsCompleted:   completed,
+			Events:          decisions,
 			ArrivalBatches:  sh.arrivalBatches,
 			BatchedArrivals: sh.batchedArrivals,
 			LargestBatch:    sh.largestBatch,
@@ -852,10 +1020,13 @@ func (sh *shard) statsSnapshot() shardSnapshot {
 			ReshardedIn:     sh.reshardIn,
 			ReshardedOut:    sh.reshardOut,
 			Retired:         sh.retired,
+			Freed:           sh.freed,
 			Backlog:         sh.backlog.RatString(),
 			Stalled:         sh.stalled,
+			Panics:          sh.panics,
+			Restarts:        sh.restarts,
 		},
-		now:       sh.eng.Now(),
+		now:       engNow,
 		doneCount: sh.doneCount,
 		flowSum:   new(big.Rat).Set(sh.flowSum),
 		// Deep copies: these leave the lock, and nothing may alias live
@@ -871,6 +1042,10 @@ func (sh *shard) statsSnapshot() shardSnapshot {
 		snap.wire.LPSolves = sh.mwf.Solves()
 		snap.wire.PlanCacheHits = sh.mwf.CacheHits()
 		snap.wire.Solver = sh.mwf.SolverTally()
+	} else if sh.freed {
+		snap.wire.LPSolves = sh.frozenSolves
+		snap.wire.PlanCacheHits = sh.frozenCacheHits
+		snap.wire.Solver = sh.frozenSolver
 	}
 	if sh.lastErr != nil {
 		snap.wire.LastError = sh.lastErr.Error()

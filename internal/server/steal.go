@@ -180,6 +180,11 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 
 	out := &stealOutcome{}
 	movedSize := new(big.Rat)
+	type movedJob struct {
+		fromLocal, toLocal, gid int
+		remaining               *big.Rat
+	}
+	var movedJobs []movedJob
 	for _, it := range items[:k] {
 		rec := it.rec
 		remaining := rec.remaining
@@ -201,6 +206,7 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 			}
 			donor.pending = pending
 		}
+		fromLocal := rec.id
 		donor.orphanRecord(rec)
 		donor.migratedOut++
 		nrec := thief.adoptRecord(rec, remaining)
@@ -209,11 +215,19 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 		s.forward[rec.gid] = fwdLoc{sh: thief, local: nrec.id}
 		s.fwdMu.Unlock()
 		out.moved++
+		movedJobs = append(movedJobs, movedJob{fromLocal: fromLocal, toLocal: nrec.id, gid: rec.gid, remaining: remaining})
 		thief.obs.event(obs.EventMigrate, rec.gid, nil, fmt.Sprintf("stolen from shard %d", donor.idx))
 		movedSize.Add(movedSize, rec.size)
 	}
 	if movedSize.Sign() == 0 {
 		return nil
+	}
+	// The whole batch is logged under both mus, at the donor's exact engine
+	// time of the extraction; the last record carries the decide flag when the
+	// caller will re-plan the donor, so replay reproduces that single decision.
+	for i, mj := range movedJobs {
+		s.dur.appendMigrate(donor, thief, mj.fromLocal, mj.toLocal, mj.gid, mj.remaining,
+			donor.eng.Now(), "steal", i == len(movedJobs)-1 && out.removedLive)
 	}
 	// The backlog transfer is atomic with respect to the router: both
 	// backlogMus are held (index order again) while the sizes move, so the

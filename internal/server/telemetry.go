@@ -66,6 +66,8 @@ type telemetry struct {
 	stealSeconds   *obs.HistogramVec // {shard}: donor catch-up + migration
 	reshardSeconds *obs.Histogram    // structural reshard migration
 	flowTime       *obs.HistogramVec // {shard}: completed flows, virtual time
+	walErrors      *obs.Counter      // latched + transient WAL failures
+	recoverySecs   *obs.Histogram    // snapshot-load + WAL-replay and shard-restart durations
 
 	// Scrape-time families (Server.collectMetrics).
 	submissions     *obs.CounterVec
@@ -82,6 +84,11 @@ type telemetry struct {
 	compacted       *obs.CounterVec
 	solverPath      *obs.CounterVec
 	solverWarm      *obs.CounterVec
+	shardPanics     *obs.CounterVec
+	shardRestarts   *obs.CounterVec
+	walAppends      *obs.Counter
+	walSnapshots    *obs.Counter
+	walReplayed     *obs.Counter
 	reshardEvents   *obs.Counter
 	journalEvents   *obs.Counter
 	backlog         *obs.GaugeVec
@@ -121,6 +128,11 @@ func newTelemetry(enabled bool, sink io.Writer, bufSize int) *telemetry {
 		flowTime: r.Histogram("divflow_flow_time",
 			"Completed jobs' flow times (virtual time units); backs the /v1/stats P95.",
 			obs.DefFlowBuckets, "shard"),
+		walErrors: r.Counter("divflow_wal_errors_total",
+			"Write-ahead log append/fsync/snapshot failures (the first one latches and freezes durability).").With(),
+		recoverySecs: r.Histogram("divflow_recovery_seconds",
+			"Wall time of one recovery: startup snapshot-load + WAL replay, or one in-place shard restart.",
+			obs.DefLatencyBuckets).With(),
 
 		submissions: r.Counter("divflow_submissions_total",
 			"Jobs accepted, by birth shard.", "shard"),
@@ -150,6 +162,16 @@ func newTelemetry(enabled bool, sink io.Writer, bufSize int) *telemetry {
 			"Inner LP solves settled, by hybrid-engine path.", "shard", "path"),
 		solverWarm: r.Counter("divflow_solver_warm_total",
 			"Warm-start attempts of inner LP solves, by outcome.", "shard", "result"),
+		shardPanics: r.Counter("divflow_shard_panics_total",
+			"Loop panics caught by the shard supervisor.", "shard"),
+		shardRestarts: r.Counter("divflow_shard_restarts_total",
+			"In-place shard restarts (-restart-stalled rebuilds from in-memory state).", "shard"),
+		walAppends: r.Counter("divflow_wal_appends_total",
+			"Records durably appended to the write-ahead log.").With(),
+		walSnapshots: r.Counter("divflow_wal_snapshots_total",
+			"Fleet snapshots written (the WAL is truncated behind each).").With(),
+		walReplayed: r.Counter("divflow_wal_replayed_records_total",
+			"WAL records replayed through the admission paths at the last startup.").With(),
 		reshardEvents: r.Counter("divflow_reshard_events_total",
 			"Completed structural reshards (topology generation advances).").With(),
 		journalEvents: r.Counter("divflow_journal_events_total",
@@ -290,6 +312,12 @@ func (s *Server) collectMetrics() {
 	t.activeShards.Set(float64(active))
 	t.reshardEvents.Set(uint64(reshards))
 	t.journalEvents.Set(uint64(t.journal.NextSeq()))
+	if s.dur != nil {
+		appends, snapshots, replayed, _ := s.dur.counters()
+		t.walAppends.Set(uint64(appends))
+		t.walSnapshots.Set(uint64(snapshots))
+		t.walReplayed.Set(uint64(replayed))
+	}
 	for _, sh := range s.allShards() {
 		snap := sh.statsSnapshot()
 		w := &snap.wire
@@ -317,6 +345,8 @@ func (s *Server) collectMetrics() {
 		t.shardStalled.With(l).Set(boolGauge(w.Stalled))
 		t.shardRetired.With(l).Set(boolGauge(w.Retired))
 		t.shardGen.With(l).Set(float64(w.Generation))
+		t.shardPanics.With(l).Set(uint64(w.Panics))
+		t.shardRestarts.With(l).Set(uint64(w.Restarts))
 	}
 }
 

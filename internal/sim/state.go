@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"divflow/internal/schedule"
+)
+
+// This file is the durability boundary of the engine: ExportState captures
+// everything an Engine owns as exact, self-contained values (deep-copied
+// big.Rats, JSON-marshalable — *big.Rat implements TextMarshaler, so the
+// wire form is the usual "p/q" string), and RestoreState rebuilds a fresh
+// engine into bit-for-bit the same state. The pair backs divflowd's
+// snapshot/restore path and the in-process shard-restart supervisor.
+
+// JobState is one job's exact state in an EngineState: live when Completed
+// is nil, finished (retained for the trace window) otherwise.
+type JobState struct {
+	ID        int      `json:"id"`
+	Release   *big.Rat `json:"release"`
+	Weight    *big.Rat `json:"weight"`
+	Size      *big.Rat `json:"size,omitempty"`
+	Remaining *big.Rat `json:"remaining"`
+	Completed *big.Rat `json:"completed,omitempty"`
+}
+
+// PieceState is one executed schedule piece.
+type PieceState struct {
+	Machine  int      `json:"machine"`
+	Job      int      `json:"job"`
+	Start    *big.Rat `json:"start"`
+	End      *big.Rat `json:"end"`
+	Fraction *big.Rat `json:"fraction"`
+}
+
+// EngineState is the full exported state of an Engine.
+type EngineState struct {
+	Now    *big.Rat     `json:"now"`
+	Jobs   []JobState   `json:"jobs,omitempty"`
+	Pieces []PieceState `json:"pieces,omitempty"`
+	// Alloc is the installed allocation (machine -> job ID, -1 idle), nil
+	// when no allocation has been decided yet.
+	Alloc      []int    `json:"alloc,omitempty"`
+	Review     *big.Rat `json:"review,omitempty"`
+	HaveAlloc  bool     `json:"haveAlloc,omitempty"`
+	Decisions  int      `json:"decisions,omitempty"`
+	Completed  int      `json:"completed,omitempty"`
+	Migrations int      `json:"migrations,omitempty"`
+}
+
+func ratCopy(r *big.Rat) *big.Rat {
+	if r == nil {
+		return nil
+	}
+	return new(big.Rat).Set(r)
+}
+
+// ExportState deep-copies the engine's state. Safe to marshal or hold after
+// the engine moves on; jobs are listed in ascending ID order so equal states
+// export equal documents.
+func (e *Engine) ExportState() *EngineState {
+	st := &EngineState{
+		Now:        ratCopy(e.now),
+		Decisions:  e.decisions,
+		Completed:  e.completed,
+		Migrations: e.migrations,
+		HaveAlloc:  e.haveAlloc,
+	}
+	ids := make([]int, 0, len(e.jobs))
+	for id := range e.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		j := e.jobs[id]
+		st.Jobs = append(st.Jobs, JobState{
+			ID:        id,
+			Release:   ratCopy(j.release),
+			Weight:    ratCopy(j.weight),
+			Size:      ratCopy(j.size),
+			Remaining: ratCopy(j.remaining),
+			Completed: ratCopy(j.completed),
+		})
+	}
+	for k := range e.sched.Pieces {
+		pc := &e.sched.Pieces[k]
+		st.Pieces = append(st.Pieces, PieceState{
+			Machine:  pc.Machine,
+			Job:      pc.Job,
+			Start:    ratCopy(pc.Start),
+			End:      ratCopy(pc.End),
+			Fraction: ratCopy(pc.Fraction),
+		})
+	}
+	if e.haveAlloc {
+		st.Alloc = append([]int(nil), e.alloc.MachineJob...)
+		st.Review = ratCopy(e.alloc.Review)
+	}
+	return st
+}
+
+// RestoreState rebuilds the exported state into this engine, which must be
+// fresh (no jobs, time zero). The live order, per-machine last-piece index,
+// and installed allocation are derived exactly as the original engine had
+// them; the policy's own cached state (if any) is restored separately.
+func (e *Engine) RestoreState(st *EngineState) error {
+	if len(e.jobs) != 0 || e.now.Sign() != 0 || len(e.sched.Pieces) != 0 {
+		return fmt.Errorf("sim: restore into a non-fresh engine")
+	}
+	if st == nil {
+		return fmt.Errorf("sim: restore: nil state")
+	}
+	if st.Now == nil || st.Now.Sign() < 0 {
+		return fmt.Errorf("sim: restore: bad now")
+	}
+	for k := range st.Jobs {
+		js := &st.Jobs[k]
+		if js.Release == nil || js.Weight == nil || js.Remaining == nil {
+			return fmt.Errorf("sim: restore: job %d missing fields", js.ID)
+		}
+		if _, dup := e.jobs[js.ID]; dup {
+			return fmt.Errorf("sim: restore: duplicate job %d", js.ID)
+		}
+		e.jobs[js.ID] = &engineJob{
+			release:   ratCopy(js.Release),
+			weight:    ratCopy(js.Weight),
+			size:      ratCopy(js.Size),
+			remaining: ratCopy(js.Remaining),
+			completed: ratCopy(js.Completed),
+		}
+		if js.Completed == nil {
+			e.order = append(e.order, js.ID)
+		}
+	}
+	sort.SliceStable(e.order, func(a, b int) bool {
+		ja, jb := e.jobs[e.order[a]], e.jobs[e.order[b]]
+		if c := ja.release.Cmp(jb.release); c != 0 {
+			return c < 0
+		}
+		return e.order[a] < e.order[b]
+	})
+	for k := range st.Pieces {
+		ps := &st.Pieces[k]
+		if ps.Machine < 0 || ps.Machine >= e.m {
+			return fmt.Errorf("sim: restore: piece %d on machine %d of %d", k, ps.Machine, e.m)
+		}
+		if ps.Start == nil || ps.End == nil || ps.Fraction == nil {
+			return fmt.Errorf("sim: restore: piece %d missing fields", k)
+		}
+		e.sched.Pieces = append(e.sched.Pieces, schedule.Piece{
+			Machine:  ps.Machine,
+			Job:      ps.Job,
+			Start:    ratCopy(ps.Start),
+			End:      ratCopy(ps.End),
+			Fraction: ratCopy(ps.Fraction),
+		})
+		// Pieces are appended in execution order, so the last occurrence per
+		// machine is exactly the index AdvanceTo would extend.
+		e.lastPiece[ps.Machine] = len(e.sched.Pieces) - 1
+	}
+	if st.HaveAlloc {
+		if len(st.Alloc) != e.m {
+			return fmt.Errorf("sim: restore: allocation over %d machines, want %d", len(st.Alloc), e.m)
+		}
+		e.alloc = Allocation{MachineJob: append([]int(nil), st.Alloc...), Review: ratCopy(st.Review)}
+		e.haveAlloc = true
+	}
+	e.now = ratCopy(st.Now)
+	e.decisions = st.Decisions
+	e.completed = st.Completed
+	e.migrations = st.Migrations
+	return nil
+}
+
+// PlanJobState is one entry of a plan fingerprint: a job's remaining
+// fraction at the time of the cached solve.
+type PlanJobState struct {
+	ID        int      `json:"id"`
+	Remaining *big.Rat `json:"remaining"`
+}
+
+// PlanPieceState is one piece of the cached plan, in absolute times.
+type PlanPieceState struct {
+	Machine int      `json:"machine"`
+	Job     int      `json:"job"`
+	Start   *big.Rat `json:"start"`
+	End     *big.Rat `json:"end"`
+}
+
+// MWFPlanState is OnlineMWF's exported plan cache: the last solve's plan,
+// the residual-workload fingerprint it was computed for, and the solve
+// counters. The warm-start basis is deliberately not exported — it is a
+// pure performance artifact, and the first post-restore solve simply runs
+// cold. With the plan restored, a restored engine's next decision is served
+// from the cache exactly as the original engine's would have been, so the
+// restored trace continues bit-for-bit.
+type MWFPlanState struct {
+	Plan      []PlanPieceState `json:"plan,omitempty"`
+	Known     []int            `json:"known,omitempty"`
+	SolveAt   *big.Rat         `json:"solveAt,omitempty"`
+	SolveRem  []PlanJobState   `json:"solveRem,omitempty"`
+	Solves    int              `json:"solves,omitempty"`
+	CacheHits int              `json:"cacheHits,omitempty"`
+}
+
+// ExportPlanState deep-copies the policy's cached plan and counters. It
+// returns a state even when no plan is cached (counters still carry over).
+func (p *OnlineMWF) ExportPlanState() *MWFPlanState {
+	st := &MWFPlanState{Solves: p.solves, CacheHits: p.cacheHits}
+	for i := range p.plan {
+		pp := &p.plan[i]
+		st.Plan = append(st.Plan, PlanPieceState{
+			Machine: pp.machine,
+			Job:     pp.jobID,
+			Start:   ratCopy(pp.start),
+			End:     ratCopy(pp.end),
+		})
+	}
+	for id := range p.known {
+		st.Known = append(st.Known, id)
+	}
+	sort.Ints(st.Known)
+	st.SolveAt = ratCopy(p.solveAt)
+	ids := make([]int, 0, len(p.solveRem))
+	for id := range p.solveRem {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st.SolveRem = append(st.SolveRem, PlanJobState{ID: id, Remaining: ratCopy(p.solveRem[id])})
+	}
+	return st
+}
+
+// RestorePlanState installs an exported plan cache into a fresh policy.
+func (p *OnlineMWF) RestorePlanState(st *MWFPlanState) {
+	if st == nil {
+		return
+	}
+	p.solves = st.Solves
+	p.cacheHits = st.CacheHits
+	p.plan = nil
+	for i := range st.Plan {
+		pp := &st.Plan[i]
+		p.plan = append(p.plan, planPiece{
+			machine: pp.Machine,
+			jobID:   pp.Job,
+			start:   ratCopy(pp.Start),
+			end:     ratCopy(pp.End),
+		})
+	}
+	if st.Known != nil {
+		p.known = make(map[int]bool, len(st.Known))
+		for _, id := range st.Known {
+			p.known[id] = true
+		}
+	}
+	p.solveAt = ratCopy(st.SolveAt)
+	if st.SolveRem != nil {
+		p.solveRem = make(map[int]*big.Rat, len(st.SolveRem))
+		for k := range st.SolveRem {
+			p.solveRem[st.SolveRem[k].ID] = ratCopy(st.SolveRem[k].Remaining)
+		}
+	}
+}
