@@ -1,0 +1,77 @@
+// Command divflowvet runs divflow's repo-specific static analyzers: the
+// wall-clock, big.Rat-aliasing, lock-order, emission-contract, and
+// float-exactness invariants the paper reproduction depends on but generic
+// vet/staticcheck cannot see.
+//
+// Standalone (the CI gate):
+//
+//	divflowvet ./...
+//
+// As a vet tool, so diagnostics land incrementally with the build cache:
+//
+//	go vet -vettool=$(which divflowvet) ./...
+//
+// Flags: -analyzers=a,b,c restricts the suite; -list prints it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"divflow/internal/analysis"
+)
+
+func main() {
+	// The go vet driver protocol: `tool -V=full` prints an identity line,
+	// `tool -flags` describes tool flags as JSON (none), and
+	// `tool <file>.cfg` analyzes one compiled package.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		printVersion()
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) == 2 && isVetCfg(os.Args[1]) {
+		os.Exit(unitchecker(os.Args[1]))
+	}
+
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divflowvet:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divflowvet:", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divflowvet:", err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAnalyzers(prog, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

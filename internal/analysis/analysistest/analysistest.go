@@ -1,0 +1,112 @@
+// Package analysistest runs the divflow analyzer suite over seeded testdata
+// trees and checks the diagnostics against `// want "regexp"` expectations in
+// the fixture sources — the x/tools analysistest contract, reimplemented on
+// the in-repo framework since the real package is as unreachable as the rest
+// of x/tools here.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"divflow/internal/analysis"
+)
+
+// want is one expectation: a regexp that must match a diagnostic (rendered as
+// "analyzer: message") reported on its line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// Run loads root/src/<path> for each import path (dependencies first, exactly
+// like LoadDirs), applies the analyzers, and fails the test for every
+// diagnostic without a matching `// want` and every `// want` without a
+// matching diagnostic.
+func Run(t *testing.T, root string, analyzers []*analysis.Analyzer, paths ...string) {
+	t.Helper()
+	prog, err := analysis.LoadDirs(root, paths...)
+	if err != nil {
+		t.Fatalf("load testdata: %v", err)
+	}
+	wants := collectWants(t, prog)
+	for _, d := range analysis.RunAnalyzers(prog, analyzers) {
+		text := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(text) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants scans every fixture source file of the loaded packages for
+// `// want "..."` comments. Each quoted (or backquoted) string after `want`
+// is one expectation on that line.
+func collectWants(t *testing.T, prog *analysis.Program) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range prog.Pkgs {
+		ents, err := os.ReadDir(pkg.Dir)
+		if err != nil {
+			t.Fatalf("scan %s: %v", pkg.Dir, err)
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			file := filepath.Join(pkg.Dir, name)
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat := strings.Trim(q, "`")
+					if q[0] == '"' {
+						if pat, err = strconv.Unquote(q); err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", file, i+1, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %s: %v", file, i+1, q, err)
+					}
+					wants = append(wants, &want{file: file, line: i + 1, re: re, raw: q})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FloatExactAnalyzer forbids converting exact quantities to floating point
+// inside the decision paths: internal/core and internal/sim compute the
+// paper's schedules in exact rational arithmetic, and a single .Float64()
+// there silently reintroduces the rounding the whole design exists to avoid.
+// The float layer belongs to internal/lp's proposal step (floats propose, the
+// exact layer verifies) and to presentation code.
+var FloatExactAnalyzer = &Analyzer{
+	Name: "floatexact",
+	Doc:  "forbid big.Rat.Float64/Float32 in internal/core and internal/sim decision paths",
+	Run:  runFloatExact,
+}
+
+func runFloatExact(pass *Pass) {
+	if !pathIn(pass.Pkg.Path, "internal/core", "internal/sim") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Float64" && sel.Sel.Name != "Float32" {
+				return true
+			}
+			fn := staticCallee(pass.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/big" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil || !isBigRatPtr(sig.Recv().Type()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s on an exact quantity in a decision path; floats belong to internal/lp proposals and presentation code", sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,299 @@
+// Package analysis is divflow's in-repo static-analysis framework: a small,
+// dependency-free reimplementation of the go/analysis idea (analyzers, passes,
+// diagnostics, cross-package facts) on top of the standard library's go/ast +
+// go/types. The repo vendors nothing and the build environment has no module
+// proxy, so golang.org/x/tools is off the table; everything here leans on two
+// local facilities instead: `go list -export -deps -json` for package metadata
+// plus compiled export data, and go/importer's gc importer to read that export
+// data for out-of-module dependencies. Packages inside the module are always
+// type-checked from source (analyzers need comments — suppressions and
+// //divflow:locks annotations live there), in dependency order, so a single
+// *types.Package identity is shared between a package and its importers and
+// facts attach to stable symbol keys.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// ListedPackage is the subset of `go list -json` output the loader consumes.
+type ListedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Package is one source-checked package under analysis.
+type Package struct {
+	Path    string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Analyze bool // matched the load patterns (vs. loaded only as a dependency)
+
+	comments map[string]map[int][]string // filename -> line -> comment texts
+}
+
+// Program is a loaded, type-checked set of packages plus the importer state
+// needed to resolve everything they reference.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs holds every source-checked package in dependency order (imports
+	// first). Analyzers run over the ones with Analyze set; fact collection
+	// runs over all of them.
+	Pkgs []*Package
+
+	srcPkgs     map[string]*types.Package
+	exportFiles map[string]string
+	gc          types.Importer
+}
+
+func newProgram() *Program {
+	prog := &Program{
+		Fset:        token.NewFileSet(),
+		srcPkgs:     make(map[string]*types.Package),
+		exportFiles: make(map[string]string),
+	}
+	prog.gc = importer.ForCompiler(prog.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f := prog.exportFiles[path]
+		if f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return prog
+}
+
+// Import implements types.Importer over the program: module packages resolve
+// to their source-checked *types.Package, everything else comes from gc
+// export data.
+func (prog *Program) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := prog.srcPkgs[path]; p != nil {
+		return p, nil
+	}
+	return prog.gc.Import(path)
+}
+
+// goList runs `go list -e -export -deps -json` in dir and decodes the stream.
+func goList(dir string, patterns []string) ([]*ListedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(ListedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matching patterns (plus their in-module
+// dependencies) rooted at dir. `go list` emits dependencies before
+// dependents, so a single in-order sweep checks each package after
+// everything it imports.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	prog := newProgram()
+	for _, lp := range listed {
+		if lp.Export != "" {
+			prog.exportFiles[lp.ImportPath] = lp.Export
+		}
+	}
+	for _, lp := range listed {
+		if lp.Standard || lp.Module == nil {
+			continue // dependency: importable from export data
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := prog.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Analyze = !lp.DepOnly
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}
+
+// LoadDirs type-checks hand-rooted packages for the analysistest harness:
+// import path p resolves to <root>/src/<p>. paths must be listed dependencies
+// first. Imports that resolve to neither a listed path nor an already-loaded
+// source package are fetched as export data via go list (stdlib and, in
+// principle, anything else locally buildable).
+func LoadDirs(root string, paths ...string) (*Program, error) {
+	prog := newProgram()
+	// Collect the out-of-tree imports of every testdata file up front so a
+	// single `go list` call fetches all the export data needed.
+	var external []string
+	seen := map[string]bool{"unsafe": true}
+	for _, p := range paths {
+		seen[p] = true
+	}
+	for _, p := range paths {
+		files, err := goFilesIn(filepath.Join(root, "src", filepath.FromSlash(p)))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			af, err := parser.ParseFile(token.NewFileSet(), f, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range af.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if !seen[path] {
+					seen[path] = true
+					external = append(external, path)
+				}
+			}
+		}
+	}
+	if len(external) > 0 {
+		listed, err := goList(root, external)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				prog.exportFiles[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	for _, p := range paths {
+		dir := filepath.Join(root, "src", filepath.FromSlash(p))
+		files, err := goFilesIn(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := prog.check(p, dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Analyze = true
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// check parses and type-checks one package from source and registers it for
+// import by later packages.
+func (prog *Program) check(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, f := range filenames {
+		af, err := parser.ParseFile(prog.Fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: prog}
+	tpkg, err := conf.Check(path, prog.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	pkg.buildCommentIndex(prog.Fset)
+	prog.srcPkgs[path] = tpkg
+	return pkg, nil
+}
+
+// buildCommentIndex records every comment by (file, line) so suppression and
+// annotation lookups are O(1) at report time.
+func (pkg *Package) buildCommentIndex(fset *token.FileSet) {
+	pkg.comments = make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		var byLine map[int][]string
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Slash)
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					pkg.comments[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], c.Text)
+			}
+		}
+	}
+}
+
+// commentsAt returns the comment texts on the given file line.
+func (pkg *Package) commentsAt(filename string, line int) []string {
+	return pkg.comments[filename][line]
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot walks up from this file to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func TestLoadModule(t *testing.T) {
+	prog, err := Load(repoRoot(t), "divflow/internal/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var server *Package
+	for _, pkg := range prog.Pkgs {
+		if pkg.Path == "divflow/internal/server" {
+			server = pkg
+		}
+	}
+	if server == nil {
+		t.Fatal("server package not loaded")
+	}
+	if !server.Analyze {
+		t.Error("server package should be marked Analyze")
+	}
+	// Dependencies load from source and share identity with the importer's
+	// view, so cross-package symbol facts can key off types.Object.
+	var obsLoaded bool
+	for _, pkg := range prog.Pkgs {
+		if pkg.Path == "divflow/internal/obs" {
+			obsLoaded = true
+			if pkg.Analyze {
+				t.Error("obs loaded as dependency should not be marked Analyze")
+			}
+			if got, _ := prog.Import("divflow/internal/obs"); got != pkg.Types {
+				t.Error("importer does not share source-checked package identity")
+			}
+		}
+	}
+	if !obsLoaded {
+		t.Error("in-module dependency obs not source-loaded")
+	}
+	// Stdlib resolves through export data with no network.
+	big, err := prog.Import("math/big")
+	if err != nil {
+		t.Fatalf("import math/big: %v", err)
+	}
+	if big.Scope().Lookup("Rat") == nil {
+		t.Error("math/big export data missing Rat")
+	}
+}

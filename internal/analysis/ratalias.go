@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RatAliasAnalyzer flags *big.Rat values that arrive through a field, map,
+// slice, or parameter and then escape — returned, or stored into another
+// structure — without an intervening copy. Rats are mutable; an aliased one
+// crossing an ownership boundary (caller to record, record to snapshot) is
+// exactly the bug class the PR 3 statsSnapshot fix and the PR 4 migration
+// machinery closed by hand. Any call result (new(big.Rat).Set(x), copyRat(x),
+// engine accessors that copy) counts as a fresh value; locals are tracked by
+// a single forward pass so `tmp := rec.size; other.f = tmp` is still caught.
+var RatAliasAnalyzer = &Analyzer{
+	Name: "ratalias",
+	Doc:  "forbid returning or storing an aliased *big.Rat (from field/map/parameter) without a copy in internal/sim, internal/server, internal/model",
+	Run:  runRatAlias,
+}
+
+func runRatAlias(pass *Pass) {
+	if !pathIn(pass.Pkg.Path, "internal/sim", "internal/server", "internal/model") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRatAliases(pass, fd)
+		}
+	}
+}
+
+// checkRatAliases runs the taint pass over one function.
+func checkRatAliases(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	// Parameters (and the receiver) are incoming aliases by definition.
+	params := make(map[*types.Var]bool)
+	sig, _ := info.Defs[fd.Name].Type().(*types.Signature)
+	if sig != nil {
+		if r := sig.Recv(); r != nil {
+			params[r] = true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			params[sig.Params().At(i)] = true
+		}
+	}
+	// taint maps a local *big.Rat variable to the description of the alias it
+	// currently carries ("" / absent = owned or unknown-but-fresh).
+	taint := make(map[*types.Var]string)
+
+	// source classifies an expression: where would this *big.Rat alias from?
+	var source func(e ast.Expr) string
+	source = func(e ast.Expr) string {
+		e = ast.Unparen(e)
+		if t, ok := info.Types[e]; !ok || !isBigRatPtr(t.Type) {
+			return ""
+		}
+		switch e := e.(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[e].(*types.Var)
+			if !ok {
+				return ""
+			}
+			if params[v] {
+				return "parameter " + v.Name()
+			}
+			return taint[v]
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				return "field " + sel.Obj().Name()
+			}
+		case *ast.IndexExpr:
+			switch info.Types[e.X].Type.Underlying().(type) {
+			case *types.Map:
+				return "map element"
+			case *types.Slice, *types.Array:
+				return "slice element"
+			}
+		}
+		return ""
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				// Track taint through locals.
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					v := localVar(info, id)
+					if v != nil && isBigRatPtr(v.Type()) {
+						if rhs != nil {
+							taint[v] = source(rhs)
+						} else {
+							delete(taint, v) // multi-value: call result, fresh
+						}
+					}
+					continue
+				}
+				// Storing into a field, map, or slice element.
+				if rhs == nil {
+					continue
+				}
+				if src := source(rhs); src != "" && storesIntoStructure(info, lhs) {
+					pass.Reportf(n.Pos(), "stores *big.Rat aliased from %s without a copy; wrap it in new(big.Rat).Set(...)", src)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if src := source(e); src != "" {
+					pass.Reportf(e.Pos(), "returns *big.Rat aliased from %s without a copy; wrap it in new(big.Rat).Set(...)", src)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if src := source(val); src != "" {
+					pass.Reportf(val.Pos(), "stores *big.Rat aliased from %s into a composite literal without a copy; wrap it in new(big.Rat).Set(...)", src)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// localVar resolves an identifier to a function-local variable (Defs for :=,
+// Uses for plain assignment); nil for blank, globals, and everything else.
+func localVar(info *types.Info, id *ast.Ident) *types.Var {
+	if id.Name == "_" {
+		return nil
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Parent() == nil || v.Parent().Parent() == types.Universe {
+		return nil
+	}
+	return v
+}
+
+// storesIntoStructure reports whether the assignment target is a field
+// selector or an index expression — a store that gives the alias a second
+// owner.
+func storesIntoStructure(info *types.Info, lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[lhs]
+		return ok && sel.Kind() == types.FieldVal
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	}
+	return false
+}

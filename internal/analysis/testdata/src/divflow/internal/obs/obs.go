@@ -1,0 +1,20 @@
+// Package obs mirrors the journal side of the real internal/obs: an
+// annotated mutex class whose acquire-set must reach importing packages as a
+// cross-package fact.
+package obs
+
+import "sync"
+
+// Journal is the innermost lock class of the fixture order.
+type Journal struct {
+	mu sync.Mutex //divflow:locks name=journal
+	n  int
+}
+
+// Append acquires the journal mu; importers learn that from the collected
+// facts, not from this source.
+func (j *Journal) Append() {
+	j.mu.Lock()
+	j.n++
+	j.mu.Unlock()
+}

@@ -1,0 +1,48 @@
+// Package sim seeds ratalias violations: *big.Rat values that arrive through
+// a field, parameter, or element and escape — returned, stored, or packed
+// into a composite literal — without a copy.
+package sim
+
+import "math/big"
+
+type Job struct {
+	Weight *big.Rat
+	Size   *big.Rat
+}
+
+type View struct {
+	W *big.Rat
+}
+
+func (j *Job) WeightView() *big.Rat {
+	return j.Weight // want `ratalias: returns \*big\.Rat aliased from field Weight`
+}
+
+func (j *Job) WeightCopy() *big.Rat {
+	return new(big.Rat).Set(j.Weight)
+}
+
+func Passthrough(r *big.Rat) *big.Rat {
+	return r // want `ratalias: returns \*big\.Rat aliased from parameter r`
+}
+
+func Capture(j *Job, v *View) {
+	v.W = j.Size // want `ratalias: stores \*big\.Rat aliased from field Size`
+}
+
+func CaptureLocal(j *Job, v *View) {
+	w := j.Size
+	v.W = w // want `ratalias: stores \*big\.Rat aliased from field Size`
+}
+
+func Pick(m map[int]*big.Rat) *big.Rat {
+	return m[0] // want `ratalias: returns \*big\.Rat aliased from map element`
+}
+
+func Lit(j *Job) View {
+	return View{W: j.Weight} // want `ratalias: stores \*big\.Rat aliased from field Weight into a composite literal`
+}
+
+func TransferOwnership(j *Job) *big.Rat {
+	return j.Weight //divflow:ratalias-ok fixture: ownership transfer, the job is discarded
+}

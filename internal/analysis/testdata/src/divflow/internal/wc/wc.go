@@ -1,0 +1,28 @@
+// Package wc seeds wallclock violations: direct wall-clock reads outside the
+// clock/obs/telemetry allowlist, one justified suppression, and one bare
+// suppression (which is itself a diagnostic).
+package wc
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() // want `wallclock: time\.Now reads the wall clock`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wallclock: time\.Since reads the wall clock`
+}
+
+func Nap() {
+	time.Sleep(time.Millisecond) // want `wallclock: time\.Sleep reads the wall clock`
+}
+
+func Blessed() time.Time {
+	//divflow:wallclock-ok fixture: annotates a log line, never steers a schedule
+	return time.Now()
+}
+
+func Bare() time.Time {
+	//divflow:wallclock-ok
+	return time.Now() // want `wallclock: suppression divflow:wallclock-ok requires a reason`
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+)
+
+// Support for running one compiled unit under the `go vet -vettool` driver.
+// The go command hands the tool a JSON config per package; sources are
+// type-checked against the export data the build already produced, and
+// cross-package lock facts travel through the driver's vetx fact files
+// instead of the in-process world a standalone run builds.
+
+// VetCfg mirrors the fields of the go command's vet config that the loader
+// needs.
+type VetCfg struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetCfg parses a vet driver config file.
+func ReadVetCfg(path string) (*VetCfg, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetCfg)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// LoadVetUnit type-checks the single package a vet config describes, pulling
+// every dependency (in-module ones included) from the export data the build
+// system compiled.
+func LoadVetUnit(cfg *VetCfg) (*Program, *Package, error) {
+	prog := newProgram()
+	for path, file := range cfg.PackageFile {
+		prog.exportFiles[path] = file
+	}
+	for asWritten, actual := range cfg.ImportMap {
+		if f := cfg.PackageFile[actual]; f != "" {
+			prog.exportFiles[asWritten] = f
+		}
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue // the analyzers' contract: test files are out of scope
+		}
+		files = append(files, f)
+	}
+	pkg, err := prog.check(cfg.ImportPath, cfg.Dir, files)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkg.Analyze = true
+	prog.Pkgs = append(prog.Pkgs, pkg)
+	return prog, pkg, nil
+}
+
+// RunVetUnit collects this package's lock facts into world (dependency facts
+// must already be merged from vetx files) and runs the analyzers over it.
+func RunVetUnit(prog *Program, pkg *Package, world *World, analyzers []*Analyzer) []Diagnostic {
+	CollectLocks(prog, pkg, world)
+	return runWithWorld(prog, world, analyzers)
+}

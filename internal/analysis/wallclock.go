@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// WallclockAnalyzer forbids time.Now, time.Since, and time.Sleep outside the
+// clock abstraction. The paper's P=1 trace-equivalence proofs and every
+// virtual-clock test depend on scheduling decisions never observing the wall
+// clock; the only sanctioned readers are the Clock implementations
+// (clock.go), the observability layer (internal/obs), and telemetry.go —
+// wall time there annotates events and histograms, it never steers a
+// schedule. Everything else needs `//divflow:wallclock-ok <reason>`.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/time.Since/time.Sleep outside clock.go, internal/obs, and telemetry.go",
+	Run:  runWallclock,
+}
+
+var wallclockForbidden = map[string]bool{"Now": true, "Since": true, "Sleep": true}
+
+func runWallclock(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, "internal/obs") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		base := filepath.Base(pass.Prog.Fset.Position(f.Pos()).Filename)
+		if base == "clock.go" || base == "telemetry.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pass.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallclockForbidden[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock outside the clock/obs/telemetry allowlist; inject a Clock or nowFunc instead", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,11 @@
+package core
+
+import "time"
+
+// nowFunc supplies the wall-clock readings behind Result.Wall, the solver's
+// self-timing. It is a seam, not a scheduling input: every exact quantity the
+// solver computes is independent of it, and virtual-clock tests (and the
+// wallclock analyzer's allowlist, which covers only clock.go/obs/telemetry)
+// rely on the solve path never touching the wall clock directly. Tests may
+// swap it for a fake to make Wall deterministic.
+var nowFunc = time.Now

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"divflow/internal/model"
+)
+
+// TestSolverTimingInjectable pins the satellite fix for the wall-clock leak
+// the wallclock analyzer flagged at maxflow.go:91: solver self-timing flows
+// through nowFunc, so a fake clock makes Result.Wall — the one
+// non-deterministic field of an otherwise exact result — fully deterministic.
+func TestSolverTimingInjectable(t *testing.T) {
+	defer func(orig func() time.Time) { nowFunc = orig }(nowFunc)
+	base := time.Unix(1000, 0)
+	ticks := 0
+	nowFunc = func() time.Time {
+		ticks++
+		return base.Add(time.Duration(ticks) * 7 * time.Millisecond)
+	}
+
+	inst, err := model.NewInstance(
+		[]model.Job{{Name: "j0", Weight: big.NewRat(1, 1), Size: big.NewRat(1, 1), Release: new(big.Rat)}},
+		[]model.Machine{{Name: "m0", InverseSpeed: big.NewRat(1, 1)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinMaxWeightedFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wall <= 0 {
+		t.Fatalf("Wall = %v, want positive fake-clock duration", res.Wall)
+	}
+	if res.Wall%(7*time.Millisecond) != 0 {
+		t.Fatalf("Wall = %v not a multiple of the fake tick; solver read the real clock", res.Wall)
+	}
+}

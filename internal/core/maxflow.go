@@ -88,7 +88,7 @@ func MinMaxWeightedFlowWithOptions(inst *model.Instance, origins []*big.Rat, mod
 }
 
 func minMaxWeightedFlow(inst *model.Instance, origins []*big.Rat, mode schedule.Model, opts *SolveOptions) (*Result, error) {
-	start := time.Now()
+	start := nowFunc()
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -156,7 +156,7 @@ func minMaxWeightedFlow(inst *model.Instance, origins []*big.Rat, mode schedule.
 		LPSolves:      solves,
 		Solver:        tally,
 		Basis:         sol.basis,
-		Wall:          time.Since(start),
+		Wall:          nowFunc().Sub(start),
 	}, nil
 }
 

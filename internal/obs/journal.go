@@ -56,6 +56,7 @@ type Event struct {
 // ring is full the oldest events are overwritten and readers paging through
 // GET /v1/events see the dropped count.
 type Journal struct {
+	//divflow:locks name=journal
 	mu      sync.Mutex
 	buf     []Event
 	next    int64 // seq of the next event appended

@@ -292,6 +292,21 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Restore replaces the histogram's contents with a snapshot's — the
+// durability layer reloading a shard's flow histogram from a DIVSNAP1
+// document before WAL replay re-observes the post-snapshot completions. The
+// snapshot must share the receiver's bucket layout.
+func (h *Histogram) Restore(s HistogramSnapshot) error {
+	if len(s.Counts) != len(h.counts) {
+		return fmt.Errorf("obs: restore: snapshot has %d count slots, histogram has %d", len(s.Counts), len(h.counts))
+	}
+	for i := range h.counts {
+		h.counts[i].Store(s.Counts[i])
+	}
+	h.sumBits.Store(math.Float64bits(s.Sum))
+	return nil
+}
+
 // Merge folds o's counts into s (same bucket layout required): the server
 // merges per-shard flow histograms into the fleet-wide quantile estimate.
 func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {

@@ -104,7 +104,7 @@ type walMachine struct {
 func encodeMachines(ms []model.Machine) []walMachine {
 	out := make([]walMachine, len(ms))
 	for i := range ms {
-		out[i] = walMachine{Name: ms[i].Name, InverseSpeed: ms[i].InverseSpeed, Databanks: ms[i].Databanks}
+		out[i] = walMachine{Name: ms[i].Name, InverseSpeed: copyRat(ms[i].InverseSpeed), Databanks: ms[i].Databanks}
 	}
 	return out
 }
@@ -115,7 +115,7 @@ func decodeMachines(ms []walMachine) ([]model.Machine, error) {
 		if ms[i].InverseSpeed == nil || ms[i].InverseSpeed.Sign() <= 0 {
 			return nil, fmt.Errorf("server: restore: machine %d (%s) needs InverseSpeed > 0", i, ms[i].Name)
 		}
-		out[i] = model.Machine{Name: ms[i].Name, InverseSpeed: ms[i].InverseSpeed, Databanks: ms[i].Databanks}
+		out[i] = model.Machine{Name: ms[i].Name, InverseSpeed: copyRat(ms[i].InverseSpeed), Databanks: ms[i].Databanks}
 	}
 	return out, nil
 }
@@ -161,6 +161,7 @@ type durability struct {
 	dir       string
 	snapEvery int
 
+	//divflow:locks name=dmu before=journal
 	mu        sync.Mutex
 	log       *wal.Log
 	appends   int
@@ -197,6 +198,8 @@ func (d *durability) latchedErr() error {
 }
 
 // latchLocked freezes durability at the first failure. Callers hold d.mu.
+//
+//divflow:locks requires=dmu
 func (d *durability) latchLocked(err error) {
 	if d.err != nil {
 		return
@@ -237,18 +240,22 @@ func (d *durability) append(typ string, v any) {
 }
 
 // appendSubmit logs one accepted submission write-ahead. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (d *durability) appendSubmit(sh *shard, rec *jobRecord) {
 	if d == nil {
 		return
 	}
 	d.append(walTypeSubmit, &recSubmit{
 		Shard: sh.idx, Local: rec.id, GID: rec.gid, Name: rec.name,
-		Weight: rec.weight, Size: rec.size, Release: rec.release,
+		Weight: copyRat(rec.weight), Size: copyRat(rec.size), Release: copyRat(rec.release),
 		Databanks: rec.databanks,
 	})
 }
 
 // appendAdmit logs one admission batch write-ahead. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (d *durability) appendAdmit(sh *shard, at *big.Rat, batch []*jobRecord) {
 	if d == nil {
 		return
@@ -257,34 +264,40 @@ func (d *durability) appendAdmit(sh *shard, at *big.Rat, batch []*jobRecord) {
 	for i, rec := range batch {
 		locals[i] = rec.id
 	}
-	d.append(walTypeAdmit, &recAdmit{Shard: sh.idx, At: at, Locals: locals})
+	d.append(walTypeAdmit, &recAdmit{Shard: sh.idx, At: copyRat(at), Locals: locals})
 }
 
 // appendComplete logs one completion marker. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (d *durability) appendComplete(sh *shard, rec *jobRecord) {
 	if d == nil {
 		return
 	}
-	d.append(walTypeComplete, &recComplete{Shard: sh.idx, Local: rec.id, GID: rec.gid, At: rec.completed})
+	d.append(walTypeComplete, &recComplete{Shard: sh.idx, Local: rec.id, GID: rec.gid, At: copyRat(rec.completed)})
 }
 
 // appendCompact logs one retention compaction. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (d *durability) appendCompact(sh *shard, now, horizon *big.Rat) {
 	if d == nil {
 		return
 	}
-	d.append(walTypeCompact, &recCompact{Shard: sh.idx, Now: now, Horizon: horizon})
+	d.append(walTypeCompact, &recCompact{Shard: sh.idx, Now: copyRat(now), Horizon: copyRat(horizon)})
 }
 
 // appendMigrate logs one cross-shard migration. Callers hold both shards'
 // mus.
+//
+//divflow:locks requires=shard
 func (d *durability) appendMigrate(from, to *shard, fromLocal, toLocal, gid int, remaining, at *big.Rat, reason string, decide bool) {
 	if d == nil {
 		return
 	}
 	d.append(walTypeMigrate, &recMigrate{
 		From: from.idx, FromLocal: fromLocal, To: to.idx, ToLocal: toLocal,
-		GID: gid, Remaining: remaining, At: at, Reason: reason, Decide: decide,
+		GID: gid, Remaining: copyRat(remaining), At: copyRat(at), Reason: reason, Decide: decide,
 	})
 }
 
@@ -323,26 +336,31 @@ type snapShard struct {
 	Engine     *sim.EngineState  `json:"engine,omitempty"`
 	Plan       *sim.MWFPlanState `json:"plan,omitempty"`
 
-	ArrivalBatches  int      `json:"arrivalBatches,omitempty"`
-	BatchedArrivals int      `json:"batchedArrivals,omitempty"`
-	LargestBatch    int      `json:"largestBatch,omitempty"`
-	StolenIn        int      `json:"stolenIn,omitempty"`
-	MigratedOut     int      `json:"migratedOut,omitempty"`
-	ReshardIn       int      `json:"reshardIn,omitempty"`
-	ReshardOut      int      `json:"reshardOut,omitempty"`
-	MigratedIDs     []int    `json:"migratedIds,omitempty"`
-	DoneCount       int      `json:"doneCount,omitempty"`
-	FlowSum         *big.Rat `json:"flowSum,omitempty"`
-	MaxWF           *big.Rat `json:"maxWF,omitempty"`
-	MaxStretch      *big.Rat `json:"maxStretch,omitempty"`
-	LastCompact     *big.Rat `json:"lastCompact,omitempty"`
-	CompactedJobs   int      `json:"compactedJobs,omitempty"`
-	MakespanHW      *big.Rat `json:"makespanHW,omitempty"`
-	Backlog         *big.Rat `json:"backlog"`
-	Panics          int      `json:"panics,omitempty"`
-	Restarts        int      `json:"restarts,omitempty"`
-	LastErr         string   `json:"lastErr,omitempty"`
-	Stalled         bool     `json:"stalled,omitempty"`
+	ArrivalBatches  int   `json:"arrivalBatches,omitempty"`
+	BatchedArrivals int   `json:"batchedArrivals,omitempty"`
+	LargestBatch    int   `json:"largestBatch,omitempty"`
+	StolenIn        int   `json:"stolenIn,omitempty"`
+	MigratedOut     int   `json:"migratedOut,omitempty"`
+	ReshardIn       int   `json:"reshardIn,omitempty"`
+	ReshardOut      int   `json:"reshardOut,omitempty"`
+	MigratedIDs     []int `json:"migratedIds,omitempty"`
+	DoneCount       int   `json:"doneCount,omitempty"`
+	// Flow is the shard's completed-flow histogram. The counts are the one
+	// piece of shard state that lives in telemetry rather than the engine,
+	// and without them a restored fleet would answer /v1/stats p95Flow from
+	// post-crash completions only.
+	Flow          *obs.HistogramSnapshot `json:"flow,omitempty"`
+	FlowSum       *big.Rat               `json:"flowSum,omitempty"`
+	MaxWF         *big.Rat               `json:"maxWF,omitempty"`
+	MaxStretch    *big.Rat               `json:"maxStretch,omitempty"`
+	LastCompact   *big.Rat               `json:"lastCompact,omitempty"`
+	CompactedJobs int                    `json:"compactedJobs,omitempty"`
+	MakespanHW    *big.Rat               `json:"makespanHW,omitempty"`
+	Backlog       *big.Rat               `json:"backlog"`
+	Panics        int                    `json:"panics,omitempty"`
+	Restarts      int                    `json:"restarts,omitempty"`
+	LastErr       string                 `json:"lastErr,omitempty"`
+	Stalled       bool                   `json:"stalled,omitempty"`
 
 	FrozenNow       *big.Rat          `json:"frozenNow,omitempty"`
 	FrozenCompleted int               `json:"frozenCompleted,omitempty"`
@@ -383,10 +401,10 @@ func encodeRecord(rec *jobRecord) *snapRecord {
 		return nil
 	}
 	return &snapRecord{
-		ID: rec.id, GID: rec.gid, Name: rec.name, Weight: rec.weight,
-		Size: rec.size, Databanks: rec.databanks, State: rec.state,
-		Release: rec.release, Completed: rec.completed, Remaining: rec.remaining,
-		Stolen: rec.stolen, Counted: rec.counted, MigratedAt: rec.migratedAt,
+		ID: rec.id, GID: rec.gid, Name: rec.name, Weight: copyRat(rec.weight),
+		Size: copyRat(rec.size), Databanks: rec.databanks, State: rec.state,
+		Release: copyRat(rec.release), Completed: copyRat(rec.completed), Remaining: copyRat(rec.remaining),
+		Stolen: rec.stolen, Counted: rec.counted, MigratedAt: copyRat(rec.migratedAt),
 	}
 }
 
@@ -395,14 +413,16 @@ func decodeRecord(sr *snapRecord) (*jobRecord, error) {
 		return nil, fmt.Errorf("server: restore: record %d missing fields", sr.GID)
 	}
 	return &jobRecord{
-		id: sr.ID, gid: sr.GID, name: sr.Name, weight: sr.Weight,
-		size: sr.Size, databanks: sr.Databanks, state: sr.State,
-		release: sr.Release, completed: sr.Completed, remaining: sr.Remaining,
-		stolen: sr.Stolen, counted: sr.Counted, migratedAt: sr.MigratedAt,
+		id: sr.ID, gid: sr.GID, name: sr.Name, weight: copyRat(sr.Weight),
+		size: copyRat(sr.Size), databanks: sr.Databanks, state: sr.State,
+		release: copyRat(sr.Release), completed: copyRat(sr.Completed), remaining: copyRat(sr.Remaining),
+		stolen: sr.Stolen, counted: sr.Counted, migratedAt: copyRat(sr.MigratedAt),
 	}, nil
 }
 
 // exportShardLocked builds one shard's snapshot entry. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func exportShardLocked(sh *shard) snapShard {
 	ss := snapShard{
 		Idx: sh.idx, Pos: sh.pos, Stride: sh.stride, GidBase: sh.gidBase,
@@ -414,12 +434,12 @@ func exportShardLocked(sh *shard) snapShard {
 		LargestBatch: sh.largestBatch, StolenIn: sh.stolenIn,
 		MigratedOut: sh.migratedOut, ReshardIn: sh.reshardIn, ReshardOut: sh.reshardOut,
 		MigratedIDs: append([]int(nil), sh.migratedIDs...),
-		DoneCount:   sh.doneCount, FlowSum: sh.flowSum, MaxWF: sh.maxWF,
-		MaxStretch: sh.maxStretch, LastCompact: sh.lastCompact,
-		CompactedJobs: sh.compactedJobs, MakespanHW: sh.makespanHW,
+		DoneCount:   sh.doneCount, FlowSum: copyRat(sh.flowSum), MaxWF: copyRat(sh.maxWF),
+		MaxStretch: copyRat(sh.maxStretch), LastCompact: copyRat(sh.lastCompact),
+		CompactedJobs: sh.compactedJobs, MakespanHW: copyRat(sh.makespanHW),
 		Panics: sh.panics, Restarts: sh.restarts, Stalled: sh.stalled,
 
-		FrozenNow: sh.frozenNow, FrozenCompleted: sh.frozenCompleted,
+		FrozenNow: copyRat(sh.frozenNow), FrozenCompleted: sh.frozenCompleted,
 		FrozenDecisions: sh.frozenDecisions, FrozenAccepted: sh.frozenAccepted,
 		FrozenSolves: sh.frozenSolves, FrozenCacheHits: sh.frozenCacheHits,
 		FrozenSolver: sh.frozenSolver,
@@ -429,6 +449,9 @@ func exportShardLocked(sh *shard) snapShard {
 	}
 	for _, rec := range sh.pending {
 		ss.PendingIDs = append(ss.PendingIDs, rec.id)
+	}
+	if flow := sh.obs.flow.Snapshot(); flow.Count > 0 {
+		ss.Flow = &flow
 	}
 	if !sh.freed {
 		ss.Engine = sh.eng.ExportState()
@@ -462,6 +485,8 @@ func (s *Server) Snapshot() error {
 // snapshotLocked exports and writes one snapshot. Callers hold reshardMu (so
 // no topology change is in flight); it takes every shard's mu in idx order,
 // freezing every append source, so the watermark is exact.
+//
+//divflow:locks requires=reshard ascending=shard
 func (s *Server) snapshotLocked() error {
 	d := s.dur
 	if d == nil {
@@ -572,6 +597,7 @@ type restoreState struct {
 // claims validity but cannot be interpreted — refusing to guess beats
 // silently dropping history).
 func openWAL(dir string, fsync bool) (*restoreState, error) {
+	//divflow:wallclock-ok recovery wall time only annotates the recovery-duration histogram; no Server clock exists yet while the WAL is being opened
 	st := &restoreState{started: time.Now(), now: new(big.Rat)}
 	snapSeq, payload, haveSnap := wal.LoadSnapshot(dir)
 	log, recs, err := wal.Open(dir, wal.Options{Fsync: fsync})
@@ -621,11 +647,11 @@ func recordTime(rec wal.Record) *big.Rat {
 	}
 	switch {
 	case probe.At != nil:
-		return probe.At
+		return copyRat(probe.At)
 	case probe.Now != nil:
-		return probe.Now
+		return copyRat(probe.Now)
 	default:
-		return probe.Release
+		return copyRat(probe.Release)
 	}
 }
 
@@ -673,14 +699,14 @@ func (s *Server) restoreShard(ss *snapShard) (*shard, error) {
 		sh.pending = append(sh.pending, sh.records[id])
 	}
 	if ss.Freed {
-		sh.frozenNow = ss.FrozenNow
+		sh.frozenNow = copyRat(ss.FrozenNow)
 		sh.frozenCompleted = ss.FrozenCompleted
 		sh.frozenDecisions = ss.FrozenDecisions
 		sh.frozenAccepted = ss.FrozenAccepted
 		sh.frozenSolves = ss.FrozenSolves
 		sh.frozenCacheHits = ss.FrozenCacheHits
 		sh.frozenSolver = ss.FrozenSolver
-		sh.makespanHW = ss.MakespanHW
+		sh.makespanHW = copyRat(ss.MakespanHW)
 		sh.freed = true
 		sh.records = nil
 		sh.pending = nil
@@ -708,27 +734,32 @@ func (s *Server) restoreShard(ss *snapShard) (*shard, error) {
 	sh.reshardOut = ss.ReshardOut
 	sh.migratedIDs = append([]int(nil), ss.MigratedIDs...)
 	sh.doneCount = ss.DoneCount
-	if ss.FlowSum != nil {
-		sh.flowSum = ss.FlowSum
+	if ss.Flow != nil {
+		if err := sh.obs.flow.Restore(*ss.Flow); err != nil {
+			return nil, fmt.Errorf("server: restore: shard %d: %w", ss.Idx, err)
+		}
 	}
-	sh.maxWF = ss.MaxWF
-	sh.maxStretch = ss.MaxStretch
+	if ss.FlowSum != nil {
+		sh.flowSum = copyRat(ss.FlowSum)
+	}
+	sh.maxWF = copyRat(ss.MaxWF)
+	sh.maxStretch = copyRat(ss.MaxStretch)
 	if ss.LastCompact != nil {
-		sh.lastCompact = ss.LastCompact
+		sh.lastCompact = copyRat(ss.LastCompact)
 	}
 	sh.compactedJobs = ss.CompactedJobs
 	if !ss.Freed {
-		sh.makespanHW = ss.MakespanHW
+		sh.makespanHW = copyRat(ss.MakespanHW)
 	}
 	sh.panics = ss.Panics
 	sh.restarts = ss.Restarts
 	if ss.Backlog != nil {
-		sh.backlog = ss.Backlog
+		sh.backlog = copyRat(ss.Backlog)
 	}
 	if ss.LastErr != "" {
 		sh.lastErr = errors.New(ss.LastErr)
 		sh.stalled = true
-		sh.publishRouteErr()
+		sh.publishRouteErr() //divflow:emitmu-ok restore builds a private shard that is not yet published; no other goroutine can reach its mu
 	} else {
 		sh.stalled = ss.Stalled
 	}
@@ -876,9 +907,9 @@ func (s *Server) replaySubmit(r *recSubmit) error {
 		return fmt.Errorf("submit %d missing fields", r.GID)
 	}
 	rec := &jobRecord{
-		id: r.Local, gid: r.GID, name: r.Name, weight: r.Weight,
-		size: r.Size, databanks: r.Databanks, state: StateQueued,
-		release: r.Release,
+		id: r.Local, gid: r.GID, name: r.Name, weight: copyRat(r.Weight),
+		size: copyRat(r.Size), databanks: r.Databanks, state: StateQueued,
+		release: copyRat(r.Release),
 	}
 	sh.records = append(sh.records, rec)
 	sh.pending = append(sh.pending, rec)
@@ -960,6 +991,7 @@ func (s *Server) replayCompact(r *recCompact) error {
 	return nil
 }
 
+//divflow:locks ascending=shard
 func (s *Server) replayMigrate(r *recMigrate) error {
 	from, err := s.shardByIdx(r.From)
 	if err != nil {
@@ -1120,8 +1152,9 @@ func (s *Server) repairRetired(now *big.Rat) {
 		}
 		var live []liveJob
 		for _, br := range donor.eng.RemoveAll() {
-			live = append(live, liveJob{rec: donor.records[br.ID], remaining: br.Job.Remaining})
+			live = append(live, liveJob{rec: donor.records[br.ID], remaining: copyRat(br.Job.Remaining)})
 		}
+		//divflow:locks requires=shard ascending=shard
 		migrate := func(rec *jobRecord, remaining *big.Rat) {
 			donor.orphanRecord(rec)
 			donor.reshardOut++
@@ -1221,7 +1254,7 @@ func (s *Server) restartShard(sh *shard) bool {
 	sh.obs.event(obs.EventShardRestart, -1, eng.Now(), fmt.Sprintf("restart %d of %d", sh.restarts, maxShardRestarts))
 	sh.decide()
 	if !start.IsZero() {
-		s.tel.recoverySecs.Observe(time.Since(start).Seconds())
+		s.tel.recoverySecs.Observe(s.tel.sinceSeconds(start))
 	}
 	return sh.lastErr == nil
 }

@@ -876,3 +876,54 @@ func TestWALUnderConcurrentTraffic(t *testing.T) {
 	}
 	validateServer(t, srv2)
 }
+
+// TestWALRestorePreservesFlowHistogram pins the snapshot's telemetry
+// carriage: per-shard completed-flow histograms ride in the DIVSNAP1
+// document and are restored before WAL replay re-observes post-snapshot
+// completions, so /v1/stats answers the same p95Flow before a crash and
+// after the restore. Without the Flow field a restored fleet would estimate
+// quantiles from post-crash completions only.
+func TestWALRestorePreservesFlowHistogram(t *testing.T) {
+	cfg := Config{Machines: testFleet(), WALDir: t.TempDir()}
+	vc := NewVirtualClock()
+	first := cfg
+	first.Clock = vc
+	srv, err := New(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []struct{ size, bank string }{
+		{"4", "swissprot"}, {"6", "pdb"}, {"2", "swissprot"},
+	} {
+		if _, err := srv.Submit(&model.SubmitRequest{Size: spec.size, Databanks: []string{spec.bank}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Start()
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 3 })
+	// Force a snapshot now: the first three flows must survive through the
+	// document, not through replay.
+	if err := srv.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []struct{ size, bank string }{{"3", "pdb"}, {"5", "swissprot"}} {
+		if _, err := srv.Submit(&model.SubmitRequest{Size: spec.size, Databanks: []string{spec.bank}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 5 })
+	want := srv.Stats().P95Flow
+	if want <= 0 {
+		t.Fatalf("pre-crash p95Flow = %v, want positive", want)
+	}
+
+	// Crash: srv is abandoned, not closed — restore = snapshot + WAL suffix.
+	srv2, _ := reopenServer(t, cfg)
+	defer srv2.Close()
+	if srv2.ReplayedRecords() == 0 {
+		t.Fatal("crash restore replayed no WAL records; the post-snapshot completions should be in the suffix")
+	}
+	if got := srv2.Stats().P95Flow; got != want {
+		t.Errorf("restored p95Flow = %v, pre-crash %v; flow histogram not carried through the snapshot", got, want)
+	}
+}

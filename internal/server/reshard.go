@@ -7,7 +7,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
 	"divflow/internal/model"
 	"divflow/internal/obs"
@@ -124,6 +123,8 @@ func (s *Server) renumberRetired(newFleet []model.Machine, active []*shard) {
 // exact: every migrated job's forwarding entry is written while the donor's
 // mutex is held, so a read that decoded the job's birth shard arithmetically
 // retries through the forwarding table exactly like a read racing a steal.
+//
+//divflow:locks ascending=shard
 func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 	var resp model.ReshardResponse
 	if s.noReshard {
@@ -396,6 +397,7 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 	for _, sh := range gen2 {
 		resid[sh] = sh.residualWork()
 	}
+	//divflow:locks requires=shard
 	migrate := func(donor *shard, rec *jobRecord, remaining *big.Rat) {
 		donor.orphanRecord(rec)
 		donor.reshardOut++
@@ -482,7 +484,7 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 		"%d shards (%d kept, %d spawned, %d retired), %d jobs migrated",
 		len(gen2), len(resp.KeptShards), len(spawned), len(retiring), resp.MigratedJobs))
 	if !start.IsZero() {
-		s.tel.reshardSeconds.Observe(time.Since(start).Seconds())
+		s.tel.reshardSeconds.Observe(s.tel.sinceSeconds(start))
 	}
 
 	s.renumberRetired(newFleet, gen2)
@@ -509,6 +511,7 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 	// were in it, and the stale value read at entry would then leave their
 	// loops forever unlaunched. After the publish the race is benign in both
 	// directions — shard.start is idempotent.
+	//divflow:lockorder-ok unlock() above already dropped every shard mu; the checker cannot see through the stored func value
 	s.mu.Lock()
 	started := s.started
 	s.mu.Unlock()

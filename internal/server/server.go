@@ -25,7 +25,6 @@ import (
 	"io"
 	"math/big"
 	"sync"
-	"time"
 
 	"divflow/internal/model"
 	"divflow/internal/obs"
@@ -176,6 +175,7 @@ type Server struct {
 	// Reshard (serialized by reshardMu) writes, while holding every active
 	// shard's mu — so no lock path ever acquires a shard mu while holding
 	// topoMu.
+	//divflow:locks name=topo before=fwd
 	topoMu   sync.RWMutex
 	gens     []*generation
 	all      []*shard // every shard ever created, in creation (idx) order
@@ -183,6 +183,7 @@ type Server struct {
 
 	// reshardMu serializes topology changes (Reshard, and Close — which
 	// must not race a reshard spawning shards it would miss).
+	//divflow:locks name=reshard before=collect
 	reshardMu sync.Mutex
 
 	// forward maps the global ID of every migrated job to its current
@@ -191,9 +192,11 @@ type Server struct {
 	// (see stealFrom) or under every active shard's mu (Reshard), so a read
 	// that misses the table and lands on the donor mid-migration finds the
 	// table updated by the time the donor's mu is free.
+	//divflow:locks name=fwd before=backlog
 	fwdMu   sync.RWMutex
 	forward map[int]fwdLoc
 
+	//divflow:locks name=servermu before=shard
 	mu      sync.Mutex
 	started bool
 	closed  bool
@@ -310,7 +313,7 @@ func New(cfg Config) (*Server, error) {
 		s.tel.event(obs.EventRestore, len(s.gens)-1, -1, fmt.Sprintf(
 			"%d records replayed at virtual time %s", len(st.suffix), st.now.RatString()))
 		if s.tel.enabled {
-			s.tel.recoverySecs.Observe(time.Since(st.started).Seconds())
+			s.tel.recoverySecs.Observe(s.tel.sinceSeconds(st.started))
 		}
 	}
 	if s.dur != nil {

@@ -71,6 +71,7 @@ type shard struct {
 	policy   sim.Policy
 	mwf      *sim.OnlineMWF // non-nil when policy is an OnlineMWF variant
 
+	//divflow:locks name=shard before=topo
 	mu      sync.Mutex
 	eng     *sim.Engine
 	records []*jobRecord
@@ -113,6 +114,7 @@ type shard struct {
 	// with the least backlog. It lives under its own mutex so routing reads
 	// never contend with the loop's mu, which is held across whole exact
 	// solves; writers hold mu first, then backlogMu (never the reverse).
+	//divflow:locks name=backlog before=dmu
 	backlogMu sync.Mutex
 	backlog   *big.Rat
 	// routeErr mirrors lastErr's text under backlogMu so the router can skip
@@ -235,6 +237,8 @@ func newShard(idx, pos, stride, gidBase int, clock Clock, machines []model.Machi
 // under the shard's current-generation encoding. With a single never-
 // resharded shard the encoding is the identity. Callers hold sh.mu (a
 // reshard that keeps the shard re-encodes these fields under it).
+//
+//divflow:locks requires=shard
 func (sh *shard) globalID(local int) int { return sh.gidBase + local*sh.stride + sh.pos }
 
 // hosts reports whether some machine of the shard hosts every databank.
@@ -340,8 +344,8 @@ func (sh *shard) submit(job model.Job) (int, error) {
 		id:        len(sh.records),
 		gid:       sh.globalID(len(sh.records)),
 		name:      job.Name,
-		weight:    job.Weight,
-		size:      job.Size,
+		weight:    copyRat(job.Weight),
+		size:      copyRat(job.Size),
 		databanks: job.Databanks,
 		state:     StateQueued,
 		// The flow origin is the submission time: queueing delay before
@@ -375,6 +379,8 @@ func (sh *shard) submit(job model.Job) (int, error) {
 // migration time stamped — every donor piece of the job ends by it, so
 // retention can compact the record once the horizon passes — and the record
 // queued for that compaction. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) orphanRecord(rec *jobRecord) {
 	for i := range sh.eligible {
 		delete(sh.eligible[i], rec.id)
@@ -389,17 +395,19 @@ func (sh *shard) orphanRecord(rec *jobRecord) {
 // fraction, queued for admission at the shard's next wake-up. counted
 // migrates with the job, so arrival statistics see each submission exactly
 // once no matter how often it moves. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) adoptRecord(rec *jobRecord, remaining *big.Rat) *jobRecord {
 	nrec := &jobRecord{
 		id:        len(sh.records),
 		gid:       rec.gid, // the global ID survives the move
 		name:      rec.name,
-		weight:    rec.weight,
-		size:      rec.size,
+		weight:    copyRat(rec.weight),
+		size:      copyRat(rec.size),
 		databanks: rec.databanks,
 		state:     StateQueued,
-		release:   rec.release, // flow origin: still the first submission
-		remaining: remaining,
+		release:   copyRat(rec.release), // flow origin: still the first submission
+		remaining: copyRat(remaining),
 		stolen:    true,
 		counted:   rec.counted,
 	}
@@ -444,6 +452,8 @@ func (sh *shard) poke() {
 // historyEmpty reports whether every record has been compacted away and
 // nothing is pending — a retired shard with no history left has nothing to
 // serve and its loop can stop for good. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) historyEmpty() bool {
 	if len(sh.pending) != 0 {
 		return false
@@ -577,6 +587,8 @@ func (sh *shard) recoverPanic(r any) {
 // frozen first so /v1/stats keeps the history. The struct itself stays in the
 // topology as the tombstone that decodes this shard's global IDs (to
 // not-found). Callers hold mu; the shard must be retired with empty history.
+//
+//divflow:locks requires=shard
 func (sh *shard) free() {
 	if sh.freed {
 		return
@@ -610,6 +622,8 @@ func (sh *shard) free() {
 // no executed work to conserve and admitting them would force a full-size
 // solve the steal is about to shrink. It reports whether the shard is still
 // healthy. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) catchUp() (*big.Rat, bool) {
 	return sh.catchUpTo(sh.clock.Now())
 }
@@ -618,6 +632,8 @@ func (sh *shard) catchUp() (*big.Rat, bool) {
 // drives shards to recorded virtual times instead of the clock, so a restored
 // engine retraces exactly the events the original crossed. Callers hold
 // sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) catchUpTo(now *big.Rat) (*big.Rat, bool) {
 	if now.Cmp(sh.eng.Now()) < 0 {
 		// A timer fired marginally early (wall-clock rounding): treat the
@@ -630,19 +646,21 @@ func (sh *shard) catchUpTo(now *big.Rat) (*big.Rat, bool) {
 			break
 		}
 		if !sh.step(next) {
-			return now, false
+			return now, false //divflow:ratalias-ok hands the caller back its own argument (or a fresh engine copy when raised); no second owner is created
 		}
 	}
 	// Partial progress up to the present, crossing no event.
 	if _, err := sh.eng.AdvanceTo(now); err != nil {
 		sh.fail(err)
-		return now, false
+		return now, false //divflow:ratalias-ok hands the caller back its own argument (or a fresh engine copy when raised); no second owner is created
 	}
-	return now, true
+	return now, true //divflow:ratalias-ok hands the caller back its own argument (or a fresh engine copy when raised); no second owner is created
 }
 
 // process catches the engine up with the clock and then admits all pending
 // submissions as one batch. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) process() {
 	now, ok := sh.catchUp()
 	if !ok {
@@ -654,6 +672,8 @@ func (sh *shard) process() {
 
 // admitAll admits every pending submission as one batch at time now, logging
 // the batch write-ahead. Callers hold sh.mu; the engine is caught up to now.
+//
+//divflow:locks requires=shard
 func (sh *shard) admitAll(now *big.Rat) {
 	if len(sh.pending) == 0 {
 		return
@@ -699,7 +719,7 @@ func (sh *shard) admitAll(now *big.Rat) {
 		// happened.
 		rec.state = StateScheduled
 		if !rec.submittedWall.IsZero() {
-			sh.obs.submitAdmit.Observe(time.Since(rec.submittedWall).Seconds())
+			sh.obs.submitAdmit.Observe(sh.obs.sinceSeconds(rec.submittedWall))
 			rec.submittedWall = time.Time{}
 		}
 		sh.obs.event(obs.EventAdmit, rec.gid, now, "")
@@ -714,6 +734,8 @@ func (sh *shard) admitAll(now *big.Rat) {
 
 // step advances the engine to the event at t, completes jobs, and re-runs
 // the policy. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) step(t *big.Rat) bool {
 	done, err := sh.eng.AdvanceTo(t)
 	if err != nil {
@@ -731,6 +753,8 @@ func (sh *shard) step(t *big.Rat) bool {
 
 // recordCompletion folds one finished job into the all-time aggregates, so
 // later compaction of its record loses no statistics. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) recordCompletion(rec *jobRecord) {
 	sh.doneCount++
 	sh.backlogMu.Lock()
@@ -761,6 +785,8 @@ func (sh *shard) recordCompletion(rec *jobRecord) {
 // and compacted *stolen* records release their forwarding-table entry, so a
 // retention-bounded service stays bounded under steady stealing. Callers
 // hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) compact(now *big.Rat) {
 	if sh.retention == nil {
 		return
@@ -809,6 +835,8 @@ func (sh *shard) compact(now *big.Rat) {
 
 // noteMakespan raises the makespan high-water mark to the current executed
 // trace's makespan. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) noteMakespan() {
 	ms := sh.eng.Schedule().Makespan()
 	if sh.makespanHW == nil || ms.Cmp(sh.makespanHW) > 0 {
@@ -819,6 +847,8 @@ func (sh *shard) noteMakespan() {
 // makespan returns the whole-execution makespan: the maximum of the retained
 // trace's makespan and the high-water mark from before compactions. Callers
 // hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) makespan() *big.Rat {
 	if sh.eng == nil {
 		if sh.makespanHW != nil {
@@ -835,6 +865,8 @@ func (sh *shard) makespan() *big.Rat {
 
 // decide runs the policy and flags a stall (live work but no upcoming
 // event: the policy idled, or its inner solver failed). Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) decide() bool {
 	// The fault-injection harness plants a panic here — inside the locked
 	// loop body, exactly where a policy bug would blow up — to exercise the
@@ -859,7 +891,10 @@ func (sh *shard) decide() bool {
 	return true
 }
 
-// fail records a loop error; the shard keeps serving reads.
+// fail records a loop error; the shard keeps serving reads. Callers hold
+// sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) fail(err error) {
 	if sh.lastErr == nil {
 		sh.lastErr = err
@@ -871,6 +906,8 @@ func (sh *shard) fail(err error) {
 
 // publishRouteErr mirrors lastErr where the router can see it without
 // taking mu. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
 func (sh *shard) publishRouteErr() {
 	sh.backlogMu.Lock()
 	sh.routeErr = sh.lastErr.Error()

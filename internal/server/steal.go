@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
-	"time"
 
 	"divflow/internal/obs"
 )
@@ -61,6 +60,8 @@ func (s *Server) stealFor(thief *shard) bool {
 // order, so concurrent steals in opposite directions cannot deadlock):
 // extraction, insertion, the forwarding-table update, and the backlog
 // transfer are one atomic step as far as every reader is concerned.
+//
+//divflow:locks ascending=shard
 func (s *Server) stealFrom(thief, donor *shard) bool {
 	// Timed end to end — donor catch-up included, since that catch-up (and
 	// any exact re-solve it triggers) is the real cost of a steal.
@@ -101,7 +102,7 @@ func (s *Server) stealFrom(thief, donor *shard) bool {
 		return false
 	}
 	if !start.IsZero() {
-		thief.obs.steal.Observe(time.Since(start).Seconds())
+		thief.obs.steal.Observe(thief.obs.sinceSeconds(start))
 	}
 	// The donor's next event changed (stolen completions vanished): wake its
 	// loop so it re-arms its timer instead of sleeping toward a stale one.
@@ -117,6 +118,8 @@ type stealOutcome struct {
 
 // stealLocked is the critical section of a migration. Callers hold both
 // shards' mus.
+//
+//divflow:locks requires=shard ascending=backlog
 func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 	// The thief must still be an idle, healthy, open, *active* shard: a
 	// submission may have raced in while the locks were acquired, and
@@ -215,7 +218,7 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 		s.forward[rec.gid] = fwdLoc{sh: thief, local: nrec.id}
 		s.fwdMu.Unlock()
 		out.moved++
-		movedJobs = append(movedJobs, movedJob{fromLocal: fromLocal, toLocal: nrec.id, gid: rec.gid, remaining: remaining})
+		movedJobs = append(movedJobs, movedJob{fromLocal: fromLocal, toLocal: nrec.id, gid: rec.gid, remaining: copyRat(remaining)})
 		thief.obs.event(obs.EventMigrate, rec.gid, nil, fmt.Sprintf("stolen from shard %d", donor.idx))
 		movedSize.Add(movedSize, rec.size)
 	}

@@ -57,6 +57,7 @@ type telemetry struct {
 	// collectMu serializes scrape-time collection: two interleaved scrapes
 	// could otherwise write an older snapshot's value after a newer one's,
 	// making a monotone counter appear to regress between two reads.
+	//divflow:locks name=collect before=servermu
 	collectMu sync.Mutex
 
 	// Inline instruments.
@@ -207,6 +208,14 @@ func (t *telemetry) now() time.Time {
 	return time.Now()
 }
 
+// sinceSeconds measures elapsed wall time for a latency histogram. Keeping
+// the time.Since call here (telemetry.go is the wallclock allowlist) makes
+// every instrumentation-side elapsed-time read flow through the same choke
+// point the kill switch and the analyzer both understand.
+func (t *telemetry) sinceSeconds(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
 // event journals one server-level event (Shard = -1).
 func (t *telemetry) event(typ string, gen, gid int, detail string) {
 	if !t.enabled {
@@ -262,8 +271,15 @@ func (o *shardObs) now() time.Time {
 	return time.Now()
 }
 
+// sinceSeconds is telemetry.sinceSeconds for shard-side sites.
+func (o *shardObs) sinceSeconds(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
 // event journals one event of this shard. Callers hold the shard's mu (the
 // generation field is read under it); vtime may be nil.
+//
+//divflow:locks requires=shard
 func (o *shardObs) event(typ string, gid int, vtime *big.Rat, detail string) {
 	if !o.on() {
 		return
@@ -277,6 +293,8 @@ func (o *shardObs) event(typ string, gid int, vtime *big.Rat, detail string) {
 
 // ObserveSolve implements sim.MWFObserver: one settled exact solve, timed by
 // the core solver. Called under the shard's mu.
+//
+//divflow:locks requires=shard
 func (o *shardObs) ObserveSolve(wall time.Duration, solver stats.SolverTally) {
 	if !o.on() {
 		return
@@ -288,6 +306,8 @@ func (o *shardObs) ObserveSolve(wall time.Duration, solver stats.SolverTally) {
 
 // ObserveCacheHit implements sim.MWFObserver: one decision point served from
 // the cached plan. Called under the shard's mu.
+//
+//divflow:locks requires=shard
 func (o *shardObs) ObserveCacheHit() {
 	if !o.on() {
 		return

@@ -277,13 +277,15 @@ func (e *Engine) Remove(id int) (*RemovedJob, error) {
 		inv.InvalidatePlan()
 	}
 	e.migrations++
+	// Ownership transfer, not aliasing: the job is deleted from the engine
+	// below, so the extracted record becomes the rats' only owner.
 	out := &RemovedJob{
-		Release:   j.release,
-		Weight:    j.weight,
-		Remaining: j.remaining,
+		Release:   j.release,   //divflow:ratalias-ok ownership transfer; the engine deletes the job
+		Weight:    j.weight,    //divflow:ratalias-ok ownership transfer; the engine deletes the job
+		Remaining: j.remaining, //divflow:ratalias-ok ownership transfer; the engine deletes the job
 	}
 	if j.size != nil {
-		out.Size = j.size
+		out.Size = j.size //divflow:ratalias-ok ownership transfer; the engine deletes the job
 	}
 	return out, nil
 }
@@ -311,12 +313,12 @@ func (e *Engine) RemoveAll() []BulkRemoved {
 	for _, id := range e.order {
 		j := e.jobs[id]
 		br := BulkRemoved{ID: id, Job: RemovedJob{
-			Release:   j.release,
-			Weight:    j.weight,
-			Remaining: j.remaining,
+			Release:   j.release,   //divflow:ratalias-ok ownership transfer; the engine deletes the job
+			Weight:    j.weight,    //divflow:ratalias-ok ownership transfer; the engine deletes the job
+			Remaining: j.remaining, //divflow:ratalias-ok ownership transfer; the engine deletes the job
 		}}
 		if j.size != nil {
-			br.Job.Size = j.size
+			br.Job.Size = j.size //divflow:ratalias-ok ownership transfer; the engine deletes the job
 		}
 		out = append(out, br)
 		delete(e.jobs, id)
@@ -351,9 +353,9 @@ func (e *Engine) Snapshot() *Snapshot {
 		j := e.jobs[id]
 		snap.Jobs = append(snap.Jobs, JobView{
 			ID:        id,
-			Release:   j.release,
-			Weight:    j.weight,
-			Size:      j.size,
+			Release:   j.release, //divflow:ratalias-ok policy views are read-only by contract
+			Weight:    j.weight,  //divflow:ratalias-ok policy views are read-only by contract
+			Size:      j.size,    //divflow:ratalias-ok policy views are read-only by contract
 			Remaining: new(big.Rat).Set(j.remaining),
 		})
 	}

@@ -184,8 +184,8 @@ func (p *OnlineMWF) Assign(s *Snapshot) Allocation {
 		p.plan = append(p.plan, planPiece{
 			machine: piece.Machine,
 			jobID:   ids[piece.Job],
-			start:   piece.Start,
-			end:     piece.End,
+			start:   piece.Start, //divflow:ratalias-ok the solve result is freshly built; the plan takes ownership of its pieces
+			end:     piece.End,   //divflow:ratalias-ok the solve result is freshly built; the plan takes ownership of its pieces
 		})
 	}
 	return p.followPlan(s)
