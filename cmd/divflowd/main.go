@@ -23,6 +23,12 @@
 // -events-log mirrors every journaled event to an NDJSON file, and
 // -debug-addr serves net/http/pprof on a second, operator-only listener.
 //
+// The fleet can span processes: `divflowd -worker -listen :9090` runs a bare
+// shard host (no HTTP API), and a router started with
+// `-workers 1=host:9090` provisions that partition's shard inside the worker
+// and drives it over net/rpc — submissions, reads, stats, and two-phase work
+// stealing all cross the socket with exact rationals intact.
+//
 // The platform is live: a replication event that changes databank placement
 // is applied at runtime either by POSTing the updated platform JSON to
 // /v1/platform or by rewriting the -platform file and sending SIGHUP — the
@@ -38,10 +44,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // -debug-addr serves DefaultServeMux
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -51,6 +59,34 @@ import (
 	"divflow/internal/model"
 	"divflow/internal/server"
 )
+
+// parseWorkers parses the -workers flag: comma-separated pos=host:port
+// pairs, one per worker-hosted shard position.
+func parseWorkers(spec string) (map[int]string, error) {
+	out := make(map[int]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		pos, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -workers entry %q: want pos=host:port", part)
+		}
+		p, err := strconv.Atoi(pos)
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("bad -workers position %q: want a shard position >= 0", pos)
+		}
+		if _, dup := out[p]; dup {
+			return nil, fmt.Errorf("duplicate -workers position %d", p)
+		}
+		out[p] = addr
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -workers spec %q", spec)
+	}
+	return out, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -82,8 +118,41 @@ func main() {
 			"write a fleet snapshot (and truncate the log behind it) every N WAL appends; 0 selects the default (1024)")
 		restartStalled = flag.Bool("restart-stalled", false,
 			"rebuild a shard whose loop latched an error or panicked, in place from its intact engine state (bounded retries per shard)")
+		worker = flag.Bool("worker", false,
+			"run as a shard worker instead of a router: listen on -listen for a router to provision shards over net/rpc; no HTTP API, no -platform")
+		listen = flag.String("listen", ":9090",
+			"RPC listen address in -worker mode")
+		workers = flag.String("workers", "",
+			"comma-separated pos=host:port pairs mapping startup-partition shard positions to divflowd -worker processes; those shards run remotely, driven over net/rpc with two-phase work stealing (incompatible with -wal-dir; live re-sharding is rejected while workers are attached)")
 	)
 	flag.Parse()
+	if *worker {
+		// Worker mode is a bare RPC shard host: the router provisions shards
+		// (fleet slice, policy, clock epoch) over Worker.Install, so every
+		// router-side flag is meaningless here.
+		if *workers != "" {
+			log.Fatal("-worker and -workers are mutually exclusive (one process is either a shard host or a router)")
+		}
+		if *walDir != "" {
+			log.Fatal("-worker does not support -wal-dir (worker shard state is in-memory for the process's life)")
+		}
+		lis, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+			<-sig
+			log.Print("worker shutting down")
+			lis.Close()
+		}()
+		log.Printf("worker awaiting shard installs on %s", lis.Addr())
+		if err := server.ServeWorker(lis); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *platform == "" {
 		flag.Usage()
 		log.Fatal("missing -platform")
@@ -104,6 +173,13 @@ func main() {
 		DisableSteal: !*steal, DisableReshard: !*reshard, DisableObs: !*metrics,
 		WALDir: *walDir, Fsync: *fsync, SnapshotEvery: *snapshotEvery,
 		RestartStalled: *restartStalled}
+	if *workers != "" {
+		w, err := parseWorkers(*workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Workers = w
+	}
 	if *walDir == "" && (*fsync || *snapshotEvery > 0) {
 		log.Fatal("-fsync and -snapshot-every need -wal-dir")
 	}
@@ -147,13 +223,31 @@ func main() {
 		// address, so exposing the API never exposes the profiler.
 		go func() {
 			log.Printf("pprof on %s/debug/pprof/", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+			// Same slowloris bounds as the API listener: operator-only does
+			// not mean unreachable, and a handful of stuck header reads would
+			// pin goroutines for the life of the process.
+			dbg := &http.Server{
+				Addr:              *debugAddr,
+				ReadHeaderTimeout: 10 * time.Second,
+				IdleTimeout:       2 * time.Minute,
+			}
+			if err := dbg.ListenAndServe(); err != nil {
 				log.Printf("debug listener: %v", err)
 			}
 		}()
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// A client that dribbles its header bytes (or parks an idle
+		// keep-alive connection forever) must not hold a goroutine and an fd
+		// open indefinitely. Body reads stay untimed: submissions are capped
+		// by MaxBytesReader, but a platform upload on a slow link can be
+		// legitimately large.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -203,8 +297,15 @@ func main() {
 			}
 		}()
 	}
-	log.Printf("serving %d machines in %d shards on %s (policy %s)", len(machines), srv.ShardCount(), *addr, *policy)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	// Listen explicitly (rather than ListenAndServe) so the log line carries
+	// the bound address even for -addr :0 — scripted deployments and the
+	// end-to-end tests learn the port from it.
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d machines in %d shards on %s (policy %s)", len(machines), srv.ShardCount(), lis.Addr(), *policy)
+	if err := httpSrv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 }

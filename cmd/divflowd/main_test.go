@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"divflow/internal/model"
+	"divflow/internal/schedule"
+)
+
+// proc wraps a divflowd child process with a line-buffered view of its
+// stderr, so tests can wait for the startup log lines that announce bound
+// addresses.
+type proc struct {
+	cmd   *exec.Cmd
+	lines chan string
+}
+
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd, lines: make(chan string, 256)}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			select {
+			case p.lines <- sc.Text():
+			default: // never block the child on a slow test reader
+			}
+		}
+		close(p.lines)
+	}()
+	t.Cleanup(func() {
+		_ = cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { _ = cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	})
+	return p
+}
+
+// waitLine returns the first stderr line containing substr.
+func (p *proc) waitLine(t *testing.T, substr string) string {
+	t.Helper()
+	deadline := time.After(15 * time.Second)
+	for {
+		select {
+		case line, ok := <-p.lines:
+			if !ok {
+				t.Fatalf("process exited before logging %q", substr)
+			}
+			if strings.Contains(line, substr) {
+				return line
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for log line containing %q", substr)
+		}
+	}
+}
+
+// TestDistributedFleetSmoke builds the real binary and runs a two-process
+// fleet: a worker hosting shard 1 and a router hosting shard 0, wired over
+// loopback TCP RPC. It submits a burst of jobs over HTTP, waits for the
+// fleet to finish them, and checks that (a) at least one job crossed the
+// socket via the two-phase steal, (b) every job is readable through the
+// forwarding chain, and (c) the merged executed schedule accounts for
+// exactly the whole of every job.
+func TestDistributedFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the divflowd binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "divflowd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Shard 0 (router-local) gets the slow machine, shard 1 (worker) the
+	// fast one: the worker drains its half of the burst quickly, goes idle,
+	// and the router's steal loop migrates queued work to it over RPC.
+	platform := filepath.Join(dir, "platform.json")
+	if err := os.WriteFile(platform, []byte(`{
+		"shards": 2,
+		"machines": [
+			{"name": "slow", "inverseSpeed": "4", "databanks": ["shared"]},
+			{"name": "fast", "inverseSpeed": "1/2", "databanks": ["shared"]}
+		]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	worker := startProc(t, bin, "-worker", "-listen", "127.0.0.1:0")
+	wline := worker.waitLine(t, "worker awaiting shard installs on ")
+	workerAddr := wline[strings.LastIndex(wline, " on ")+len(" on "):]
+
+	router := startProc(t, bin,
+		"-addr", "127.0.0.1:0",
+		"-platform", platform,
+		"-policy", "srpt",
+		"-workers", "1="+workerAddr,
+	)
+	rline := router.waitLine(t, "serving 2 machines in 2 shards on ")
+	rest := rline[strings.Index(rline, " shards on ")+len(" shards on "):]
+	base := "http://" + strings.TrimSpace(strings.Split(rest, " ")[0])
+
+	const jobs = 10
+	ids := make([]int, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		body, _ := json.Marshal(model.SubmitRequest{
+			Name: fmt.Sprintf("j%d", i), Size: "1/2", Weight: "1",
+			Databanks: []string{"shared"},
+		})
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub model.SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		ids = append(ids, sub.ID)
+	}
+
+	getJSON := func(path string, into any) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+
+	var st model.StatsResponse
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		getJSON("/v1/stats", &st)
+		if st.JobsCompleted == jobs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet did not finish: %d/%d jobs completed (stalled=%v lastError=%q)",
+				st.JobsCompleted, jobs, st.Stalled, st.LastError)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if st.StolenJobs == 0 {
+		t.Fatalf("no job crossed the RPC boundary via steal; stats: %+v", st)
+	}
+
+	// Every submitted ID must resolve through the forwarding chain, even
+	// after its job migrated over the socket.
+	for _, id := range ids {
+		var js model.JobStatus
+		getJSON(fmt.Sprintf("/v1/jobs/%d", id), &js)
+		if js.State != "done" {
+			t.Fatalf("job %d: state %q, want done", id, js.State)
+		}
+	}
+
+	// The merged trace must account for exactly the whole of every job:
+	// fraction sums of 1 across both processes' pieces.
+	var sr model.ScheduleResponse
+	getJSON("/v1/schedule", &sr)
+	var sched schedule.Schedule
+	if err := json.Unmarshal(sr.Schedule, &sched); err != nil {
+		t.Fatal(err)
+	}
+	sums := make(map[int]*big.Rat)
+	for i := range sched.Pieces {
+		p := &sched.Pieces[i]
+		if sums[p.Job] == nil {
+			sums[p.Job] = new(big.Rat)
+		}
+		sums[p.Job].Add(sums[p.Job], p.Fraction)
+	}
+	one := big.NewRat(1, 1)
+	for _, id := range ids {
+		got := sums[id]
+		if got == nil || got.Cmp(one) != 0 {
+			t.Fatalf("job %d: merged schedule fractions sum to %v, want 1", id, got)
+		}
+	}
+}

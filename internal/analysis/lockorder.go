@@ -3,7 +3,19 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 )
+
+// sortedKeys returns a map's keys in deterministic order, for stable
+// diagnostics.
+func sortedKeys(m map[string]bool) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
 
 // LockOrderAnalyzer enforces the fleet's declared lock order. Every annotated
 // mutex belongs to a class, classes form a partial order through their
@@ -40,6 +52,16 @@ func runLockChecks(pass *Pass, orderMode bool) {
 			}
 			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
 			fl := pass.World.Funcs[funcKey(obj)]
+			if orderMode && fl != nil && fl.Boundary != "" {
+				// A message-boundary handler serves exactly one shard; in a
+				// distributed fleet a second instance of any class would live
+				// in another process, so even blessed multi-instance code is
+				// out of reach for it.
+				for _, c := range sortedKeys(fl.AscendingReach) {
+					pass.Reportf(fd.Pos(), "boundary=%s handler %s reaches ascending=%s code; a handler must never hold a second %s instance (another shard's mu)",
+						fl.Boundary, fd.Name.Name, c, c)
+				}
+			}
 			checkFuncBody(pass, pass.World, fd.Body, fl, orderMode)
 		}
 	}

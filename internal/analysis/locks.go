@@ -27,6 +27,13 @@ import (
 // that unblessed code never double-acquires). A function literal invoked
 // under locks can carry the same annotation on the line above the literal.
 //
+// `boundary=<name>` marks a function as a message-boundary handler (the
+// shardlink RPC services): it runs against exactly one shard and must never
+// hold two instances of a class at once — not even through a blessed callee —
+// because in a distributed fleet the second instance would live in another
+// process. lockorder enforces this as reachability: a boundary function whose
+// transitive call graph contains any `ascending=` blessing is a diagnostic.
+//
 // Everything collected here is keyed by plain strings (class names,
 // "pkgpath.Recv.Name" function keys) so it serializes into vet fact files
 // and crosses package boundaries intact.
@@ -37,6 +44,14 @@ type FuncLocks struct {
 	Acquires  map[string]bool // classes this function (or any callee) may lock
 	Requires  []string        // classes that must be held on entry
 	Ascending map[string]bool // classes blessed for multi-instance acquisition
+	// Boundary names the message boundary this function is a handler of
+	// ("shardlink"); boundary handlers must stay single-instance per class.
+	Boundary string
+	// AscendingReach is the transitive closure of Ascending over the call
+	// graph: classes for which this function — or anything it calls — is
+	// blessed to hold a second instance. Boundary handlers must keep it
+	// empty.
+	AscendingReach map[string]bool
 }
 
 // World is the cross-package fact store shared by all passes.
@@ -175,12 +190,15 @@ func CollectLocks(prog *Program, pkg *Package, world *World) {
 			if key == "" {
 				continue
 			}
-			fl := &FuncLocks{Acquires: make(map[string]bool), Ascending: make(map[string]bool)}
+			fl := &FuncLocks{Acquires: make(map[string]bool), Ascending: make(map[string]bool),
+				AscendingReach: make(map[string]bool)}
 			if kv := annotationFor(fd.Doc); kv != nil {
 				fl.Requires = splitList(kv["requires"])
 				for _, c := range splitList(kv["ascending"]) {
 					fl.Ascending[c] = true
+					fl.AscendingReach[c] = true
 				}
+				fl.Boundary = kv["boundary"]
 			}
 			fi := &funcInfo{fl: fl}
 			// Scan the body for direct Lock/RLock on annotated classes and
@@ -224,6 +242,12 @@ func CollectLocks(prog *Program, pkg *Package, world *World) {
 				for c := range cf.Acquires {
 					if !fi.fl.Acquires[c] {
 						fi.fl.Acquires[c] = true
+						changed = true
+					}
+				}
+				for c := range cf.AscendingReach {
+					if !fi.fl.AscendingReach[c] {
+						fi.fl.AscendingReach[c] = true
 						changed = true
 					}
 				}

@@ -64,6 +64,12 @@ func TestFuncLocksGob(t *testing.T) {
 			Requires:  []string{"shard"},
 			Ascending: map[string]bool{"backlog": true},
 		},
+		"divflow/internal/server.shardRPC.Submit": {
+			Acquires:       map[string]bool{"shard": true},
+			Ascending:      map[string]bool{},
+			Boundary:       "shardlink",
+			AscendingReach: map[string]bool{},
+		},
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(in); err != nil {

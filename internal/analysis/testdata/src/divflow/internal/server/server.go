@@ -83,3 +83,36 @@ func SweepBlessed(f *Fleet) {
 	}
 	f.mu.Unlock()
 }
+
+// HandleSubmit is a well-behaved message-boundary handler: one shard, one
+// mu, nothing blessed in reach.
+//
+//divflow:locks boundary=shardlink
+func (s *Shard) HandleSubmit() {
+	s.mu.Lock()
+	s.emit()
+	s.mu.Unlock()
+}
+
+// HandleSweep reaches the blessed all-shards sweep through a call, which a
+// boundary handler may never do: the second shard instance would live in
+// another process.
+//
+//divflow:locks boundary=shardlink
+func HandleSweep(f *Fleet) { // want `lockorder: boundary=shardlink handler HandleSweep reaches ascending=shard code`
+	SweepBlessed(f)
+}
+
+// HandleGreedy is itself blessed, which is just as illegal at the boundary.
+//
+//divflow:locks boundary=shardlink ascending=shard
+func HandleGreedy(f *Fleet) { // want `lockorder: boundary=shardlink handler HandleGreedy reaches ascending=shard code`
+	f.mu.Lock()
+	for _, s := range f.shards {
+		s.mu.Lock()
+	}
+	for _, s := range f.shards {
+		s.mu.Unlock()
+	}
+	f.mu.Unlock()
+}

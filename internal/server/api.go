@@ -13,6 +13,7 @@ import (
 	"divflow/internal/model"
 	"divflow/internal/obs"
 	"divflow/internal/schedule"
+	"divflow/internal/shardlink"
 	"divflow/internal/stats"
 )
 
@@ -155,13 +156,18 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	now := new(big.Rat)
 	makespan := new(big.Rat) // of the whole execution, not the window
 	for _, sh := range s.allShards() {
-		pieces, shNow, shMakespan := sh.scheduleSnapshot(since)
-		merged = append(merged, pieces...)
-		if shNow.Cmp(now) > 0 {
-			now = shNow
+		rep, err := sh.link.Schedule(shardlink.ScheduleArgs{Since: since})
+		if err != nil {
+			// A shard whose transport failed contributes nothing: the merged
+			// view degrades to the reachable fleet rather than erroring.
+			continue
 		}
-		if shMakespan.Cmp(makespan) > 0 {
-			makespan = shMakespan
+		merged = append(merged, rep.Pieces...)
+		if rep.Now != nil && rep.Now.Cmp(now) > 0 {
+			now = rep.Now
+		}
+		if rep.Makespan != nil && rep.Makespan.Cmp(makespan) > 0 {
+			makespan = rep.Makespan
 		}
 	}
 	// Each shard's trace is already start-ordered; a stable sort interleaves
@@ -196,9 +202,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := model.HealthResponse{Status: "ok"}
 	for _, sh := range s.active() {
-		if _, routeErr := sh.routeInfo(); routeErr != "" {
+		ri, err := sh.link.RouteInfo(shardlink.RouteInfoArgs{})
+		if err != nil {
+			// An unreachable worker shard is as stalled as a latched one.
 			resp.StalledShards = append(resp.StalledShards, sh.idx)
-			resp.Errors = append(resp.Errors, routeErr)
+			resp.Errors = append(resp.Errors, err.Error())
+			continue
+		}
+		if ri.Err != "" {
+			resp.StalledShards = append(resp.StalledShards, sh.idx)
+			resp.Errors = append(resp.Errors, ri.Err)
 		}
 	}
 	if err := s.dur.latchedErr(); err != nil {
@@ -284,44 +297,52 @@ func (s *Server) Stats() model.StatsResponse {
 	var flowAll obs.HistogramSnapshot
 	doneCount := 0
 	for _, sh := range shardList {
-		snap := sh.statsSnapshot()
-		resp.Shards = append(resp.Shards, snap.wire)
-		resp.JobsAccepted += snap.wire.JobsAccepted
-		resp.JobsLive += snap.wire.JobsLive
-		resp.JobsCompleted += snap.wire.JobsCompleted
-		resp.Events += snap.wire.Events
-		resp.LPSolves += snap.wire.LPSolves
-		resp.PlanCacheHits += snap.wire.PlanCacheHits
-		resp.ArrivalBatches += snap.wire.ArrivalBatches
-		resp.BatchedArrivals += snap.wire.BatchedArrivals
-		resp.CompactedJobs += snap.wire.CompactedJobs
-		resp.StolenJobs += snap.wire.StolenJobs
-		resp.Migrations += snap.wire.Migrations
-		resp.ReshardedJobs += snap.wire.ReshardedIn
-		if snap.wire.LargestBatch > resp.LargestBatch {
-			resp.LargestBatch = snap.wire.LargestBatch
+		// Every per-shard snapshot crosses the shardlink boundary — the
+		// in-process transport serves it under the shard's lock exactly as
+		// before, a worker shard over its RPC connection. A shard whose
+		// transport fails is omitted from this response rather than failing
+		// the whole read.
+		snap, err := sh.link.Stats(shardlink.StatsArgs{})
+		if err != nil {
+			continue
+		}
+		resp.Shards = append(resp.Shards, snap.Wire)
+		resp.JobsAccepted += snap.Wire.JobsAccepted
+		resp.JobsLive += snap.Wire.JobsLive
+		resp.JobsCompleted += snap.Wire.JobsCompleted
+		resp.Events += snap.Wire.Events
+		resp.LPSolves += snap.Wire.LPSolves
+		resp.PlanCacheHits += snap.Wire.PlanCacheHits
+		resp.ArrivalBatches += snap.Wire.ArrivalBatches
+		resp.BatchedArrivals += snap.Wire.BatchedArrivals
+		resp.CompactedJobs += snap.Wire.CompactedJobs
+		resp.StolenJobs += snap.Wire.StolenJobs
+		resp.Migrations += snap.Wire.Migrations
+		resp.ReshardedJobs += snap.Wire.ReshardedIn
+		if snap.Wire.LargestBatch > resp.LargestBatch {
+			resp.LargestBatch = snap.Wire.LargestBatch
 		}
 		// A retired shard's latched error is history, not service health: its
 		// jobs were migrated to live shards by the reshard that retired it.
-		if snap.wire.Stalled && !snap.wire.Retired {
+		if snap.Wire.Stalled && !snap.Wire.Retired {
 			resp.Stalled = true
 		}
-		if resp.LastError == "" && !snap.wire.Retired {
-			resp.LastError = snap.wire.LastError
+		if resp.LastError == "" && !snap.Wire.Retired {
+			resp.LastError = snap.Wire.LastError
 		}
-		if snap.now.Cmp(now) > 0 {
-			now = snap.now
+		if snap.Now != nil && snap.Now.Cmp(now) > 0 {
+			now = snap.Now
 		}
-		solver.Merge(snap.wire.Solver)
-		doneCount += snap.doneCount
-		flowSum.Add(flowSum, snap.flowSum)
-		if snap.maxWF != nil && (maxWF == nil || snap.maxWF.Cmp(maxWF) > 0) {
-			maxWF = snap.maxWF
+		solver.Merge(snap.Wire.Solver)
+		doneCount += snap.DoneCount
+		flowSum.Add(flowSum, snap.FlowSum)
+		if snap.MaxWF != nil && (maxWF == nil || snap.MaxWF.Cmp(maxWF) > 0) {
+			maxWF = snap.MaxWF
 		}
-		if snap.maxStretch != nil && (maxStretch == nil || snap.maxStretch.Cmp(maxStretch) > 0) {
-			maxStretch = snap.maxStretch
+		if snap.MaxStretch != nil && (maxStretch == nil || snap.MaxStretch.Cmp(maxStretch) > 0) {
+			maxStretch = snap.MaxStretch
 		}
-		flowAll.Merge(snap.flow)
+		flowAll.Merge(snap.Flow)
 	}
 	resp.Now = now.RatString()
 	resp.Solver = solver

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"divflow/internal/model"
+	"divflow/internal/shardlink"
 )
 
 // benchFleetSize and benchJobs shape the throughput benchmark: a uniform
@@ -398,6 +399,68 @@ func BenchmarkServerThroughput(b *testing.B) {
 				}
 				vc := NewVirtualClock()
 				srv, err := New(Config{Machines: machines, Shards: shards, Clock: vc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqs := make([]model.SubmitRequest, benchJobs)
+				for j := range reqs {
+					reqs[j] = model.SubmitRequest{
+						Size:      fmt.Sprintf("%d", 1+(j*7)%13),
+						Weight:    fmt.Sprintf("%d", 1+j%3),
+						Databanks: []string{"shared"},
+					}
+				}
+				b.StartTimer()
+				for j := range reqs {
+					if _, err := srv.Submit(&reqs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				srv.Start()
+				for {
+					st := srv.Stats()
+					if st.LastError != "" {
+						b.Fatal(st.LastError)
+					}
+					if st.JobsCompleted == benchJobs {
+						break
+					}
+					if !vc.AdvanceToNextTimer() {
+						runtime.Gosched()
+					}
+				}
+				b.StopTimer()
+				srv.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(benchJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkServerThroughputTransport prices the shardlink boundary: the same
+// 48-job burst as BenchmarkServerThroughput (P=2), once over the in-process
+// transport (direct handler calls under the shard mu) and once over the
+// loopback net/rpc transport (every operation gob-encoded through a net.Pipe
+// and dispatched by the rpc server). The gap is the per-operation cost of
+// message-passing shards — what a distributed fleet pays before any real
+// network latency. Recorded as BENCH_server.json via cmd/benchjson
+// (scripts/bench.sh).
+func BenchmarkServerThroughputTransport(b *testing.B) {
+	for _, tr := range []string{shardlink.TransportInproc, shardlink.TransportRPC} {
+		b.Run("transport="+tr, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				machines := make([]model.Machine, benchFleetSize)
+				for m := range machines {
+					machines[m] = model.Machine{
+						Name:         fmt.Sprintf("u%d", m),
+						InverseSpeed: rat(1, int64(1+m%2)),
+						Databanks:    []string{"shared"},
+					}
+				}
+				vc := NewVirtualClock()
+				srv, err := New(Config{Machines: machines, Shards: 2, Clock: vc, Transport: tr})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,534 @@
+package server
+
+import (
+	"fmt"
+	"math/big"
+	"net/rpc"
+
+	"divflow/internal/obs"
+	"divflow/internal/shardlink"
+)
+
+// This file is the server side of the shardlink boundary: the shard-level
+// handlers behind every transport, plus the two Link implementations —
+// localLink (direct in-process calls, today's behavior bit-for-bit) and
+// rpcLink (net/rpc over a loopback pipe or a worker's TCP socket). The
+// router holds exactly one Link per shard and speaks to the shard only
+// through it; which transport sits behind the Link is invisible above this
+// file.
+
+// Migration reasons carried in shardlink.AdmitArgs and the WAL.
+const (
+	migrateSteal   = "steal"
+	migrateReshard = "reshard"
+)
+
+// Operation labels of the divflow_shardlink_calls_total counter and the
+// divflow_shardlink_rpc_seconds histogram.
+const (
+	opSubmit    = "submit"
+	opJobStatus = "job_status"
+	opSchedule  = "schedule"
+	opStats     = "stats"
+	opRouteInfo = "route_info"
+	opPoke      = "poke"
+	opExtract   = "extract"
+	opAdmit     = "admit"
+	opCommit    = "commit"
+	opAbort     = "abort"
+)
+
+var linkOps = []string{
+	opSubmit, opJobStatus, opSchedule, opStats, opRouteInfo, opPoke,
+	opExtract, opAdmit, opCommit, opAbort,
+}
+
+// ---------------------------------------------------------------------------
+// Shard-side operation handlers. These are what both transports ultimately
+// invoke; each takes the shard's own mu and nothing beyond it.
+
+// submitOp is shard.submit in message form: the error cases the router keys
+// its control flow on (retired → re-route, closed → 503, no-host → 422)
+// travel as a closed outcome enum, so they survive any transport.
+func (sh *shard) submitOp(args shardlink.SubmitArgs) shardlink.SubmitReply {
+	gid, err := sh.submit(args.Job)
+	switch {
+	case err == nil:
+		return shardlink.SubmitReply{GID: gid, Outcome: shardlink.OutcomeOK}
+	case err == errRetired:
+		return shardlink.SubmitReply{Outcome: shardlink.OutcomeRetired}
+	case err == ErrClosed:
+		return shardlink.SubmitReply{Outcome: shardlink.OutcomeClosed}
+	default:
+		return shardlink.SubmitReply{Outcome: shardlink.OutcomeNoHost, Err: err.Error()}
+	}
+}
+
+// submitErr maps a SubmitReply back to the router's error vocabulary,
+// restoring sentinel identity so Submit's retry loop and the HTTP status
+// mapping behave identically on every transport.
+func submitErr(rep shardlink.SubmitReply) (int, error) {
+	switch rep.Outcome {
+	case shardlink.OutcomeOK:
+		return rep.GID, nil
+	case shardlink.OutcomeRetired:
+		return 0, errRetired
+	case shardlink.OutcomeClosed:
+		return 0, ErrClosed
+	default:
+		return 0, fmt.Errorf("%s", rep.Err)
+	}
+}
+
+// extractJobs is the reserve phase of a two-phase migration, on the donor:
+// catch up, take the steal census against the thief's machines, and pull the
+// selected jobs out of the engine and the pending queue. The extracted
+// records are *reserved*, not yet migrated — they stay readable at their
+// pre-move state (no not-found window while the messages are in flight) and
+// their work stays in the donor's backlog until commitExtract, so the
+// router's view of fleet-wide residual work never dips mid-exchange.
+func (sh *shard) extractJobs(args shardlink.ExtractArgs) shardlink.ExtractReply {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed || sh.retired || sh.freed || sh.lastErr != nil {
+		return shardlink.ExtractReply{}
+	}
+	// Same reason as the in-process path: remaining fractions must reflect
+	// everything (notionally) executed up to the present, and the catch-up's
+	// re-solve must happen before the census reads the engine.
+	if _, ok := sh.catchUp(); !ok {
+		return shardlink.ExtractReply{}
+	}
+	items := sh.stealCensus(func(databanks []string) bool {
+		return hostsAny(args.ThiefMachines, databanks)
+	})
+	var rep shardlink.ExtractReply
+	for _, it := range items {
+		rec := it.rec
+		remaining := rec.remaining
+		if it.live {
+			rj, err := sh.eng.Remove(rec.id)
+			if err != nil {
+				// Unreachable while the census runs under the same lock; skip
+				// rather than poison the migration.
+				continue
+			}
+			remaining = rj.Remaining
+			rep.RemovedLive = true
+		} else {
+			pending := sh.pending[:0]
+			for _, p := range sh.pending {
+				if p != rec {
+					pending = append(pending, p)
+				}
+			}
+			sh.pending = pending
+		}
+		// Reserve: out of the engine and the queue, eligibility scrubbed so
+		// no local re-admission can resurrect it, exact remaining stored on
+		// the record for the abort give-back.
+		for i := range sh.eligible {
+			delete(sh.eligible[i], rec.id)
+		}
+		rec.remaining = copyRat(remaining)
+		rep.Jobs = append(rep.Jobs, shardlink.MigratedJob{
+			FromLocal: rec.id,
+			GID:       rec.gid,
+			Name:      rec.name,
+			Weight:    copyRat(rec.weight),
+			Size:      copyRat(rec.size),
+			Release:   copyRat(rec.release),
+			Remaining: copyRat(remaining),
+			Databanks: rec.databanks,
+			Counted:   rec.counted,
+		})
+	}
+	// Re-plan immediately: the extraction invalidated the plan cache, and the
+	// machines that ran the extracted jobs must not idle for a whole message
+	// round-trip waiting for the commit.
+	if rep.RemovedLive && sh.lastErr == nil {
+		sh.decide()
+	}
+	return rep
+}
+
+// admitMigrated is the adoption phase on the destination: the mirrored
+// adoptRecord over wire-form jobs. Accepted=false — the shard retired,
+// closed, or latched an error while the exchange was in flight, or (for a
+// steal) went busy — tells the router to abort the donor's reservation.
+func (sh *shard) admitMigrated(args shardlink.AdmitArgs) shardlink.AdmitReply {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed || sh.retired || sh.lastErr != nil {
+		return shardlink.AdmitReply{}
+	}
+	// Same rule the locked path enforces on the thief: stealing onto a shard
+	// that already has work helps nobody — a submission raced the exchange.
+	if args.Reason == migrateSteal && (sh.eng.Live() > 0 || len(sh.pending) > 0) {
+		return shardlink.AdmitReply{}
+	}
+	rep := shardlink.AdmitReply{Accepted: true}
+	added := new(big.Rat)
+	for _, mj := range args.Jobs {
+		nrec := &jobRecord{
+			id:        len(sh.records),
+			gid:       mj.GID, // the global ID survives the move
+			name:      mj.Name,
+			weight:    copyRat(mj.Weight),
+			size:      copyRat(mj.Size),
+			databanks: mj.Databanks,
+			state:     StateQueued,
+			release:   copyRat(mj.Release), // flow origin: still the first submission
+			remaining: copyRat(mj.Remaining),
+			stolen:    true,
+			counted:   mj.Counted,
+		}
+		sh.records = append(sh.records, nrec)
+		sh.pending = append(sh.pending, nrec)
+		for i := range sh.machines {
+			if sh.machines[i].Hosts(nrec.databanks) {
+				sh.eligible[i][nrec.id] = true
+			}
+		}
+		if args.Reason == migrateReshard {
+			sh.reshardIn++
+		} else {
+			sh.stolenIn++
+		}
+		added.Add(added, nrec.size)
+		rep.Locals = append(rep.Locals, nrec.id)
+		sh.obs.event(obs.EventMigrate, nrec.gid, nil, fmt.Sprintf("%s migration admitted", args.Reason))
+	}
+	if added.Sign() > 0 {
+		sh.backlogMu.Lock()
+		sh.backlog.Add(sh.backlog, added)
+		sh.backlogMu.Unlock()
+		sh.obs.event(obs.EventSteal, -1, sh.eng.Now(),
+			fmt.Sprintf("%d jobs admitted by %s migration", len(args.Jobs), args.Reason))
+	}
+	return rep
+}
+
+// commitExtract finishes a two-phase migration on the donor: the reserved
+// records flip to the migrated state (readable only through the forwarding
+// table, which the router updated before committing) and the moved work
+// finally leaves the donor's backlog.
+func (sh *shard) commitExtract(args shardlink.CommitArgs) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.freed {
+		return
+	}
+	moved := new(big.Rat)
+	for _, local := range args.Locals {
+		if local < 0 || local >= len(sh.records) || sh.records[local] == nil {
+			continue
+		}
+		rec := sh.records[local]
+		if rec.state == StateMigrated {
+			continue
+		}
+		sh.orphanRecord(rec)
+		sh.migratedOut++
+		moved.Add(moved, rec.size)
+	}
+	if moved.Sign() == 0 {
+		return
+	}
+	sh.backlogMu.Lock()
+	sh.backlog.Sub(sh.backlog, moved)
+	sh.backlogMu.Unlock()
+}
+
+// abortExtract is the give-back path: the destination refused (or the
+// transport failed before adoption), so the reserved records re-enter the
+// pending queue with their exact remaining fractions — re-admission through
+// admitAll conserves every piece of executed work, under the record's
+// original local ID (the engine accepts a removed ID back).
+func (sh *shard) abortExtract(args shardlink.AbortArgs) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.freed {
+		return
+	}
+	readmitted := false
+	for _, local := range args.Locals {
+		if local < 0 || local >= len(sh.records) || sh.records[local] == nil {
+			continue
+		}
+		rec := sh.records[local]
+		if rec.state == StateMigrated {
+			continue
+		}
+		sh.pending = append(sh.pending, rec)
+		for i := range sh.machines {
+			if sh.machines[i].Hosts(rec.databanks) {
+				sh.eligible[i][rec.id] = true
+			}
+		}
+		readmitted = true
+	}
+	if readmitted {
+		sh.poke()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport.
+
+// localLink is the in-process transport: direct calls into the shard under
+// its own mutex, exactly the pre-boundary code path, plus the per-transport
+// call counters. It never returns an error.
+type localLink struct {
+	sh    *shard
+	calls map[string]*obs.Counter // op → prebuilt child; read-only after build
+}
+
+// linkCallCounters prebuilds one transport's counter children, so the hot
+// paths increment an atomic instead of locking the family map per call.
+func linkCallCounters(t *telemetry, transport string) map[string]*obs.Counter {
+	m := make(map[string]*obs.Counter, len(linkOps))
+	for _, op := range linkOps {
+		m[op] = t.linkCalls.With(transport, op)
+	}
+	return m
+}
+
+func newLocalLink(t *telemetry, sh *shard) *localLink {
+	return &localLink{sh: sh, calls: linkCallCounters(t, shardlink.TransportInproc)}
+}
+
+func (l *localLink) Transport() string { return shardlink.TransportInproc }
+
+func (l *localLink) Submit(args shardlink.SubmitArgs) (shardlink.SubmitReply, error) {
+	l.calls[opSubmit].Inc()
+	return l.sh.submitOp(args), nil
+}
+
+func (l *localLink) JobStatus(args shardlink.JobStatusArgs) (shardlink.JobStatusReply, error) {
+	l.calls[opJobStatus].Inc()
+	st, known, migrated := l.sh.jobStatus(args.Local, args.GID)
+	return shardlink.JobStatusReply{Status: st, Known: known, Migrated: migrated}, nil
+}
+
+func (l *localLink) Schedule(args shardlink.ScheduleArgs) (shardlink.ScheduleReply, error) {
+	l.calls[opSchedule].Inc()
+	pieces, now, makespan := l.sh.scheduleSnapshot(args.Since)
+	return shardlink.ScheduleReply{Pieces: pieces, Now: now, Makespan: makespan}, nil
+}
+
+func (l *localLink) Stats(shardlink.StatsArgs) (shardlink.StatsSnapshot, error) {
+	l.calls[opStats].Inc()
+	return l.sh.statsSnapshot(), nil
+}
+
+func (l *localLink) RouteInfo(shardlink.RouteInfoArgs) (shardlink.RouteInfoReply, error) {
+	l.calls[opRouteInfo].Inc()
+	backlog, routeErr := l.sh.routeInfo()
+	return shardlink.RouteInfoReply{Backlog: backlog, Err: routeErr}, nil
+}
+
+func (l *localLink) Poke(shardlink.PokeArgs) error {
+	l.calls[opPoke].Inc()
+	l.sh.poke()
+	return nil
+}
+
+func (l *localLink) ExtractJobs(args shardlink.ExtractArgs) (shardlink.ExtractReply, error) {
+	l.calls[opExtract].Inc()
+	return l.sh.extractJobs(args), nil
+}
+
+func (l *localLink) AdmitMigrated(args shardlink.AdmitArgs) (shardlink.AdmitReply, error) {
+	l.calls[opAdmit].Inc()
+	return l.sh.admitMigrated(args), nil
+}
+
+func (l *localLink) CommitExtract(args shardlink.CommitArgs) error {
+	l.calls[opCommit].Inc()
+	l.sh.commitExtract(args)
+	return nil
+}
+
+func (l *localLink) AbortExtract(args shardlink.AbortArgs) error {
+	l.calls[opAbort].Inc()
+	l.sh.abortExtract(args)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// RPC transport.
+
+// shardRPC is one shard's net/rpc service ("Shard<idx>"): the gob-decoded
+// mirror of localLink, registered per shard on the loopback server and in
+// worker processes. A handler is pinned to its own shard at registration —
+// no message can name another shard, so no handler can ever need a second
+// shard's mutex; the lockorder analyzer enforces that shape through the
+// boundary facts below.
+type shardRPC struct {
+	sh *shard
+}
+
+//divflow:locks boundary=shardlink
+func (r *shardRPC) Submit(args *shardlink.SubmitArgs, reply *shardlink.SubmitReply) error {
+	*reply = r.sh.submitOp(*args)
+	return nil
+}
+
+//divflow:locks boundary=shardlink
+func (r *shardRPC) JobStatus(args *shardlink.JobStatusArgs, reply *shardlink.JobStatusReply) error {
+	st, known, migrated := r.sh.jobStatus(args.Local, args.GID)
+	*reply = shardlink.JobStatusReply{Status: st, Known: known, Migrated: migrated}
+	return nil
+}
+
+//divflow:locks boundary=shardlink
+func (r *shardRPC) Schedule(args *shardlink.ScheduleArgs, reply *shardlink.ScheduleReply) error {
+	pieces, now, makespan := r.sh.scheduleSnapshot(args.Since)
+	*reply = shardlink.ScheduleReply{Pieces: pieces, Now: now, Makespan: makespan}
+	return nil
+}
+
+//divflow:locks boundary=shardlink
+func (r *shardRPC) Stats(_ *shardlink.StatsArgs, reply *shardlink.StatsSnapshot) error {
+	*reply = r.sh.statsSnapshot()
+	return nil
+}
+
+//divflow:locks boundary=shardlink
+func (r *shardRPC) RouteInfo(_ *shardlink.RouteInfoArgs, reply *shardlink.RouteInfoReply) error {
+	backlog, routeErr := r.sh.routeInfo()
+	*reply = shardlink.RouteInfoReply{Backlog: backlog, Err: routeErr}
+	return nil
+}
+
+//divflow:locks boundary=shardlink
+func (r *shardRPC) Poke(_ *shardlink.PokeArgs, _ *shardlink.PokeReply) error {
+	r.sh.poke()
+	return nil
+}
+
+//divflow:locks boundary=shardlink
+func (r *shardRPC) ExtractJobs(args *shardlink.ExtractArgs, reply *shardlink.ExtractReply) error {
+	*reply = r.sh.extractJobs(*args)
+	return nil
+}
+
+//divflow:locks boundary=shardlink
+func (r *shardRPC) AdmitMigrated(args *shardlink.AdmitArgs, reply *shardlink.AdmitReply) error {
+	*reply = r.sh.admitMigrated(*args)
+	return nil
+}
+
+//divflow:locks boundary=shardlink
+func (r *shardRPC) CommitExtract(args *shardlink.CommitArgs, _ *shardlink.CommitReply) error {
+	r.sh.commitExtract(*args)
+	return nil
+}
+
+//divflow:locks boundary=shardlink
+func (r *shardRPC) AbortExtract(args *shardlink.AbortArgs, _ *shardlink.AbortReply) error {
+	r.sh.abortExtract(*args)
+	return nil
+}
+
+// rpcLink speaks to a shardRPC service over one net/rpc client — a loopback
+// pipe in Transport="rpc" mode, a worker's TCP socket in -worker fleets. The
+// client multiplexes concurrent calls over the single connection.
+type rpcLink struct {
+	c     *rpc.Client
+	svc   string // registered service name: "Shard<idx>"
+	tel   *telemetry
+	calls map[string]*obs.Counter
+	lat   map[string]*obs.Histogram
+}
+
+func newRPCLink(t *telemetry, c *rpc.Client, svc string) *rpcLink {
+	l := &rpcLink{
+		c:     c,
+		svc:   svc,
+		tel:   t,
+		calls: linkCallCounters(t, shardlink.TransportRPC),
+		lat:   make(map[string]*obs.Histogram, len(linkOps)),
+	}
+	for _, op := range linkOps {
+		l.lat[op] = t.rpcSeconds.With(op)
+	}
+	return l
+}
+
+func (l *rpcLink) Transport() string { return shardlink.TransportRPC }
+
+// call is every RPC operation's round trip: counted per transport, timed
+// into the RPC latency histogram (wall clock read only with telemetry on).
+func (l *rpcLink) call(op, method string, args, reply any) error {
+	l.calls[op].Inc()
+	start := l.tel.now()
+	err := l.c.Call(l.svc+"."+method, args, reply)
+	if !start.IsZero() {
+		l.lat[op].Observe(l.tel.sinceSeconds(start))
+	}
+	return err
+}
+
+func (l *rpcLink) Submit(args shardlink.SubmitArgs) (shardlink.SubmitReply, error) {
+	var rep shardlink.SubmitReply
+	err := l.call(opSubmit, "Submit", &args, &rep)
+	return rep, err
+}
+
+func (l *rpcLink) JobStatus(args shardlink.JobStatusArgs) (shardlink.JobStatusReply, error) {
+	var rep shardlink.JobStatusReply
+	err := l.call(opJobStatus, "JobStatus", &args, &rep)
+	return rep, err
+}
+
+func (l *rpcLink) Schedule(args shardlink.ScheduleArgs) (shardlink.ScheduleReply, error) {
+	var rep shardlink.ScheduleReply
+	err := l.call(opSchedule, "Schedule", &args, &rep)
+	return rep, err
+}
+
+func (l *rpcLink) Stats(args shardlink.StatsArgs) (shardlink.StatsSnapshot, error) {
+	var rep shardlink.StatsSnapshot
+	err := l.call(opStats, "Stats", &args, &rep)
+	return rep, err
+}
+
+func (l *rpcLink) RouteInfo(args shardlink.RouteInfoArgs) (shardlink.RouteInfoReply, error) {
+	var rep shardlink.RouteInfoReply
+	err := l.call(opRouteInfo, "RouteInfo", &args, &rep)
+	if err == nil && rep.Backlog == nil {
+		// gob drops zero-value rationals; the router compares uncondition-
+		// ally, so restore the exact zero here at the boundary.
+		rep.Backlog = new(big.Rat)
+	}
+	return rep, err
+}
+
+func (l *rpcLink) Poke(args shardlink.PokeArgs) error {
+	var rep shardlink.PokeReply
+	return l.call(opPoke, "Poke", &args, &rep)
+}
+
+func (l *rpcLink) ExtractJobs(args shardlink.ExtractArgs) (shardlink.ExtractReply, error) {
+	var rep shardlink.ExtractReply
+	err := l.call(opExtract, "ExtractJobs", &args, &rep)
+	return rep, err
+}
+
+func (l *rpcLink) AdmitMigrated(args shardlink.AdmitArgs) (shardlink.AdmitReply, error) {
+	var rep shardlink.AdmitReply
+	err := l.call(opAdmit, "AdmitMigrated", &args, &rep)
+	return rep, err
+}
+
+func (l *rpcLink) CommitExtract(args shardlink.CommitArgs) error {
+	var rep shardlink.CommitReply
+	return l.call(opCommit, "CommitExtract", &args, &rep)
+}
+
+func (l *rpcLink) AbortExtract(args shardlink.AbortArgs) error {
+	var rep shardlink.AbortReply
+	return l.call(opAbort, "AbortExtract", &args, &rep)
+}

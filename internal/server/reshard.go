@@ -130,6 +130,14 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 	if s.noReshard {
 		return resp, ErrReshardDisabled
 	}
+	if len(s.workers) > 0 {
+		// A worker-hosted shard's engine lives in another process: retiring
+		// it would need a cross-process drain-and-migrate protocol this
+		// release does not have (ROADMAP: partial-fleet failure semantics).
+		// Refusing keeps the invariant that remote shards never retire, which
+		// the two-phase steal path relies on.
+		return resp, errors.New("server: live re-sharding is not supported with worker-hosted shards; restart the fleet to repartition")
+	}
 	if p == nil || len(p.Machines) == 0 {
 		return resp, errors.New("server: reshard: no machines")
 	}

@@ -24,10 +24,14 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"net"
+	"net/rpc"
 	"sync"
+	"time"
 
 	"divflow/internal/model"
 	"divflow/internal/obs"
+	"divflow/internal/shardlink"
 )
 
 // ErrClosed is returned by Submit once the server is shutting down.
@@ -132,6 +136,21 @@ type Config struct {
 	// panicked is rebuilt from its intact engine state — fresh policy, fresh
 	// engine, exact state restored — up to a per-shard restart cap.
 	RestartStalled bool
+	// Transport selects how the router talks to its shards:
+	// shardlink.TransportInproc (or empty) calls straight into the shard
+	// under its mutex — bit-for-bit the pre-link behavior — while
+	// shardlink.TransportRPC keeps every shard colocated and local (real
+	// engines, so trace-exact tests still apply) but routes all router
+	// traffic through a loopback net/rpc connection, serializing every
+	// message with gob exactly as a worker socket would. Shards listed in
+	// Workers use RPC regardless of this setting.
+	Transport string
+	// Workers maps startup-partition positions to worker addresses
+	// (divflowd -worker listeners): shard pos of the initial topology is
+	// provisioned inside that process and driven entirely over net/rpc.
+	// Incompatible with WALDir (two-phase migrations are not write-ahead
+	// logged, so a replay would diverge) and with live re-sharding.
+	Workers map[int]string
 }
 
 // generation is one epoch of the shard topology: the shards active between
@@ -169,6 +188,19 @@ type Server struct {
 	dur            *durability
 	restoredNow    *big.Rat
 	restartStalled bool
+
+	// transport is the normalized Config.Transport; rpcSrv/rpcClient are the
+	// loopback pair every colocated rpc-transport shard is served over (one
+	// net.Pipe, one multiplexing client — nil under the in-process
+	// transport). rpcConns collects every connection Close must release:
+	// the loopback pair and one dialed client per worker. workers is
+	// Config.Workers verbatim; stealStop stops the worker steal ticker.
+	transport string
+	rpcSrv    *rpc.Server
+	rpcClient *rpc.Client
+	rpcConns  []io.Closer
+	workers   map[int]string
+	stealStop chan struct{}
 
 	// topoMu guards the shard topology: the generation list and the flat
 	// list of every shard ever created. Readers snapshot under RLock; only
@@ -231,6 +263,28 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	transport := cfg.Transport
+	switch transport {
+	case "", shardlink.TransportInproc:
+		transport = shardlink.TransportInproc
+	case shardlink.TransportRPC:
+	default:
+		return nil, fmt.Errorf("server: unknown transport %q (want %q or %q)",
+			cfg.Transport, shardlink.TransportInproc, shardlink.TransportRPC)
+	}
+	if cfg.WALDir != "" && (transport == shardlink.TransportRPC || len(cfg.Workers) > 0) {
+		// Two-phase migrations deliberately bypass the WAL (reserve/commit
+		// spans processes; logging either side alone would replay into a state
+		// neither process was ever in), so durability and the rpc transport
+		// exclude each other rather than silently diverge on restore.
+		return nil, errors.New("server: WALDir is incompatible with the rpc transport and worker shards")
+	}
+	for pos := range cfg.Workers {
+		if pos < 0 || pos >= len(groups) {
+			return nil, fmt.Errorf("server: worker position %d out of range (the fleet partitions into %d shards)",
+				pos, len(groups))
+		}
+	}
 	s := &Server{
 		policyName:     pol.Name(),
 		policyCfg:      cfg.Policy,
@@ -240,6 +294,21 @@ func New(cfg Config) (*Server, error) {
 		restartStalled: cfg.RestartStalled,
 		forward:        make(map[int]fwdLoc),
 		tel:            newTelemetry(!cfg.DisableObs, cfg.EventSink, cfg.EventBufferSize),
+		transport:      transport,
+		workers:        cfg.Workers,
+		stealStop:      make(chan struct{}),
+	}
+	if transport == shardlink.TransportRPC {
+		// One loopback pipe serves every colocated shard: wireShard registers
+		// each as a named service on rpcSrv, and every link shares rpcClient
+		// (net/rpc multiplexes concurrent calls over one connection). The
+		// pipe is synchronous and in-memory — the full gob round-trip with
+		// none of the kernel.
+		s.rpcSrv = rpc.NewServer()
+		cliConn, srvConn := net.Pipe()
+		go s.rpcSrv.ServeConn(srvConn)
+		s.rpcClient = rpc.NewClient(cliConn)
+		s.rpcConns = append(s.rpcConns, s.rpcClient)
 	}
 	if cfg.Retention != nil && cfg.Retention.Sign() > 0 {
 		s.retention = new(big.Rat).Set(cfg.Retention)
@@ -299,7 +368,20 @@ func New(cfg Config) (*Server, error) {
 					return nil, err
 				}
 			}
-			shards = append(shards, s.wireShard(newShard(idx, idx, stride, 0, clock, machines, group, shardPol, s.retention)))
+			sh := newShard(idx, idx, stride, 0, clock, machines, group, shardPol, s.retention)
+			if addr, ok := cfg.Workers[idx]; ok {
+				// Worker-hosted shard: the real engine lives in the worker
+				// process; this struct stays behind as the router-side handle
+				// (identity, topology, backlog bookkeeping) with its loop
+				// never started.
+				if err := s.dialWorker(sh, addr, cfg.Policy); err != nil {
+					for _, c := range s.rpcConns {
+						c.Close()
+					}
+					return nil, err
+				}
+			}
+			shards = append(shards, s.wireShard(sh))
 		}
 		s.gens = []*generation{{base: 0, stride: stride, shards: shards}}
 		s.all = shards
@@ -344,6 +426,25 @@ func (s *Server) wireShard(sh *shard) *shard {
 	sh.obs = s.tel.newShardObs(sh)
 	if sh.mwf != nil {
 		sh.mwf.Observer = sh.obs
+	}
+	// Install the router's transport handle. Worker-hosted shards arrive
+	// with their link already dialed; colocated shards get the loopback rpc
+	// link (registered as a per-shard named service — creation indices never
+	// repeat, reshard-spawned shards included) or the direct in-process one.
+	if sh.link == nil {
+		if s.transport == shardlink.TransportRPC {
+			svc := fmt.Sprintf("Shard%d", sh.idx)
+			if err := s.rpcSrv.RegisterName(svc, &shardRPC{sh: sh}); err != nil {
+				// Unreachable (shardRPC's method set is fixed and names are
+				// unique); degrade to the in-process link rather than ship a
+				// shard the router cannot reach.
+				sh.link = newLocalLink(s.tel, sh)
+			} else {
+				sh.link = newRPCLink(s.tel, s.rpcClient, svc)
+			}
+		} else {
+			sh.link = newLocalLink(s.tel, sh)
+		}
 	}
 	return sh
 }
@@ -512,6 +613,42 @@ func (s *Server) Start() {
 	for _, sh := range s.allShards() {
 		sh.start()
 	}
+	if len(s.workers) > 0 && !s.disableSteal {
+		// A worker-hosted shard has no router-side loop to run the steal
+		// hook, so a ticker stands in for it: whenever a remote shard's
+		// backlog reads zero, try to steal on its behalf. Local shards keep
+		// the event-driven hook — this loop is only for remote thieves.
+		go s.workerStealLoop()
+	}
+}
+
+// workerStealInterval is the polling cadence of the worker steal ticker —
+// coarse on purpose: steals only matter when a shard has been idle a while,
+// and every tick costs one RouteInfo RPC per remote shard.
+const workerStealInterval = 250 * time.Millisecond
+
+// workerStealLoop polls every remote shard's backlog and steals for the idle
+// ones, until Close. It runs only in fleets with worker-hosted shards.
+func (s *Server) workerStealLoop() {
+	t := time.NewTicker(workerStealInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stealStop:
+			return
+		case <-t.C:
+		}
+		for _, sh := range s.active() {
+			if !sh.remote {
+				continue
+			}
+			ri, err := sh.link.RouteInfo(shardlink.RouteInfoArgs{})
+			if err != nil || ri.Err != "" || ri.Backlog.Sign() != 0 {
+				continue
+			}
+			s.stealFor(sh)
+		}
+	}
 }
 
 // Close stops accepting submissions and terminates the shard loops. It
@@ -527,8 +664,16 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	close(s.stealStop)
 	for _, sh := range s.allShards() {
 		sh.close()
+	}
+	// Release the transport connections after the loops are down: the
+	// loopback pipe pair and any dialed worker clients. In-flight calls on a
+	// closing client fail with rpc.ErrShutdown, which every link caller
+	// treats as a transport failure and skips.
+	for _, c := range s.rpcConns {
+		c.Close()
 	}
 	if s.dur != nil {
 		// Stop the cadence goroutine first (it cannot be inside a snapshot:
@@ -590,7 +735,11 @@ func (s *Server) submitRouted(job model.Job) (model.SubmitResponse, error) {
 			nonHosts = append(nonHosts, sh)
 			continue
 		}
-		work, routeErr := sh.routeInfo()
+		ri, lerr := sh.link.RouteInfo(shardlink.RouteInfoArgs{})
+		if lerr != nil {
+			continue // transport failure: route around the unreachable shard
+		}
+		work, routeErr := ri.Backlog, ri.Err
 		if routeErr != "" {
 			if bestStalled == nil || work.Cmp(bestStalledWork) < 0 {
 				bestStalled, bestStalledWork, stalledErr = sh, work, routeErr
@@ -615,7 +764,11 @@ func (s *Server) submitRouted(job model.Job) (model.SubmitResponse, error) {
 		best = bestStalled
 		resp.Warning = fmt.Sprintf("routed to stalled shard %d (no healthy shard hosts the databanks): %s", best.idx, stalledErr)
 	}
-	gid, err := best.submit(job)
+	rep, lerr := best.link.Submit(shardlink.SubmitArgs{Job: job})
+	if lerr != nil {
+		return model.SubmitResponse{}, lerr
+	}
+	gid, err := submitErr(rep)
 	if err != nil {
 		return model.SubmitResponse{}, err
 	}
@@ -630,12 +783,12 @@ func (s *Server) submitRouted(job model.Job) (model.SubmitResponse, error) {
 	if !s.disableSteal && len(shards) > 1 {
 		for _, sh := range idle {
 			if sh != best {
-				sh.poke()
+				_ = sh.link.Poke(shardlink.PokeArgs{})
 			}
 		}
 		for _, sh := range nonHosts {
-			if sh.residualWork().Sign() == 0 {
-				sh.poke()
+			if ri, lerr := sh.link.RouteInfo(shardlink.RouteInfoArgs{}); lerr == nil && ri.Backlog.Sign() == 0 {
+				_ = sh.link.Poke(shardlink.PokeArgs{})
 			}
 		}
 	}
@@ -702,11 +855,14 @@ func (s *Server) jobStatus(id int) (model.JobStatus, bool) {
 			return model.JobStatus{}, false
 		}
 		prevSh, prevLocal = sh, local
-		st, known, migrated := sh.jobStatus(local, id)
-		if known {
-			return st, true
+		rep, lerr := sh.link.JobStatus(shardlink.JobStatusArgs{Local: local, GID: id})
+		if lerr != nil {
+			return model.JobStatus{}, false
 		}
-		if migrated {
+		if rep.Known {
+			return rep.Status, true
+		}
+		if rep.Migrated {
 			continue
 		}
 		if sh2, local2, ok2 := s.locate(id); ok2 && (sh2 != sh || local2 != local) {

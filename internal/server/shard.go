@@ -11,6 +11,7 @@ import (
 	"divflow/internal/model"
 	"divflow/internal/obs"
 	"divflow/internal/schedule"
+	"divflow/internal/shardlink"
 	"divflow/internal/sim"
 	"divflow/internal/stats"
 )
@@ -149,6 +150,18 @@ type shard struct {
 	// dropForward, when non-nil, releases the server's forwarding-table
 	// entry for a compacted stolen record's global ID.
 	dropForward func(gid int)
+	// link is the router's transport handle on this shard: every piece of
+	// router-side traffic — submits, job reads, trace windows, stats,
+	// routing keys, migrations — crosses the shardlink boundary through it.
+	// In-process shards carry a localLink (straight calls into this struct);
+	// a worker-mode stub carries an rpcLink to the process that really runs
+	// the shard.
+	link shardlink.Link
+	// remote marks a stub standing in for a shard hosted by a worker
+	// process: its local engine is never started or consulted — the struct
+	// exists only as the topology/identity handle (idx, gid encoding,
+	// machine slice) behind its rpcLink.
+	remote bool
 
 	// Completed-job statistics are accumulated at completion time, not
 	// recomputed from records, so compaction can forget the records without
@@ -266,11 +279,12 @@ func (sh *shard) cost(machine, jobID int) (*big.Rat, bool) {
 	return new(big.Rat).Mul(sh.records[jobID].size, sh.machines[machine].InverseSpeed), true
 }
 
-// start launches the shard's scheduling loop. Safe to call once.
+// start launches the shard's scheduling loop. Safe to call once. A remote
+// stub has no loop: the worker process runs the real one.
 func (sh *shard) start() {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if sh.started || sh.closed {
+	if sh.started || sh.closed || sh.remote {
 		return
 	}
 	sh.started = true
@@ -997,29 +1011,10 @@ func (sh *shard) scheduleSnapshot(since *big.Rat) (pieces []schedule.Piece, now,
 	return pieces, sh.eng.Now(), makespan
 }
 
-// shardSnapshot is one shard's contribution to the merged GET /v1/stats
-// response: the wire breakdown plus the exact aggregates the server folds
-// into fleet-wide summaries.
-type shardSnapshot struct {
-	wire       model.ShardStats
-	now        *big.Rat
-	doneCount  int
-	flowSum    *big.Rat
-	maxWF      *big.Rat
-	maxStretch *big.Rat
-	// flow is the shard's completed-flow histogram: the server merges the
-	// per-shard snapshots and estimates the fleet P95 from the merge, the
-	// same estimator a dashboard applies to the exported buckets.
-	flow obs.HistogramSnapshot
-	// backlogF is the float approximation of the exact backlog, for the
-	// divflow_backlog_work gauge.
-	backlogF float64
-}
-
-// statsSnapshot captures the shard's counters under its lock. A freed
-// tombstone answers from the aggregates frozen when its history was
-// released.
-func (sh *shard) statsSnapshot() shardSnapshot {
+// statsSnapshot captures the shard's counters under its lock, in the wire
+// form every transport ships (shardlink.StatsSnapshot). A freed tombstone
+// answers from the aggregates frozen when its history was released.
+func (sh *shard) statsSnapshot() shardlink.StatsSnapshot {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	names := make([]string, len(sh.machines))
@@ -1034,8 +1029,8 @@ func (sh *shard) statsSnapshot() shardSnapshot {
 		decisions = sh.eng.Decisions()
 		accepted = len(sh.records) - sh.stolenIn - sh.reshardIn
 	}
-	snap := shardSnapshot{
-		wire: model.ShardStats{
+	snap := shardlink.StatsSnapshot{
+		Wire: model.ShardStats{
 			Shard:      sh.idx,
 			Generation: sh.gen,
 			Machines:   names,
@@ -1063,29 +1058,29 @@ func (sh *shard) statsSnapshot() shardSnapshot {
 			Panics:          sh.panics,
 			Restarts:        sh.restarts,
 		},
-		now:       engNow,
-		doneCount: sh.doneCount,
-		flowSum:   new(big.Rat).Set(sh.flowSum),
-		// Deep copies: these leave the lock, and nothing may alias live
-		// aggregate state out of it — recordCompletion happens to replace
-		// rather than mutate the maxima today, but the snapshot must not
-		// depend on that staying true.
-		maxWF:      copyRat(sh.maxWF),
-		maxStretch: copyRat(sh.maxStretch),
-		flow:       sh.obs.flow.Snapshot(),
+		Now:       copyRat(engNow),
+		DoneCount: sh.doneCount,
+		FlowSum:   new(big.Rat).Set(sh.flowSum),
+		// Deep copies: these leave the lock (and possibly the process), and
+		// nothing may alias live aggregate state out of it — recordCompletion
+		// happens to replace rather than mutate the maxima today, but the
+		// snapshot must not depend on that staying true.
+		MaxWF:      copyRat(sh.maxWF),
+		MaxStretch: copyRat(sh.maxStretch),
+		Flow:       sh.obs.flow.Snapshot(),
 	}
-	snap.backlogF, _ = sh.backlog.Float64()
+	snap.BacklogF, _ = sh.backlog.Float64()
 	if sh.mwf != nil {
-		snap.wire.LPSolves = sh.mwf.Solves()
-		snap.wire.PlanCacheHits = sh.mwf.CacheHits()
-		snap.wire.Solver = sh.mwf.SolverTally()
+		snap.Wire.LPSolves = sh.mwf.Solves()
+		snap.Wire.PlanCacheHits = sh.mwf.CacheHits()
+		snap.Wire.Solver = sh.mwf.SolverTally()
 	} else if sh.freed {
-		snap.wire.LPSolves = sh.frozenSolves
-		snap.wire.PlanCacheHits = sh.frozenCacheHits
-		snap.wire.Solver = sh.frozenSolver
+		snap.Wire.LPSolves = sh.frozenSolves
+		snap.Wire.PlanCacheHits = sh.frozenCacheHits
+		snap.Wire.Solver = sh.frozenSolver
 	}
 	if sh.lastErr != nil {
-		snap.wire.LastError = sh.lastErr.Error()
+		snap.Wire.LastError = sh.lastErr.Error()
 	}
 	return snap
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"divflow/internal/obs"
+	"divflow/internal/shardlink"
 )
 
 // Cross-shard work stealing. PR 3's router pins a job to the shard it was
@@ -39,8 +40,16 @@ func (s *Server) stealFor(thief *shard) bool {
 		if sh == thief {
 			continue
 		}
-		if work := sh.residualWork(); work.Sign() > 0 {
-			cands = append(cands, cand{sh, work})
+		// The routing key crosses the shardlink boundary: for an in-process
+		// shard this is exactly residualWork (same exact value, no transport
+		// on the path), for a worker-hosted shard it is the only way to see
+		// the backlog at all.
+		ri, err := sh.link.RouteInfo(shardlink.RouteInfoArgs{})
+		if err != nil {
+			continue
+		}
+		if ri.Backlog.Sign() > 0 {
+			cands = append(cands, cand{sh, copyRat(ri.Backlog)})
 		}
 	}
 	sort.SliceStable(cands, func(a, b int) bool {
@@ -55,14 +64,27 @@ func (s *Server) stealFor(thief *shard) bool {
 }
 
 // stealFrom moves up to half of the donor's jobs — those the thief can host,
-// largest remaining work first — onto the thief. The whole migration runs
-// under both shards' mus, locked in index order (the global acquisition
-// order, so concurrent steals in opposite directions cannot deadlock):
-// extraction, insertion, the forwarding-table update, and the backlog
-// transfer are one atomic step as far as every reader is concerned.
+// largest remaining work first — onto the thief. When both shards sit behind
+// the in-process transport the migration runs as one dual-mutex critical
+// section (stealInProc, today's behavior bit-for-bit); any other transport
+// pairing runs the two-phase reserve→commit message exchange instead, which
+// never holds two shard locks at once.
+func (s *Server) stealFrom(thief, donor *shard) bool {
+	if thief.link.Transport() == shardlink.TransportInproc &&
+		donor.link.Transport() == shardlink.TransportInproc {
+		return s.stealInProc(thief, donor)
+	}
+	return s.stealMessaged(thief, donor)
+}
+
+// stealInProc is the in-process migration: the whole exchange runs under
+// both shards' mus, locked in index order (the global acquisition order, so
+// concurrent steals in opposite directions cannot deadlock): extraction,
+// insertion, the forwarding-table update, and the backlog transfer are one
+// atomic step as far as every reader is concerned.
 //
 //divflow:locks ascending=shard
-func (s *Server) stealFrom(thief, donor *shard) bool {
+func (s *Server) stealInProc(thief, donor *shard) bool {
 	// Timed end to end — donor catch-up included, since that catch-up (and
 	// any exact re-solve it triggers) is the real cost of a steal.
 	start := s.tel.now()
@@ -134,50 +156,8 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 		thief.lastErr != nil || thief.eng.Live() > 0 || len(thief.pending) > 0 {
 		return nil
 	}
-	// Census of the donor's jobs: everything pending plus everything live.
-	total := len(donor.pending) + donor.eng.Live()
-	if total < 2 {
-		// A donor running its only job gains nothing from losing it; moving
-		// it would just relocate the same serial work (and invite the donor
-		// to steal it straight back).
-		return nil
-	}
-	var items []stealItem
-	for _, rec := range donor.pending {
-		if !thief.hosts(rec.databanks) {
-			continue
-		}
-		work := new(big.Rat).Set(rec.size)
-		if rec.remaining != nil {
-			work.Mul(work, rec.remaining)
-		}
-		items = append(items, stealItem{rec: rec, work: work})
-	}
-	for _, id := range donor.eng.LiveIDs() {
-		rec := donor.records[id]
-		if !thief.hosts(rec.databanks) {
-			continue
-		}
-		work := new(big.Rat).Mul(rec.size, donor.eng.Remaining(id))
-		items = append(items, stealItem{rec: rec, work: work, live: true})
-	}
+	items := donor.stealCensus(thief.hosts)
 	if len(items) == 0 {
-		return nil
-	}
-	// Largest remaining work first (ties to the oldest job), and never more
-	// than half the donor's jobs: the donor keeps at least as much as it
-	// gives away.
-	sort.SliceStable(items, func(a, b int) bool {
-		if c := items[a].work.Cmp(items[b].work); c != 0 {
-			return c > 0
-		}
-		return items[a].rec.id < items[b].rec.id
-	})
-	k := total / 2
-	if k > len(items) {
-		k = len(items)
-	}
-	if k == 0 {
 		return nil
 	}
 
@@ -188,7 +168,7 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 		remaining               *big.Rat
 	}
 	var movedJobs []movedJob
-	for _, it := range items[:k] {
+	for _, it := range items {
 		rec := it.rec
 		remaining := rec.remaining
 		if it.live {
@@ -250,4 +230,123 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 	thief.obs.event(obs.EventSteal, -1, donor.eng.Now(),
 		fmt.Sprintf("%d jobs from shard %d", out.moved, donor.idx))
 	return out
+}
+
+// stealCensus takes the census of the shard's stealable jobs — everything
+// pending or live that the host predicate accepts — and selects the
+// migration set: largest remaining work first (ties to the oldest job), and
+// never more than half the shard's jobs, so the donor keeps at least as much
+// as it gives away. Both migration paths (the locked in-process steal and
+// the two-phase message exchange) select through this one helper, so a steal
+// moves exactly the same jobs no matter which transport carries it. Callers
+// hold sh.mu.
+//
+//divflow:locks requires=shard
+func (sh *shard) stealCensus(hosts func([]string) bool) []stealItem {
+	// The census counts everything pending plus everything live — including
+	// jobs the thief cannot host, which still anchor the half-rule below.
+	total := len(sh.pending) + sh.eng.Live()
+	if total < 2 {
+		// A donor running its only job gains nothing from losing it; moving
+		// it would just relocate the same serial work (and invite the donor
+		// to steal it straight back).
+		return nil
+	}
+	var items []stealItem
+	for _, rec := range sh.pending {
+		if !hosts(rec.databanks) {
+			continue
+		}
+		work := new(big.Rat).Set(rec.size)
+		if rec.remaining != nil {
+			work.Mul(work, rec.remaining)
+		}
+		items = append(items, stealItem{rec: rec, work: work})
+	}
+	for _, id := range sh.eng.LiveIDs() {
+		rec := sh.records[id]
+		if !hosts(rec.databanks) {
+			continue
+		}
+		work := new(big.Rat).Mul(rec.size, sh.eng.Remaining(id))
+		items = append(items, stealItem{rec: rec, work: work, live: true})
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		if c := items[a].work.Cmp(items[b].work); c != 0 {
+			return c > 0
+		}
+		return items[a].rec.id < items[b].rec.id
+	})
+	k := total / 2
+	if k > len(items) {
+		k = len(items)
+	}
+	return items[:k]
+}
+
+// stealMessaged is the transport-agnostic migration: a two-phase
+// reserve→commit exchange of shardlink messages that never holds two shard
+// mutexes at once, so it works identically whether the donor is a goroutine
+// away or a process away. The donor reserves the extracted jobs (out of its
+// engine, still readable at their pre-move state — no not-found window on
+// the wire); the thief adopts them or, if it went busy/retired while the
+// messages were in flight, the donor takes them back; the forwarding table
+// is updated before the donor's records flip to migrated, so a read chasing
+// a moved gid always lands somewhere that knows it.
+//
+// The exchange runs under a reshardMu TryLock: retired/closed only flip
+// under reshardMu, so holding it pins both shards' dispositions across the
+// multi-message window (the dual-mutex path gets the same stability from
+// its locks alone). TryLock, not Lock — a shard loop must never block
+// behind a reshard, and skipping one steal attempt is free.
+func (s *Server) stealMessaged(thief, donor *shard) bool {
+	if !s.reshardMu.TryLock() {
+		return false
+	}
+	defer s.reshardMu.Unlock()
+	// Timed end to end, like the in-process path: the donor-side catch-up
+	// and any re-solve it triggers are the real cost of a steal.
+	start := s.tel.now()
+	ex, err := donor.link.ExtractJobs(shardlink.ExtractArgs{ThiefMachines: thief.machines})
+	if err != nil || len(ex.Jobs) == 0 {
+		return false
+	}
+	fromLocals := make([]int, len(ex.Jobs))
+	for i := range ex.Jobs {
+		fromLocals[i] = ex.Jobs[i].FromLocal
+	}
+	ad, aerr := thief.link.AdmitMigrated(shardlink.AdmitArgs{Jobs: ex.Jobs, Reason: migrateSteal})
+	if aerr != nil || !ad.Accepted || len(ad.Locals) != len(ex.Jobs) {
+		// Give-back: the donor re-queues the reserved jobs with their exact
+		// remaining fractions; no work was lost or duplicated.
+		_ = donor.link.AbortExtract(shardlink.AbortArgs{Locals: fromLocals})
+		return false
+	}
+	// Forwarding entries land before the donor commits: between the admit
+	// and the commit the job is readable on the donor (pre-move state) and
+	// resolvable to the thief, never on neither.
+	s.fwdMu.Lock()
+	for i := range ex.Jobs {
+		s.forward[ex.Jobs[i].GID] = fwdLoc{sh: thief, local: ad.Locals[i]}
+	}
+	s.fwdMu.Unlock()
+	if err := donor.link.CommitExtract(shardlink.CommitArgs{Locals: fromLocals}); err != nil {
+		// The transport died between admit and commit: the thief owns the
+		// jobs (the forwarding table already says so); the donor keeps
+		// reserved records it will re-orphan on its next extraction attempt.
+		// Nothing to unwind that would not lose work.
+		s.tel.event(obs.EventShardStall, -1, -1,
+			fmt.Sprintf("steal commit to shard %d failed: %v", donor.idx, err))
+	}
+	if !start.IsZero() {
+		thief.obs.steal.Observe(thief.obs.sinceSeconds(start))
+	}
+	// Both loops re-arm: the donor's next event changed (stolen completions
+	// vanished), and the thief has fresh pending work to admit.
+	_ = donor.link.Poke(shardlink.PokeArgs{})
+	_ = thief.link.Poke(shardlink.PokeArgs{})
+	return true
 }

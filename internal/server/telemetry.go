@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"divflow/internal/obs"
+	"divflow/internal/shardlink"
 	"divflow/internal/stats"
 )
 
@@ -69,6 +70,8 @@ type telemetry struct {
 	flowTime       *obs.HistogramVec // {shard}: completed flows, virtual time
 	walErrors      *obs.Counter      // latched + transient WAL failures
 	recoverySecs   *obs.Histogram    // snapshot-load + WAL-replay and shard-restart durations
+	linkCalls      *obs.CounterVec   // {transport,op}: shardlink operations issued
+	rpcSeconds     *obs.HistogramVec // {op}: shardlink RPC round-trip wall seconds
 
 	// Scrape-time families (Server.collectMetrics).
 	submissions     *obs.CounterVec
@@ -134,6 +137,11 @@ func newTelemetry(enabled bool, sink io.Writer, bufSize int) *telemetry {
 		recoverySecs: r.Histogram("divflow_recovery_seconds",
 			"Wall time of one recovery: startup snapshot-load + WAL replay, or one in-place shard restart.",
 			obs.DefLatencyBuckets).With(),
+		linkCalls: r.Counter("divflow_shardlink_calls_total",
+			"Shard operations issued by the router, by transport and operation.", "transport", "op"),
+		rpcSeconds: r.Histogram("divflow_shardlink_rpc_seconds",
+			"Round-trip wall time of one shardlink RPC (loopback pipe or worker socket), by operation.",
+			obs.DefLatencyBuckets, "op"),
 
 		submissions: r.Counter("divflow_submissions_total",
 			"Jobs accepted, by birth shard.", "shard"),
@@ -339,8 +347,14 @@ func (s *Server) collectMetrics() {
 		t.walReplayed.Set(uint64(replayed))
 	}
 	for _, sh := range s.allShards() {
-		snap := sh.statsSnapshot()
-		w := &snap.wire
+		// Through the shardlink boundary, like every router-side read: for a
+		// worker-hosted shard this is the only source of truth, and a shard
+		// whose transport fails mid-scrape just keeps its previous values.
+		snap, err := sh.link.Stats(shardlink.StatsArgs{})
+		if err != nil {
+			continue
+		}
+		w := &snap.Wire
 		l := strconv.Itoa(w.Shard)
 		t.submissions.With(l).Set(uint64(w.JobsAccepted))
 		t.completions.With(l).Set(uint64(w.JobsCompleted))
@@ -359,7 +373,7 @@ func (s *Server) collectMetrics() {
 		t.solverPath.With(l, pathExactFallback).Set(uint64(w.Solver.Fallbacks))
 		t.solverWarm.With(l, "hit").Set(uint64(w.Solver.WarmHits))
 		t.solverWarm.With(l, "miss").Set(uint64(w.Solver.WarmMisses))
-		t.backlog.With(l).Set(snap.backlogF)
+		t.backlog.With(l).Set(snap.BacklogF)
 		t.jobsLive.With(l).Set(float64(w.JobsLive))
 		t.jobsQueued.With(l).Set(float64(w.JobsQueued))
 		t.shardStalled.With(l).Set(boolGauge(w.Stalled))

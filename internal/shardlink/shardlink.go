@@ -1,0 +1,253 @@
+// Package shardlink defines the transport-agnostic boundary between the
+// divflowd router and its scheduling shards: every operation the router may
+// ask of a shard, as a typed request/response message pair, plus the Link
+// interface a transport implements. The server package ships two transports
+// pinned equivalent by the trace-exact test suite — an in-process one that
+// calls straight into the shard under its mutex (bit-for-bit the pre-link
+// behavior), and a loopback net/rpc one that serializes every message with
+// gob (exact rationals included: big.Rat gob-encodes losslessly), so a shard
+// can live behind a socket in another process (divflowd -worker).
+//
+// The message set is deliberately closed over wire-safe types: exact
+// rationals (*big.Rat), the model wire structs, schedule pieces, and
+// histogram snapshots all cross process boundaries without rounding. Shard
+// identity never crosses the boundary — a Link is pinned to one shard at
+// construction, so a transport handler can address (and lock) only its own
+// shard. The analysis suite enforces that as a lock fact: handler methods
+// carry `//divflow:locks boundary=shardlink` and must never reach code
+// blessed to hold two shard mutexes at once.
+package shardlink
+
+import (
+	"math/big"
+
+	"divflow/internal/model"
+	"divflow/internal/obs"
+	"divflow/internal/schedule"
+)
+
+// Transport names, used as the metric label of the per-transport call
+// counters and the RPC latency histogram.
+const (
+	TransportInproc = "inproc"
+	TransportRPC    = "rpc"
+)
+
+// Submit outcomes. Transports flatten errors to strings, so the router's
+// control flow (retry on retired, propagate closed, reject no-host) keys on
+// a closed outcome enum instead of error identity.
+const (
+	OutcomeOK      = "ok"      // accepted; GID carries the global ID
+	OutcomeRetired = "retired" // shard retired by a racing reshard: re-route
+	OutcomeClosed  = "closed"  // server shutting down
+	OutcomeNoHost  = "nohost"  // no machine of the shard hosts the databanks
+)
+
+// SubmitArgs asks the shard to accept one job, stamping its flow origin
+// (release) at the shard's current clock reading.
+type SubmitArgs struct {
+	Job model.Job
+}
+
+// SubmitReply reports the accepted job's wire-visible global ID, or why the
+// submission was refused.
+type SubmitReply struct {
+	GID     int
+	Outcome string
+	Err     string // detail for OutcomeNoHost
+}
+
+// JobStatusArgs reads one shard-local record by its local slot and the
+// global ID the caller resolved it from (the shard cross-checks the two: a
+// stolen record occupies a slot whose arithmetic encoding belongs to a
+// different global ID).
+type JobStatusArgs struct {
+	Local int
+	GID   int
+}
+
+// JobStatusReply mirrors shard.jobStatus: Known=false answers are either
+// definitive (unknown/compacted) or, with Migrated=true, retryable — the job
+// left for another shard and the caller should chase the forwarding table.
+type JobStatusReply struct {
+	Status   model.JobStatus
+	Known    bool
+	Migrated bool
+}
+
+// ScheduleArgs windows the shard's executed trace to pieces ending after
+// Since (nil keeps everything).
+type ScheduleArgs struct {
+	Since *big.Rat
+}
+
+// ScheduleReply is one shard's deep-copied trace window, with machine
+// indices and job IDs already translated to fleet/global space.
+type ScheduleReply struct {
+	Pieces   []schedule.Piece
+	Now      *big.Rat
+	Makespan *big.Rat
+}
+
+// StatsArgs requests the shard's stats snapshot.
+type StatsArgs struct{}
+
+// StatsSnapshot is one shard's contribution to the merged GET /v1/stats
+// response: the wire breakdown plus the exact aggregates the router folds
+// into fleet-wide summaries. Every field is exported so the snapshot crosses
+// the RPC transport intact.
+type StatsSnapshot struct {
+	Wire       model.ShardStats
+	Now        *big.Rat
+	DoneCount  int
+	FlowSum    *big.Rat
+	MaxWF      *big.Rat
+	MaxStretch *big.Rat
+	// Flow is the shard's completed-flow histogram: the router merges the
+	// per-shard snapshots and estimates the fleet P95 from the merge, the
+	// same estimator a dashboard applies to the exported buckets.
+	Flow obs.HistogramSnapshot
+	// BacklogF is the float approximation of the exact backlog, for the
+	// divflow_backlog_work gauge.
+	BacklogF float64
+}
+
+// RouteInfoArgs requests the routing key.
+type RouteInfoArgs struct{}
+
+// RouteInfoReply is everything the router's placement decision needs: the
+// shard's exact residual backlog and its latched error text ("" while
+// healthy). Shard-side it is served off a dedicated mutex, so routing never
+// waits behind an in-flight exact solve.
+type RouteInfoReply struct {
+	Backlog *big.Rat
+	Err     string
+}
+
+// PokeArgs wakes the shard's loop if it is sleeping (steal re-check,
+// timer re-arm after a migration).
+type PokeArgs struct{}
+
+// PokeReply is empty.
+type PokeReply struct{}
+
+// MigratedJob is one job crossing the boundary in a two-phase migration:
+// everything the destination needs to adopt it (original global ID, flow
+// origin, exact remaining fraction) plus the donor-side local slot the
+// commit/abort phases key on.
+type MigratedJob struct {
+	FromLocal int // donor-side local slot (reserve bookkeeping)
+	GID       int // wire-visible global ID; survives the move
+	Name      string
+	Weight    *big.Rat
+	Size      *big.Rat
+	Release   *big.Rat // original submission time: still the flow origin
+	Remaining *big.Rat // exact unprocessed fraction at extraction
+	Databanks []string
+	Counted   bool // arrival statistics already counted this job somewhere
+}
+
+// ExtractArgs opens a two-phase steal against a donor shard: extract up to
+// half its jobs — those some thief machine hosts, largest remaining work
+// first. The donor reserves the extracted records (out of its engine and
+// pending queue, still readable at their pre-move state) until the caller
+// commits or aborts.
+type ExtractArgs struct {
+	// ThiefMachines is the requesting shard's machine slice; the donor
+	// filters its census to jobs they can host.
+	ThiefMachines []model.Machine
+}
+
+// ExtractReply lists the reserved jobs. Empty means nothing stealable (the
+// donor keeps at least as much as it gives away, and never gives its last
+// job).
+type ExtractReply struct {
+	Jobs []MigratedJob
+	// RemovedLive reports whether any extracted job was live in the donor
+	// engine (vs still pending): the donor re-plans in that case.
+	RemovedLive bool
+}
+
+// AdmitArgs asks the destination shard to adopt extracted jobs. Reason
+// ("steal" or "reshard") selects which migration counter the destination
+// bumps.
+type AdmitArgs struct {
+	Jobs   []MigratedJob
+	Reason string
+}
+
+// AdmitReply reports adoption. Accepted=false (the destination retired or
+// closed while the exchange was in flight) obliges the caller to abort the
+// extraction so the donor takes its jobs back.
+type AdmitReply struct {
+	Accepted bool
+	// Locals are the destination-side local slots, parallel to AdmitArgs.Jobs;
+	// the router writes them into the forwarding table before committing.
+	Locals []int
+}
+
+// CommitArgs finishes a two-phase migration on the donor: the reserved
+// records flip to the migrated state (readable only through the forwarding
+// table the router has already updated) and the moved work leaves the
+// donor's backlog.
+type CommitArgs struct {
+	Locals []int // donor-side local slots from ExtractReply
+}
+
+// CommitReply is empty.
+type CommitReply struct{}
+
+// AbortArgs undoes a reservation: the donor re-queues the extracted records
+// (exact remaining fractions intact) for re-admission at its next wake-up.
+type AbortArgs struct {
+	Locals []int
+}
+
+// AbortReply is empty.
+type AbortReply struct{}
+
+// InstallArgs provisions one shard inside a worker process (divflowd
+// -worker): the shard's identity (creation index and global-ID encoding),
+// its slice of the fleet, its policy, and the router's current clock reading
+// — the worker anchors its real clock at Now, so both processes measure the
+// same virtual timeline from the same epoch.
+type InstallArgs struct {
+	Idx        int
+	Pos        int
+	Stride     int
+	GidBase    int
+	Machines   []model.Machine
+	MachineIdx []int
+	Policy     string
+	Retention  *big.Rat
+	Now        *big.Rat // router clock reading at install: the shared epoch
+}
+
+// InstallReply is empty; installation errors travel as RPC errors.
+type InstallReply struct{}
+
+// Link is the router's transport-agnostic handle on one shard: the complete
+// operation set of the router↔shard boundary. Every implementation must be
+// safe for concurrent use. Errors are transport failures only — operation-
+// level refusals travel inside the replies (Outcome, Known, Accepted), so
+// the in-process transport never constructs an error on the hot path.
+type Link interface {
+	// Transport names the implementation (TransportInproc, TransportRPC);
+	// it labels the per-transport call counters.
+	Transport() string
+
+	Submit(SubmitArgs) (SubmitReply, error)
+	JobStatus(JobStatusArgs) (JobStatusReply, error)
+	Schedule(ScheduleArgs) (ScheduleReply, error)
+	Stats(StatsArgs) (StatsSnapshot, error)
+	RouteInfo(RouteInfoArgs) (RouteInfoReply, error)
+	Poke(PokeArgs) error
+
+	// Two-phase migration (reserve → commit, with abort as the give-back
+	// path). The transports replace the dual-mutex steal critical section
+	// with this exchange when either side is not an in-process engine.
+	ExtractJobs(ExtractArgs) (ExtractReply, error)
+	AdmitMigrated(AdmitArgs) (AdmitReply, error)
+	CommitExtract(CommitArgs) error
+	AbortExtract(AbortArgs) error
+}

@@ -99,6 +99,24 @@ func (p *MCT) Assign(s *Snapshot) Allocation {
 	for j := range p.enqueued {
 		if present[j] == nil {
 			p.completed[j] = true
+		} else if p.completed[j] {
+			// A job marked completed has reappeared in the snapshot under
+			// the same ID. The engine permits this (AddPartial accepts a
+			// removed ID back), and the server's two-phase migration does
+			// it when a reserve is aborted and the work handed back to the
+			// donor. Forget the stale disposition and treat the job as a
+			// fresh release: it will be re-queued greedily below.
+			delete(p.completed, j)
+			delete(p.enqueued, j)
+			for i := range p.queue {
+				kept := p.queue[i][:0]
+				for _, id := range p.queue[i] {
+					if id != j {
+						kept = append(kept, id)
+					}
+				}
+				p.queue[i] = kept
+			}
 		}
 	}
 	// Queue the newly released jobs greedily by estimated completion time.
