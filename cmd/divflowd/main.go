@@ -9,16 +9,28 @@
 //
 //	divflowd -platform testdata/platform.json -addr :8080
 //
-// API (all JSON, exact rationals as strings):
+// API (all JSON, exact rationals as strings; errors arrive as a versioned
+// envelope {"error":{"code","message",...}}):
 //
 //	POST /v1/jobs          {"name":"blast","size":"40","weight":"1","databanks":["swissprot"]}
+//	                       optional "deadline","tenant","slaClass"; or {"jobs":[...]} batch
 //	GET  /v1/jobs/{id}     job state, completion, flow / weighted flow / stretch
 //	GET  /v1/schedule      executed Gantt so far (?since=<rat> to window)
 //	GET  /v1/stats         solve/batch/cache counters and flow metrics
+//	GET  /v1/tenants       per-tenant weighted-flow accounting (submitted/shed/backlog/p95)
 //	POST /v1/platform      admin: live re-shard against an updated platform JSON
 //	GET  /healthz          200 healthy / 503 naming the stalled shards
 //	GET  /metrics          Prometheus text exposition (-metrics=false removes it)
 //	GET  /v1/events        structured scheduling-event journal (?since=&type=&shard=)
+//
+// Jobs may carry an absolute deadline: the routed shard runs the paper's
+// exact feasibility test against its residual workload and returns an
+// admission certificate — accept, reject, or a best-achievable
+// counter-offer deadline. -admission selects strict (infeasible submits
+// rejected), advisory (certificate returned, job admitted anyway), or off.
+// -tenants names a JSON file of per-tenant weights; tenants exceeding
+// their weighted share of the fleet backlog are shed with
+// tenant_over_quota (premium-class jobs are exempt).
 //
 // -events-log mirrors every journaled event to an NDJSON file, and
 // -debug-addr serves net/http/pprof on a second, operator-only listener.
@@ -116,6 +128,10 @@ func main() {
 			"sync the write-ahead log after every append (requires -wal-dir); off, tail durability is bounded by the OS page cache")
 		snapshotEvery = flag.Int("snapshot-every", 0,
 			"write a fleet snapshot (and truncate the log behind it) every N WAL appends; 0 selects the default (1024)")
+		admission = flag.String("admission", server.AdmissionStrict,
+			"deadline admission control: strict rejects submissions whose deadline is infeasible against the routed shard's residual workload (with an exact counter-offer), advisory admits them but returns the certificate, off skips the feasibility solve entirely")
+		tenants = flag.String("tenants", "",
+			"multi-tenant weighted fairness: JSON file {\"tenants\":[{\"name\":\"acme\",\"weight\":\"3\"}]} of per-tenant weights; tenants over their weighted share of the fleet backlog are shed with tenant_over_quota (empty disables quota enforcement; unlisted tenants weigh 1)")
 		restartStalled = flag.Bool("restart-stalled", false,
 			"rebuild a shard whose loop latched an error or panicked, in place from its intact engine state (bounded retries per shard)")
 		worker = flag.Bool("worker", false,
@@ -172,7 +188,18 @@ func main() {
 	cfg := server.Config{Machines: machines, Policy: *policy, Shards: plat.Shards,
 		DisableSteal: !*steal, DisableReshard: !*reshard, DisableObs: !*metrics,
 		WALDir: *walDir, Fsync: *fsync, SnapshotEvery: *snapshotEvery,
-		RestartStalled: *restartStalled}
+		RestartStalled: *restartStalled, Admission: *admission}
+	if *tenants != "" {
+		data, err := os.ReadFile(*tenants)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tc, err := model.ParseTenantConfig(data)
+		if err != nil {
+			log.Fatalf("bad -tenants file %s: %v", *tenants, err)
+		}
+		cfg.Tenants = tc
+	}
 	if *workers != "" {
 		w, err := parseWorkers(*workers)
 		if err != nil {

@@ -80,6 +80,94 @@ func (p *proc) waitLine(t *testing.T, substr string) string {
 	}
 }
 
+// buildDivflowd builds the real binary once into a temp dir.
+func buildDivflowd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "divflowd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestWorkerAdmissionCertificates runs deadline admission across a real
+// two-process fleet: the single shard lives in a -worker process, so the
+// feasibility check and its exact certificate cross the RPC socket. An
+// impossible deadline must come back as a typed deadline_infeasible envelope
+// with a counter-offer, and resubmitting past the counter-offer must be
+// accepted with a feasible certificate.
+func TestWorkerAdmissionCertificates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the divflowd binary")
+	}
+	bin := buildDivflowd(t)
+	platform := filepath.Join(t.TempDir(), "platform.json")
+	if err := os.WriteFile(platform, []byte(`{
+		"shards": 1,
+		"machines": [{"name": "m", "inverseSpeed": "1", "databanks": ["shared"]}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	worker := startProc(t, bin, "-worker", "-listen", "127.0.0.1:0")
+	wline := worker.waitLine(t, "worker awaiting shard installs on ")
+	workerAddr := wline[strings.LastIndex(wline, " on ")+len(" on "):]
+	router := startProc(t, bin,
+		"-addr", "127.0.0.1:0",
+		"-platform", platform,
+		"-workers", "0="+workerAddr,
+	)
+	rline := router.waitLine(t, "serving 1 machines in 1 shards on ")
+	rest := rline[strings.Index(rline, " shards on ")+len(" shards on "):]
+	base := "http://" + strings.TrimSpace(strings.Split(rest, " ")[0])
+
+	// The worker anchors a real clock, so any sub-millisecond deadline is
+	// already hopeless for 9 units of work at speed 1.
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(
+		`{"size":"9","deadline":"1/1000","databanks":["shared"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env model.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity || env.Error.Code != "deadline_infeasible" {
+		t.Fatalf("worker-shard infeasible submit = %d %q, want 422 deadline_infeasible", resp.StatusCode, env.Error.Code)
+	}
+	cert := env.Error.Admission
+	if cert == nil || cert.Feasible || cert.CounterOffer == "" {
+		t.Fatalf("certificate over RPC = %+v, want infeasible with a counter-offer", cert)
+	}
+	counter, ok := new(big.Rat).SetString(cert.CounterOffer)
+	if !ok || counter.Cmp(big.NewRat(9, 1)) < 0 {
+		t.Fatalf("counter-offer %q, want an exact rational >= 9 (release + 9 work / speed 1)", cert.CounterOffer)
+	}
+
+	// Real time moved on since the counter-offer was computed; resubmit with
+	// a minute of slack so the promise is still open when the check reruns.
+	counter.Add(counter, big.NewRat(60, 1))
+	body, _ := json.Marshal(model.SubmitRequest{
+		Size: "9", Deadline: counter.RatString(), Databanks: []string{"shared"}})
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub model.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit past counter-offer = %d, want 202", resp.StatusCode)
+	}
+	if sub.Admission == nil || !sub.Admission.Feasible || sub.Admission.ResidualJobs != 1 {
+		t.Fatalf("accept certificate over RPC = %+v, want feasible covering 1 job", sub.Admission)
+	}
+}
+
 // TestDistributedFleetSmoke builds the real binary and runs a two-process
 // fleet: a worker hosting shard 1 and a router hosting shard 0, wired over
 // loopback TCP RPC. It submits a burst of jobs over HTTP, waits for the

@@ -37,6 +37,15 @@ type Job struct {
 	// Databanks lists the databanks the job needs; the job may only run on
 	// machines hosting all of them. Empty means the job runs anywhere.
 	Databanks []string
+	// Deadline is an optional absolute deadline d̄_j (nil means none). The
+	// offline solvers take deadlines as an explicit argument; this field is
+	// the service-level carrier — admission control checks it, and it rides
+	// migrations and the WAL with the job.
+	Deadline *big.Rat
+	// Tenant and SLAClass are service-level accounting labels; the solvers
+	// ignore them.
+	Tenant   string
+	SLAClass string
 }
 
 // Machine is one compute resource M_i.
@@ -241,9 +250,14 @@ func (in *Instance) Clone() *Instance {
 			Release:   new(big.Rat).Set(job.Release),
 			Weight:    new(big.Rat).Set(job.Weight),
 			Databanks: append([]string(nil), job.Databanks...),
+			Tenant:    job.Tenant,
+			SLAClass:  job.SLAClass,
 		}
 		if job.Size != nil {
 			out.Jobs[j].Size = new(big.Rat).Set(job.Size)
+		}
+		if job.Deadline != nil {
+			out.Jobs[j].Deadline = new(big.Rat).Set(job.Deadline)
 		}
 	}
 	for i, mach := range in.Machines {

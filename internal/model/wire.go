@@ -26,6 +26,63 @@ type SubmitRequest struct {
 	// Databanks lists the databanks the job needs; it may only run on
 	// machines hosting all of them.
 	Databanks []string `json:"databanks,omitempty"`
+	// Deadline is an absolute virtual-time deadline (exact rational, same
+	// timeline as Release/CompletedAt). When set, admission runs the paper's
+	// deadline-feasibility LP (Lemma 1 / System (2)) against the routed
+	// shard's residual workload and answers with an exact certificate — an
+	// accept, or a typed reject carrying the best achievable counter-offer
+	// deadline. Empty means no deadline.
+	Deadline string `json:"deadline,omitempty"`
+	// Tenant names the submitting tenant for weighted-fairness accounting
+	// and isolation (per-tenant stats on GET /v1/tenants; a tenant over its
+	// configured share is shed with a tenant_over_quota reject). Empty means
+	// untracked legacy traffic, exempt from quota.
+	Tenant string `json:"tenant,omitempty"`
+	// SLAClass is the job's service class: "premium" (guaranteed — never
+	// shed by tenant quota), "standard" (the default), or "batch"
+	// (best-effort). It is carried end to end and reported per tenant.
+	SLAClass string `json:"slaClass,omitempty"`
+}
+
+// SLA classes accepted on the wire. The empty string is normalized to
+// SLAStandard at admission.
+const (
+	SLAPremium  = "premium"
+	SLAStandard = "standard"
+	SLABatch    = "batch"
+)
+
+// ValidSLAClass reports whether s names a known SLA class ("" included).
+func ValidSLAClass(s string) bool {
+	switch s {
+	case "", SLAPremium, SLAStandard, SLABatch:
+		return true
+	}
+	return false
+}
+
+// BatchSubmitRequest is the batch form of POST /v1/jobs: every job is
+// admitted as one arrival batch and answered in order.
+type BatchSubmitRequest struct {
+	Jobs []SubmitRequest `json:"jobs"`
+}
+
+// BatchSubmitResult is one per-job outcome inside BatchSubmitResponse:
+// either an accepted submission (ID/State/Warning/Admission, Error nil) or a
+// typed rejection (Error set, the other fields zero).
+type BatchSubmitResult struct {
+	ID        int                   `json:"id,omitempty"`
+	State     string                `json:"state,omitempty"`
+	Warning   string                `json:"warning,omitempty"`
+	Admission *AdmissionCertificate `json:"admission,omitempty"`
+	Error     *WireError            `json:"error,omitempty"`
+}
+
+// BatchSubmitResponse answers a batch POST /v1/jobs, results in request
+// order. The HTTP status is 202 when at least one job was accepted; the
+// per-job Error fields carry individual rejections.
+type BatchSubmitResponse struct {
+	Results []BatchSubmitResult `json:"results"`
 }
 
 // maxWireRatBits bounds the numerator/denominator of submitted rationals:
@@ -71,7 +128,84 @@ func (r *SubmitRequest) Job() (Job, error) {
 		}
 		job.Weight = w
 	}
+	if r.Deadline != "" {
+		d, err := parseWireRat(r.Deadline, "deadline")
+		if err != nil {
+			return job, err
+		}
+		if d.Sign() <= 0 {
+			return job, errors.New("model: submission needs deadline > 0")
+		}
+		job.Deadline = d
+	}
+	if !ValidSLAClass(r.SLAClass) {
+		return job, fmt.Errorf("model: unknown slaClass %q (want premium, standard, or batch)", r.SLAClass)
+	}
+	job.Tenant = r.Tenant
+	job.SLAClass = r.SLAClass
+	if job.SLAClass == "" {
+		job.SLAClass = SLAStandard
+	}
 	return job, nil
+}
+
+// AdmissionCertificate is the exact outcome of the deadline-feasibility
+// check a shard ran for a submission. It rides SubmitResponse on accepted
+// jobs and the error envelope on deadline_infeasible rejects.
+type AdmissionCertificate struct {
+	// Mode is the admission mode the check ran under: "strict" rejects
+	// infeasible deadlines, "advisory" admits them but reports the
+	// certificate.
+	Mode string `json:"mode"`
+	// Feasible is the exact LP verdict: the deadline (and every deadline
+	// already admitted) can be met by some schedule of the shard's residual
+	// workload.
+	Feasible bool `json:"feasible"`
+	// Deadline echoes the deadline that was checked.
+	Deadline string `json:"deadline,omitempty"`
+	// CounterOffer is the minimum feasible deadline for this job against the
+	// same residual workload — the exact best the shard can promise — set
+	// when the requested deadline is infeasible.
+	CounterOffer string `json:"counterOffer,omitempty"`
+	// ResidualJobs is the number of live + queued jobs the feasibility LP
+	// covered (the submitted job included).
+	ResidualJobs int `json:"residualJobs"`
+}
+
+// Typed error codes of the v1 error envelope (WireError.Code).
+const (
+	ErrCodeInvalidArgument    = "invalid_argument"
+	ErrCodeNotFound           = "not_found"
+	ErrCodeDeadlineInfeasible = "deadline_infeasible"
+	ErrCodeTenantOverQuota    = "tenant_over_quota"
+	ErrCodeShardStalled       = "shard_stalled"
+	ErrCodeFleetClosed        = "fleet_closed"
+	ErrCodeWALDegraded        = "wal_degraded"
+	ErrCodeReshardDisabled    = "reshard_disabled"
+	ErrCodeInternal           = "internal"
+)
+
+// WireError is the v1 error body: every non-2xx answer wraps one in an
+// ErrorResponse envelope, {"error":{"code","message",...}}.
+type WireError struct {
+	// Code is one of the ErrCode* constants: a stable, machine-matchable
+	// classification of the failure.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Shard names the shard the failure is about (stalled-shard routing,
+	// admission rejects), when one is.
+	Shard *int `json:"shard,omitempty"`
+	// RetryAfter is the server's retry hint in seconds, mirrored in the
+	// Retry-After HTTP header (stalled shards, closed fleets).
+	RetryAfter int `json:"retryAfter,omitempty"`
+	// Admission carries the exact certificate on deadline_infeasible
+	// rejects, counter-offer included.
+	Admission *AdmissionCertificate `json:"admission,omitempty"`
+}
+
+// ErrorResponse is the versioned envelope every error body uses.
+type ErrorResponse struct {
+	Error WireError `json:"error"`
 }
 
 // SubmitResponse is the body answering POST /v1/jobs.
@@ -83,6 +217,9 @@ type SubmitResponse struct {
 	// the job will queue until the shard recovers. It carries that shard's
 	// error text; healthy routings leave it empty.
 	Warning string `json:"warning,omitempty"`
+	// Admission is the deadline-feasibility certificate for submissions that
+	// carried a deadline (nil for deadline-free jobs and -admission=off).
+	Admission *AdmissionCertificate `json:"admission,omitempty"`
 }
 
 // JobStatus is the body of GET /v1/jobs/{id}. Rational fields are empty
@@ -105,6 +242,105 @@ type JobStatus struct {
 	// objective; Stretch is Flow / Size.
 	WeightedFlow string `json:"weightedFlow,omitempty"`
 	Stretch      string `json:"stretch,omitempty"`
+	// Deadline, Tenant, and SLAClass echo the submission's SLA fields.
+	// DeadlineMet reports, once the job completes, whether CompletedAt <=
+	// Deadline (nil while live or when no deadline was set).
+	Deadline    string `json:"deadline,omitempty"`
+	Tenant      string `json:"tenant,omitempty"`
+	SLAClass    string `json:"slaClass,omitempty"`
+	DeadlineMet *bool  `json:"deadlineMet,omitempty"`
+}
+
+// TenantStats is one tenant's row in GET /v1/tenants: exact per-tenant
+// weighted-flow accounting merged across shards, plus the admission-control
+// counters the router keeps.
+type TenantStats struct {
+	Tenant string `json:"tenant"`
+	// Weight is the tenant's configured fair share weight ("1" when the
+	// tenant is not in the -tenants config).
+	Weight string `json:"weight"`
+	// Submitted counts accepted submissions, Completed completed jobs, and
+	// Shed submissions rejected with tenant_over_quota.
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Shed      int `json:"shed,omitempty"`
+	// Backlog is the tenant's exact residual work across the fleet (admitted
+	// sizes minus completed work).
+	Backlog string `json:"backlog"`
+	// MaxWeightedFlow is the exact max of w_j (C_j − r_j) over the tenant's
+	// completed jobs; MeanFlow and P95WeightedFlow are float summaries (the
+	// P95 is estimated from the per-tenant weighted-flow histogram exported
+	// on /metrics, so the two surfaces agree).
+	MaxWeightedFlow string  `json:"maxWeightedFlow,omitempty"`
+	MeanFlow        float64 `json:"meanFlow,omitempty"`
+	P95WeightedFlow float64 `json:"p95WeightedFlow,omitempty"`
+	// ByClass counts accepted submissions per SLA class.
+	ByClass map[string]int `json:"byClass,omitempty"`
+}
+
+// TenantsResponse is the body of GET /v1/tenants, sorted by tenant name.
+type TenantsResponse struct {
+	Tenants []TenantStats `json:"tenants"`
+}
+
+// TenantConfig is a parsed -tenants document: the fleet's tenant weight
+// shares. A tenant's fair share of the fleet backlog is its weight divided
+// by the total weight of currently-active tenants; submissions that would
+// push a tenant past that share are shed with tenant_over_quota (premium
+// traffic is exempt). Tenants absent from the config get weight 1.
+type TenantConfig struct {
+	// Weights maps tenant name to its exact share weight (> 0).
+	Weights map[string]*big.Rat
+}
+
+// Weight returns the configured weight for tenant (default 1). A nil config
+// defaults every tenant to 1.
+func (tc *TenantConfig) Weight(tenant string) *big.Rat {
+	if tc != nil {
+		if w, ok := tc.Weights[tenant]; ok {
+			return new(big.Rat).Set(w)
+		}
+	}
+	return big.NewRat(1, 1)
+}
+
+// ParseTenantConfig decodes a tenant-weights document:
+// {"tenants":[{"name":"acme","weight":"3"}, ...]}. Names must be unique and
+// non-empty, weights exact positive rationals.
+func ParseTenantConfig(data []byte) (*TenantConfig, error) {
+	var doc struct {
+		Tenants []struct {
+			Name   string `json:"name"`
+			Weight string `json:"weight"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("model: tenants: %w", err)
+	}
+	if len(doc.Tenants) == 0 {
+		return nil, errors.New("model: tenants config names no tenants")
+	}
+	tc := &TenantConfig{Weights: make(map[string]*big.Rat, len(doc.Tenants))}
+	for i, t := range doc.Tenants {
+		if t.Name == "" {
+			return nil, fmt.Errorf("model: tenants entry %d has no name", i)
+		}
+		if _, dup := tc.Weights[t.Name]; dup {
+			return nil, fmt.Errorf("model: tenant %q configured twice", t.Name)
+		}
+		if t.Weight == "" {
+			return nil, fmt.Errorf("model: tenant %q needs a weight", t.Name)
+		}
+		w, err := parseWireRat(t.Weight, "tenant weight")
+		if err != nil {
+			return nil, err
+		}
+		if w.Sign() <= 0 {
+			return nil, fmt.Errorf("model: tenant %q needs weight > 0", t.Name)
+		}
+		tc.Weights[t.Name] = w
+	}
+	return tc, nil
 }
 
 // ShardStats is the per-shard breakdown inside StatsResponse: one entry per

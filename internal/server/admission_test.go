@@ -1,0 +1,285 @@
+package server
+
+import (
+	"fmt"
+	"math/big"
+	"net/http/httptest"
+	"testing"
+
+	"divflow/internal/model"
+	"divflow/internal/shardlink"
+)
+
+// TestDeadlineCounterOfferResubmit is the admission-control acceptance test:
+// an infeasible deadline is rejected with an exact counter-offer, and a
+// resubmission at exactly that counter-offer is accepted AND met in the
+// executed trace. The feasibility model runs each job on one machine at a
+// time (migration allowed), so on testFleet (fast speed 2, slow speed 1) a
+// size-9 job cannot be promised before 9/2 — the executed trace, which may
+// split a job across machines, then beats the promise.
+func TestDeadlineCounterOfferResubmit(t *testing.T) {
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: testFleet(), Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Infeasible: 9 units of work need 9/2 on the fastest machine.
+	status, _, env := apiCall(t, ts, "POST", "/v1/jobs",
+		`{"size":"9","weight":"3","deadline":"1","databanks":["swissprot"]}`)
+	if status != 422 || env.Error.Code != model.ErrCodeDeadlineInfeasible {
+		t.Fatalf("infeasible submit = %d %q, want 422 deadline_infeasible", status, env.Error.Code)
+	}
+	cert := env.Error.Admission
+	if cert == nil || cert.Feasible {
+		t.Fatalf("reject certificate = %+v, want an infeasible certificate", cert)
+	}
+	if cert.CounterOffer != "9/2" {
+		t.Fatalf("counter-offer = %q, want the exact bound 9/2 (= 9 work / fastest speed 2)", cert.CounterOffer)
+	}
+
+	// Resubmit at exactly the counter-offer: accepted, with a feasible cert.
+	resp1 := postJob(t, ts.URL, model.SubmitRequest{
+		Size: "9", Weight: "3", Deadline: cert.CounterOffer, Databanks: []string{"swissprot"}})
+	if resp1.Admission == nil || !resp1.Admission.Feasible || resp1.Admission.Deadline != "9/2" {
+		t.Fatalf("accept certificate = %+v, want feasible at 9/2", resp1.Admission)
+	}
+
+	// A second deadline job must be checked against the residual workload
+	// *including job 1's commitment*: the fast machine is pledged to job 1
+	// through 9/2, so 9 more units cannot be promised before 9/2 + 9/2 = 9.
+	status, _, env = apiCall(t, ts, "POST", "/v1/jobs",
+		`{"size":"9","weight":"1","deadline":"9/2","databanks":["swissprot"]}`)
+	if status != 422 || env.Error.Code != model.ErrCodeDeadlineInfeasible {
+		t.Fatalf("second submit = %d %q, want 422 deadline_infeasible", status, env.Error.Code)
+	}
+	if env.Error.Admission == nil || env.Error.Admission.CounterOffer != "9" {
+		t.Fatalf("residual-aware counter-offer = %+v, want 9", env.Error.Admission)
+	}
+	resp2 := postJob(t, ts.URL, model.SubmitRequest{
+		Size: "9", Weight: "1", Deadline: "9", Databanks: []string{"swissprot"}})
+	if resp2.Admission == nil || !resp2.Admission.Feasible {
+		t.Fatalf("second accept certificate = %+v, want feasible", resp2.Admission)
+	}
+
+	// Execute: the max-weighted-flow objective equalizes weighted flows
+	// (3·3 = 1·9), completing job 1 at 3 and job 2 at 9 — both inside their
+	// promised deadlines.
+	srv.Start()
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 2 })
+	for _, want := range []struct {
+		id               int
+		deadline, doneAt string
+	}{{resp1.ID, "9/2", "3"}, {resp2.ID, "9", "9"}} {
+		var st model.JobStatus
+		getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, want.id), &st)
+		if st.State != StateDone || st.CompletedAt != want.doneAt {
+			t.Errorf("job %d = %s @ %s, want done @ %s", want.id, st.State, st.CompletedAt, want.doneAt)
+		}
+		if st.Deadline != want.deadline || st.DeadlineMet == nil || !*st.DeadlineMet {
+			t.Errorf("job %d deadline %q met %v, want %q met", want.id, st.Deadline, st.DeadlineMet, want.deadline)
+		}
+	}
+	validateServer(t, srv)
+}
+
+// TestAdmissionModes pins the -admission axis: advisory admits an infeasible
+// deadline but reports the same exact certificate, off skips the check (and
+// the LP) entirely, and deadline-free traffic never gets a certificate in
+// any mode.
+func TestAdmissionModes(t *testing.T) {
+	for _, mode := range []string{AdmissionStrict, AdmissionAdvisory, AdmissionOff} {
+		t.Run(mode, func(t *testing.T) {
+			srv, err := New(Config{Machines: testFleet(), Clock: NewVirtualClock(), Admission: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			plain, err := srv.Submit(&model.SubmitRequest{Size: "1", Databanks: []string{"swissprot"}})
+			if err != nil || plain.Admission != nil {
+				t.Fatalf("deadline-free submit = %+v, %v; want accepted with no certificate", plain, err)
+			}
+			resp, err := srv.Submit(&model.SubmitRequest{
+				Size: "9", Deadline: "1", Databanks: []string{"swissprot"}})
+			switch mode {
+			case AdmissionStrict:
+				if err == nil || resp.Admission == nil || resp.Admission.Feasible {
+					t.Fatalf("strict infeasible submit = %+v, %v; want reject with certificate", resp, err)
+				}
+			case AdmissionAdvisory:
+				if err != nil {
+					t.Fatalf("advisory submit rejected: %v", err)
+				}
+				if resp.Admission == nil || resp.Admission.Feasible ||
+					resp.Admission.Mode != AdmissionAdvisory || resp.Admission.CounterOffer == "" {
+					t.Fatalf("advisory certificate = %+v, want infeasible with counter-offer", resp.Admission)
+				}
+			case AdmissionOff:
+				if err != nil || resp.Admission != nil {
+					t.Fatalf("admission=off submit = %+v, %v; want accepted with no certificate", resp, err)
+				}
+			}
+		})
+	}
+	if _, err := New(Config{Machines: testFleet(), Admission: "bogus"}); err == nil {
+		t.Error("unknown admission mode accepted")
+	}
+}
+
+// TestTenantFlashCrowdIsolation is the weighted-fairness acceptance test: a
+// noisy tenant flooding the fleet is shed with tenant_over_quota while the
+// quiet tenant keeps its full weighted share — its submissions all land and
+// its weighted-flow tail stays below the noisy tenant's. Premium traffic is
+// quota-exempt even for the noisy tenant.
+func TestTenantFlashCrowdIsolation(t *testing.T) {
+	tc, err := model.ParseTenantConfig([]byte(`{"tenants":[
+		{"name":"noisy","weight":"1"},{"name":"quiet","weight":"3"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: testFleet(), Clock: vc, Policy: "srpt", Tenants: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	submit := func(body string) (int, model.ErrorResponse) {
+		st, hdr, env := apiCall(t, ts, "POST", "/v1/jobs", body)
+		if st == 429 && hdr.Get("Retry-After") == "" {
+			t.Error("tenant_over_quota reject carries no Retry-After header")
+		}
+		return st, env
+	}
+
+	// The flood: noisy lands its first burst (a lone tenant is never shed),
+	// then every further submission exceeds its 1/4 weight share of the
+	// fleet backlog while quiet keeps landing within its 3/4 share.
+	noisyAccepted, noisyShed := 0, 0
+	if st, _ := submit(`{"size":"5","tenant":"noisy","databanks":["swissprot"]}`); st != 202 {
+		t.Fatalf("noisy's first submit = %d, want 202 (lone active tenant)", st)
+	}
+	noisyAccepted++
+	for round := 0; round < 5; round++ {
+		if st, _ := submit(`{"size":"1","tenant":"quiet","databanks":["swissprot"]}`); st != 202 {
+			t.Fatalf("quiet round %d = %d, want 202 (within weighted share)", round, st)
+		}
+		st, env := submit(`{"size":"5","tenant":"noisy","databanks":["swissprot"]}`)
+		switch st {
+		case 202:
+			noisyAccepted++
+		case 429:
+			if env.Error.Code != model.ErrCodeTenantOverQuota {
+				t.Fatalf("shed code = %q, want tenant_over_quota", env.Error.Code)
+			}
+			noisyShed++
+		default:
+			t.Fatalf("noisy flood submit = %d, want 202 or 429", st)
+		}
+	}
+	if noisyShed == 0 {
+		t.Fatal("flooding tenant was never shed")
+	}
+	// Premium rides through the flood untouched by quota.
+	if st, _ := submit(`{"size":"2","tenant":"noisy","slaClass":"premium","databanks":["swissprot"]}`); st != 202 {
+		t.Fatalf("premium submit during flood = %d, want 202 (quota-exempt)", st)
+	}
+	noisyAccepted++
+
+	srv.Start()
+	total := noisyAccepted + 5
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == total })
+
+	var tenants model.TenantsResponse
+	getJSON(t, ts.URL+"/v1/tenants", &tenants)
+	rows := map[string]model.TenantStats{}
+	for _, row := range tenants.Tenants {
+		rows[row.Tenant] = row
+	}
+	noisy, quiet := rows["noisy"], rows["quiet"]
+	if noisy.Weight != "1" || quiet.Weight != "3" {
+		t.Errorf("weights = %q/%q, want 1/3", noisy.Weight, quiet.Weight)
+	}
+	if noisy.Shed != noisyShed || noisy.Submitted != noisyAccepted || noisy.Completed != noisyAccepted {
+		t.Errorf("noisy row = %+v, want submitted=completed=%d shed=%d", noisy, noisyAccepted, noisyShed)
+	}
+	if quiet.Shed != 0 || quiet.Submitted != 5 || quiet.Completed != 5 {
+		t.Errorf("quiet row = %+v, want submitted=completed=5 shed=0", quiet)
+	}
+	if noisy.Backlog != "0" || quiet.Backlog != "0" {
+		t.Errorf("final backlogs = %q/%q, want 0/0", noisy.Backlog, quiet.Backlog)
+	}
+	if noisy.ByClass[model.SLAPremium] != 1 || noisy.ByClass[model.SLAStandard] != noisyAccepted-1 {
+		t.Errorf("noisy byClass = %v, want 1 premium, %d standard", noisy.ByClass, noisyAccepted-1)
+	}
+	// Isolation: the quiet tenant's weighted-flow tail stays below the
+	// flooding tenant's (its small jobs finish ahead of the flood's backlog).
+	if quiet.P95WeightedFlow <= 0 || noisy.P95WeightedFlow <= 0 {
+		t.Fatalf("p95 weighted flows = %v/%v, want both positive", quiet.P95WeightedFlow, noisy.P95WeightedFlow)
+	}
+	if quiet.P95WeightedFlow >= noisy.P95WeightedFlow {
+		t.Errorf("quiet p95 weighted flow %v not below noisy %v — no isolation",
+			quiet.P95WeightedFlow, noisy.P95WeightedFlow)
+	}
+	validateServer(t, srv)
+}
+
+// TestAdmissionCertificatesOverRPC runs the strict admission flow with every
+// router↔shard message crossing a loopback net/rpc+gob connection — the same
+// CheckDeadline/Submit message set a -worker fleet answers — and requires
+// bit-identical certificates to the in-process transport.
+func TestAdmissionCertificatesOverRPC(t *testing.T) {
+	vc := NewVirtualClock()
+	srv, err := New(Config{Machines: testFleet(), Clock: vc, Shards: 1,
+		Transport: shardlink.TransportRPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := srv.Submit(&model.SubmitRequest{
+		Size: "9", Deadline: "1", Databanks: []string{"swissprot"}})
+	if err == nil {
+		t.Fatal("infeasible deadline accepted over RPC")
+	}
+	if resp.Admission == nil || resp.Admission.Feasible || resp.Admission.CounterOffer != "9/2" {
+		t.Fatalf("RPC reject certificate = %+v, want infeasible with counter-offer 9/2", resp.Admission)
+	}
+
+	// The typed CheckDeadline message answers the same certificate directly.
+	job, err := (&model.SubmitRequest{Size: "9", Deadline: "1", Databanks: []string{"swissprot"}}).Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Release = big.NewRat(0, 1)
+	rep, err := srv.active()[0].link.CheckDeadline(shardlink.CheckDeadlineArgs{Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible || rep.CounterOffer == nil || rep.CounterOffer.RatString() != "9/2" {
+		t.Fatalf("CheckDeadline over RPC = %+v, want infeasible with counter-offer 9/2", rep)
+	}
+
+	// Resubmission at the counter-offer is accepted and met, with the whole
+	// exchange serialized through gob.
+	acc, err := srv.Submit(&model.SubmitRequest{
+		Size: "9", Deadline: "9/2", Databanks: []string{"swissprot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Admission == nil || !acc.Admission.Feasible {
+		t.Fatalf("RPC accept certificate = %+v, want feasible", acc.Admission)
+	}
+	srv.Start()
+	drive(t, vc, func() bool { return srv.Stats().JobsCompleted == 1 })
+	st, _ := srv.jobStatus(acc.ID)
+	if st.CompletedAt != "3" || st.DeadlineMet == nil || !*st.DeadlineMet {
+		t.Errorf("job over RPC = done @ %s met %v, want @ 3 met", st.CompletedAt, st.DeadlineMet)
+	}
+}

@@ -19,11 +19,15 @@ import (
 
 // Handler returns the HTTP surface of the service:
 //
-//	POST /v1/jobs          submit a job (model.SubmitRequest)
+//	POST /v1/jobs          submit a job (model.SubmitRequest), or a batch
+//	                       ({"jobs":[...]}, model.BatchSubmitRequest) with
+//	                       per-job results in order
 //	GET  /v1/jobs/{id}     job status (model.JobStatus)
 //	GET  /v1/schedule      executed Gantt so far (model.ScheduleResponse);
 //	                       ?since=<rat> windows it to pieces ending after t
 //	GET  /v1/stats         service counters (model.StatsResponse)
+//	GET  /v1/tenants       per-tenant weighted-flow accounting
+//	                       (model.TenantsResponse)
 //	POST /v1/platform      admin: live re-shard against an updated platform
 //	                       JSON (model.ReshardResponse)
 //	GET  /healthz          200 while every active shard is healthy, 503
@@ -33,6 +37,11 @@ import (
 //	GET  /v1/events        structured event journal (model.EventsResponse);
 //	                       ?since=&type=&shard=&limit= page and filter it
 //	                       (absent with telemetry disabled)
+//
+// Every non-2xx answer is the versioned envelope
+// {"error":{"code","message",...}} with a typed code (model.ErrCode*);
+// retryable failures (fleet_closed, shard_stalled, tenant_over_quota)
+// mirror their retryAfter hint in the Retry-After header.
 //
 // Reads merge the per-shard state: job IDs are shard-encoded, the schedule
 // interleaves every shard's pieces over fleet machine indices, and stats
@@ -45,6 +54,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("POST /v1/platform", s.handlePlatform)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	if s.tel.enabled {
@@ -60,8 +70,56 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// retryAfterSeconds is the retry hint on retryable rejections (fleet
+// closed, shard stalled, tenant over quota), mirrored in the Retry-After
+// header. The service resolves submissions immediately — a client retrying
+// after one second observes post-recovery (or post-drain) state.
+const retryAfterSeconds = 1
+
+// writeError writes the versioned v1 error envelope. A RetryAfter hint is
+// mirrored in the Retry-After header so standard HTTP clients back off
+// without parsing the body.
+func writeError(w http.ResponseWriter, status int, we model.WireError) {
+	if we.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(we.RetryAfter))
+	}
+	writeJSON(w, status, model.ErrorResponse{Error: we})
+}
+
+// invalidArg is the envelope for malformed requests.
+func invalidArg(err error) model.WireError {
+	return model.WireError{Code: model.ErrCodeInvalidArgument, Message: err.Error()}
+}
+
+// submitWireError classifies a Submit failure into its HTTP status and wire
+// envelope. resp is the (possibly zero) response the failed Submit returned;
+// a strict deadline reject carries the exact certificate through it.
+func submitWireError(err error, resp model.SubmitResponse) (int, model.WireError) {
+	we := model.WireError{Code: model.ErrCodeInvalidArgument, Message: err.Error()}
+	status := http.StatusUnprocessableEntity
+	var stalled *shardStalledError
+	switch {
+	case errors.Is(err, errDeadline):
+		we.Code = model.ErrCodeDeadlineInfeasible
+		we.Admission = resp.Admission
+	case errors.Is(err, errTenantQuota):
+		we.Code = model.ErrCodeTenantOverQuota
+		we.RetryAfter = retryAfterSeconds
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		we.Code = model.ErrCodeFleetClosed
+		we.RetryAfter = retryAfterSeconds
+		status = http.StatusServiceUnavailable
+	case errors.As(err, &stalled):
+		we.Code = model.ErrCodeShardStalled
+		we.RetryAfter = retryAfterSeconds
+		status = http.StatusServiceUnavailable
+		if stalled.shard >= 0 {
+			shard := stalled.shard
+			we.Shard = &shard
+		}
+	}
+	return status, we
 }
 
 // maxSubmitBytes bounds submission bodies: a single request must not be
@@ -75,27 +133,81 @@ const maxSubmitBytes = 1 << 20
 const maxPlatformBytes = 64 << 20
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, invalidArg(err))
+		return
+	}
+	if isBatchSubmit(body) {
+		s.handleBatchSubmit(w, body)
+		return
+	}
 	var req model.SubmitRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, invalidArg(err))
 		return
 	}
 	resp, err := s.Submit(&req)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, ErrClosed) {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, err)
+		status, we := submitWireError(err, resp)
+		writeError(w, status, we)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
+// isBatchSubmit reports whether a POST /v1/jobs body is the batch form,
+// {"jobs":[...]}. A single-job body never carries a "jobs" key, so the sniff
+// cannot misclassify either form.
+func isBatchSubmit(body []byte) bool {
+	var probe struct {
+		Jobs json.RawMessage `json:"jobs"`
+	}
+	return json.Unmarshal(body, &probe) == nil && probe.Jobs != nil
+}
+
+// handleBatchSubmit admits a batch submission in request order. The shard
+// loops batch arrivals lazily — submissions landing within one wake-up share
+// a single exact re-solve — so a batch submitted here lands as one arrival
+// batch on the virtual clock without any extra coordination. The status is
+// 202 when at least one job was accepted; per-job rejections travel in the
+// results, each with the same typed envelope a single submit would get.
+func (s *Server) handleBatchSubmit(w http.ResponseWriter, body []byte) {
+	var req model.BatchSubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, invalidArg(err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, invalidArg(errors.New("batch submission needs at least one job")))
+		return
+	}
+	resp := model.BatchSubmitResponse{Results: make([]model.BatchSubmitResult, len(req.Jobs))}
+	accepted := false
+	for i := range req.Jobs {
+		sub, err := s.Submit(&req.Jobs[i])
+		if err != nil {
+			_, we := submitWireError(err, sub)
+			resp.Results[i] = model.BatchSubmitResult{Error: &we}
+			continue
+		}
+		accepted = true
+		resp.Results[i] = model.BatchSubmitResult{
+			ID: sub.ID, State: sub.State, Warning: sub.Warning, Admission: sub.Admission,
+		}
+	}
+	status := http.StatusAccepted
+	if !accepted {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, model.WireError{
+			Code: model.ErrCodeNotFound, Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
 		return
 	}
 	// The owning shard copies the status under its lock (with the forwarding
@@ -103,10 +215,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	// release: a slow client must never block a loop.
 	st, known := s.jobStatus(id)
 	if !known {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, model.WireError{
+			Code: model.ErrCodeNotFound, Message: fmt.Sprintf("no job %d", id)})
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleTenants serves the per-tenant weighted-flow accounting, merged
+// across every shard (retired ones included) plus the router's shed counts.
+func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.TenantStats())
 }
 
 // handlePlatform is the live re-sharding admin API: it accepts the same
@@ -115,24 +234,31 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePlatform(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPlatformBytes))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, invalidArg(err))
 		return
 	}
 	plat, err := model.ParsePlatformConfig(data)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, invalidArg(err))
 		return
 	}
 	resp, err := s.Reshard(plat)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
+		we := model.WireError{Code: model.ErrCodeInvalidArgument, Message: err.Error()}
 		switch {
 		case errors.Is(err, ErrReshardDisabled):
 			status = http.StatusForbidden
+			we.Code = model.ErrCodeReshardDisabled
 		case errors.Is(err, ErrClosed):
 			status = http.StatusServiceUnavailable
+			we.Code = model.ErrCodeFleetClosed
+			we.RetryAfter = retryAfterSeconds
+		case errors.Is(err, errWALDegraded):
+			status = http.StatusServiceUnavailable
+			we.Code = model.ErrCodeWALDegraded
 		}
-		writeError(w, status, err)
+		writeError(w, status, we)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -143,7 +269,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("since"); q != "" {
 		t, ok := new(big.Rat).SetString(q)
 		if !ok {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q: want a rational like 3/2", q))
+			writeError(w, http.StatusBadRequest, invalidArg(fmt.Errorf("bad since %q: want a rational like 3/2", q)))
 			return
 		}
 		since = t
@@ -180,7 +306,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	})
 	raw, err := json.Marshal(&schedule.Schedule{Pieces: merged})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, model.WireError{Code: model.ErrCodeInternal, Message: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, model.ScheduleResponse{
@@ -237,7 +363,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("since"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q: want a non-negative integer", v))
+			writeError(w, http.StatusBadRequest, invalidArg(fmt.Errorf("bad since %q: want a non-negative integer", v)))
 			return
 		}
 		since = n
@@ -246,7 +372,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("shard"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad shard %q: want a non-negative integer", v))
+			writeError(w, http.StatusBadRequest, invalidArg(fmt.Errorf("bad shard %q: want a non-negative integer", v)))
 			return
 		}
 		f.Shard = n
@@ -254,7 +380,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q: want a positive integer", v))
+			writeError(w, http.StatusBadRequest, invalidArg(fmt.Errorf("bad limit %q: want a positive integer", v)))
 			return
 		}
 		f.Limit = n

@@ -66,7 +66,7 @@ func BenchmarkServerStealImbalance(b *testing.B) {
 				}
 				b.StartTimer()
 				for j := range jobs {
-					if _, err := hot.submit(jobs[j]); err != nil {
+					if _, _, err := hot.submit(jobs[j]); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -372,6 +372,73 @@ func BenchmarkServerThroughputWAL(b *testing.B) {
 						b.Fatalf("durable run WAL stats = %+v", st.WAL)
 					}
 				}
+				srv.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(benchJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkServerAdmissionDeadline prices deadline admission control: the
+// same 48-job burst as BenchmarkServerThroughput (P=2) with every job
+// carrying a (generously feasible) deadline, once under -admission=strict —
+// every submission runs the exact feasibility LP against the shard's residual
+// workload, deadlines accumulating into later checks — and once with
+// -admission=off, which skips the solve entirely. The gap is the per-submit
+// cost of the admission certificate. Recorded as BENCH_server.json via
+// cmd/benchjson (scripts/bench.sh).
+func BenchmarkServerAdmissionDeadline(b *testing.B) {
+	for _, mode := range []string{AdmissionStrict, AdmissionOff} {
+		b.Run("admission="+mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				machines := make([]model.Machine, benchFleetSize)
+				for m := range machines {
+					machines[m] = model.Machine{
+						Name:         fmt.Sprintf("u%d", m),
+						InverseSpeed: rat(1, int64(1+m%2)),
+						Databanks:    []string{"shared"},
+					}
+				}
+				vc := NewVirtualClock()
+				srv, err := New(Config{Machines: machines, Shards: 2, Clock: vc, Admission: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqs := make([]model.SubmitRequest, benchJobs)
+				for j := range reqs {
+					reqs[j] = model.SubmitRequest{
+						Size:      fmt.Sprintf("%d", 1+(j*7)%13),
+						Weight:    fmt.Sprintf("%d", 1+j%3),
+						Deadline:  "10000",
+						Databanks: []string{"shared"},
+					}
+				}
+				b.StartTimer()
+				for j := range reqs {
+					resp, err := srv.Submit(&reqs[j])
+					if err != nil {
+						b.Fatal(err)
+					}
+					if (mode == AdmissionStrict) != (resp.Admission != nil) {
+						b.Fatalf("admission=%s submit returned certificate %+v", mode, resp.Admission)
+					}
+				}
+				srv.Start()
+				for {
+					st := srv.Stats()
+					if st.LastError != "" {
+						b.Fatal(st.LastError)
+					}
+					if st.JobsCompleted == benchJobs {
+						break
+					}
+					if !vc.AdvanceToNextTimer() {
+						runtime.Gosched()
+					}
+				}
+				b.StopTimer()
 				srv.Close()
 				b.StartTimer()
 			}

@@ -57,6 +57,11 @@ type recSubmit struct {
 	Size      *big.Rat `json:"size"`
 	Release   *big.Rat `json:"release"`
 	Databanks []string `json:"databanks,omitempty"`
+	// SLA fields: absent in pre-deadline logs, which replay as deadline-free
+	// untracked traffic — exactly what they were.
+	Deadline *big.Rat `json:"deadline,omitempty"`
+	Tenant   string   `json:"tenant,omitempty"`
+	SLAClass string   `json:"slaClass,omitempty"`
 }
 
 // recAdmit logs one admission batch: the virtual time the loop admitted the
@@ -250,6 +255,7 @@ func (d *durability) appendSubmit(sh *shard, rec *jobRecord) {
 		Shard: sh.idx, Local: rec.id, GID: rec.gid, Name: rec.name,
 		Weight: copyRat(rec.weight), Size: copyRat(rec.size), Release: copyRat(rec.release),
 		Databanks: rec.databanks,
+		Deadline:  copyRat(rec.deadline), Tenant: rec.tenant, SLAClass: rec.slaClass,
 	})
 }
 
@@ -318,6 +324,23 @@ type snapRecord struct {
 	Stolen     bool     `json:"stolen,omitempty"`
 	Counted    bool     `json:"counted,omitempty"`
 	MigratedAt *big.Rat `json:"migratedAt,omitempty"`
+	Deadline   *big.Rat `json:"deadline,omitempty"`
+	Tenant     string   `json:"tenant,omitempty"`
+	SLAClass   string   `json:"slaClass,omitempty"`
+}
+
+// snapTenant is one tenant's per-shard accounting in a snapshot document:
+// the aggregates and histogram live in telemetry rather than the engine, so
+// a restored fleet would otherwise answer /v1/tenants from post-crash
+// completions only.
+type snapTenant struct {
+	Submitted int                    `json:"submitted,omitempty"`
+	Completed int                    `json:"completed,omitempty"`
+	FlowSum   *big.Rat               `json:"flowSum,omitempty"`
+	MaxWF     *big.Rat               `json:"maxWF,omitempty"`
+	ByClass   map[string]int         `json:"byClass,omitempty"`
+	WFlow     *obs.HistogramSnapshot `json:"wflow,omitempty"`
+	Backlog   *big.Rat               `json:"backlog,omitempty"`
 }
 
 // snapShard is one shard's full exported state.
@@ -361,6 +384,7 @@ type snapShard struct {
 	Restarts      int                    `json:"restarts,omitempty"`
 	LastErr       string                 `json:"lastErr,omitempty"`
 	Stalled       bool                   `json:"stalled,omitempty"`
+	Tenants       map[string]*snapTenant `json:"tenants,omitempty"`
 
 	FrozenNow       *big.Rat          `json:"frozenNow,omitempty"`
 	FrozenCompleted int               `json:"frozenCompleted,omitempty"`
@@ -405,6 +429,7 @@ func encodeRecord(rec *jobRecord) *snapRecord {
 		Size: copyRat(rec.size), Databanks: rec.databanks, State: rec.state,
 		Release: copyRat(rec.release), Completed: copyRat(rec.completed), Remaining: copyRat(rec.remaining),
 		Stolen: rec.stolen, Counted: rec.counted, MigratedAt: copyRat(rec.migratedAt),
+		Deadline: copyRat(rec.deadline), Tenant: rec.tenant, SLAClass: rec.slaClass,
 	}
 }
 
@@ -417,6 +442,7 @@ func decodeRecord(sr *snapRecord) (*jobRecord, error) {
 		size: copyRat(sr.Size), databanks: sr.Databanks, state: sr.State,
 		release: copyRat(sr.Release), completed: copyRat(sr.Completed), remaining: copyRat(sr.Remaining),
 		stolen: sr.Stolen, counted: sr.Counted, migratedAt: copyRat(sr.MigratedAt),
+		deadline: copyRat(sr.Deadline), tenant: sr.Tenant, slaClass: sr.SLAClass,
 	}, nil
 }
 
@@ -464,7 +490,37 @@ func exportShardLocked(sh *shard) snapShard {
 	}
 	sh.backlogMu.Lock()
 	ss.Backlog = new(big.Rat).Set(sh.backlog)
+	for t, b := range sh.tenantBacklog {
+		if ss.Tenants == nil {
+			ss.Tenants = make(map[string]*snapTenant)
+		}
+		ss.Tenants[t] = &snapTenant{Backlog: copyRat(b)}
+	}
 	sh.backlogMu.Unlock()
+	for t, ta := range sh.tenants {
+		st := ss.Tenants[t]
+		if st == nil {
+			if ss.Tenants == nil {
+				ss.Tenants = make(map[string]*snapTenant)
+			}
+			st = &snapTenant{}
+			ss.Tenants[t] = st
+		}
+		st.Submitted = ta.submitted
+		st.Completed = ta.completed
+		st.FlowSum = copyRat(ta.flowSum)
+		st.MaxWF = copyRat(ta.maxWF)
+		if len(ta.byClass) > 0 {
+			st.ByClass = make(map[string]int, len(ta.byClass))
+			for c, n := range ta.byClass {
+				st.ByClass[c] = n
+			}
+		}
+		if wf := sh.obs.tenantWFlow(t).Snapshot(); wf.Count > 0 {
+			snap := wf
+			st.WFlow = &snap
+		}
+	}
 	return ss
 }
 
@@ -668,7 +724,7 @@ func (s *Server) restoreShard(ss *snapShard) (*shard, error) {
 	if err != nil {
 		return nil, err
 	}
-	sh := s.wireShard(newShard(ss.Idx, ss.Pos, ss.Stride, ss.GidBase, s.clock, machines, ss.MachineIdx, pol, s.retention))
+	sh := s.wireShard(newShard(ss.Idx, ss.Pos, ss.Stride, ss.GidBase, s.clock, machines, ss.MachineIdx, pol, s.retention, s.admission))
 	sh.gen = ss.Gen
 	sh.retired = ss.Retired
 	for _, sr := range ss.Records {
@@ -755,6 +811,31 @@ func (s *Server) restoreShard(ss *snapShard) (*shard, error) {
 	sh.restarts = ss.Restarts
 	if ss.Backlog != nil {
 		sh.backlog = copyRat(ss.Backlog)
+	}
+	for t, st := range ss.Tenants {
+		if st == nil {
+			continue
+		}
+		if st.Backlog != nil && st.Backlog.Sign() != 0 {
+			sh.tenantBacklog[t] = copyRat(st.Backlog)
+		}
+		if st.Submitted != 0 || st.Completed != 0 || len(st.ByClass) != 0 {
+			ta := sh.tenantFor(t) //divflow:emitmu-ok restore builds a private shard that is not yet published; no other goroutine can reach its mu
+			ta.submitted = st.Submitted
+			ta.completed = st.Completed
+			if st.FlowSum != nil {
+				ta.flowSum = copyRat(st.FlowSum)
+			}
+			ta.maxWF = copyRat(st.MaxWF)
+			for c, n := range st.ByClass {
+				ta.byClass[c] = n
+			}
+		}
+		if st.WFlow != nil {
+			if err := sh.obs.tenantWFlow(t).Restore(*st.WFlow); err != nil { //divflow:emitmu-ok restore builds a private shard that is not yet published; no other goroutine can reach its mu
+				return nil, fmt.Errorf("server: restore: shard %d tenant %q: %w", ss.Idx, t, err)
+			}
+		}
 	}
 	if ss.LastErr != "" {
 		sh.lastErr = errors.New(ss.LastErr)
@@ -909,12 +990,19 @@ func (s *Server) replaySubmit(r *recSubmit) error {
 	rec := &jobRecord{
 		id: r.Local, gid: r.GID, name: r.Name, weight: copyRat(r.Weight),
 		size: copyRat(r.Size), databanks: r.Databanks, state: StateQueued,
-		release: copyRat(r.Release),
+		release:  copyRat(r.Release),
+		deadline: copyRat(r.Deadline), tenant: r.Tenant, slaClass: r.SLAClass,
 	}
 	sh.records = append(sh.records, rec)
 	sh.pending = append(sh.pending, rec)
+	if rec.tenant != "" {
+		ta := sh.tenantFor(rec.tenant)
+		ta.submitted++
+		ta.byClass[rec.slaClass]++
+	}
 	sh.backlogMu.Lock()
 	sh.backlog.Add(sh.backlog, rec.size)
+	sh.tenantBacklogAdd(rec.tenant, rec.size)
 	sh.backlogMu.Unlock()
 	hosted := false
 	for i := range sh.machines {
@@ -1055,9 +1143,11 @@ func (s *Server) replayMigrate(r *recMigrate) error {
 	s.fwdMu.Unlock()
 	from.backlogMu.Lock()
 	from.backlog.Sub(from.backlog, rec.size)
+	from.tenantBacklogSub(rec.tenant, rec.size)
 	from.backlogMu.Unlock()
 	to.backlogMu.Lock()
 	to.backlog.Add(to.backlog, rec.size)
+	to.tenantBacklogAdd(rec.tenant, rec.size)
 	to.backlogMu.Unlock()
 	to.obs.event(obs.EventMigrate, rec.gid, nil, fmt.Sprintf("replayed %s from shard %d", r.Reason, from.idx))
 	// The live steal re-plans the donor once per steal batch; the flagged
@@ -1093,7 +1183,7 @@ func (s *Server) replayTopo(r *recTopo) error {
 		if err != nil {
 			return err
 		}
-		nsh := s.wireShard(newShard(ts.Idx, pos, r.Stride, r.Base, s.clock, machines, append([]int(nil), ts.MachineIdx...), pol, s.retention))
+		nsh := s.wireShard(newShard(ts.Idx, pos, r.Stride, r.Base, s.clock, machines, append([]int(nil), ts.MachineIdx...), pol, s.retention, s.admission))
 		nsh.gen = r.Gen
 		s.all = append(s.all, nsh)
 		gen2 = append(gen2, nsh)
@@ -1193,9 +1283,11 @@ func (s *Server) repairRetired(now *big.Rat) {
 			resid[dest].Add(resid[dest], rec.size)
 			donor.backlogMu.Lock()
 			donor.backlog.Sub(donor.backlog, rec.size)
+			donor.tenantBacklogSub(rec.tenant, rec.size)
 			donor.backlogMu.Unlock()
 			dest.backlogMu.Lock()
 			dest.backlog.Add(dest.backlog, rec.size)
+			dest.tenantBacklogAdd(rec.tenant, rec.size)
 			dest.backlogMu.Unlock()
 		}
 		for _, rec := range stranded {

@@ -26,20 +26,21 @@ const (
 // Operation labels of the divflow_shardlink_calls_total counter and the
 // divflow_shardlink_rpc_seconds histogram.
 const (
-	opSubmit    = "submit"
-	opJobStatus = "job_status"
-	opSchedule  = "schedule"
-	opStats     = "stats"
-	opRouteInfo = "route_info"
-	opPoke      = "poke"
-	opExtract   = "extract"
-	opAdmit     = "admit"
-	opCommit    = "commit"
-	opAbort     = "abort"
+	opSubmit        = "submit"
+	opCheckDeadline = "check_deadline"
+	opJobStatus     = "job_status"
+	opSchedule      = "schedule"
+	opStats         = "stats"
+	opRouteInfo     = "route_info"
+	opPoke          = "poke"
+	opExtract       = "extract"
+	opAdmit         = "admit"
+	opCommit        = "commit"
+	opAbort         = "abort"
 )
 
 var linkOps = []string{
-	opSubmit, opJobStatus, opSchedule, opStats, opRouteInfo, opPoke,
+	opSubmit, opCheckDeadline, opJobStatus, opSchedule, opStats, opRouteInfo, opPoke,
 	opExtract, opAdmit, opCommit, opAbort,
 }
 
@@ -48,17 +49,20 @@ var linkOps = []string{
 // invoke; each takes the shard's own mu and nothing beyond it.
 
 // submitOp is shard.submit in message form: the error cases the router keys
-// its control flow on (retired → re-route, closed → 503, no-host → 422)
-// travel as a closed outcome enum, so they survive any transport.
+// its control flow on (retired → re-route, closed → 503, no-host → 422,
+// infeasible deadline → typed reject with the certificate) travel as a
+// closed outcome enum, so they survive any transport.
 func (sh *shard) submitOp(args shardlink.SubmitArgs) shardlink.SubmitReply {
-	gid, err := sh.submit(args.Job)
+	gid, cert, err := sh.submit(args.Job)
 	switch {
 	case err == nil:
-		return shardlink.SubmitReply{GID: gid, Outcome: shardlink.OutcomeOK}
+		return shardlink.SubmitReply{GID: gid, Outcome: shardlink.OutcomeOK, Admission: cert}
 	case err == errRetired:
 		return shardlink.SubmitReply{Outcome: shardlink.OutcomeRetired}
 	case err == ErrClosed:
 		return shardlink.SubmitReply{Outcome: shardlink.OutcomeClosed}
+	case err == errDeadline:
+		return shardlink.SubmitReply{Outcome: shardlink.OutcomeDeadline, Admission: cert}
 	default:
 		return shardlink.SubmitReply{Outcome: shardlink.OutcomeNoHost, Err: err.Error()}
 	}
@@ -75,6 +79,8 @@ func submitErr(rep shardlink.SubmitReply) (int, error) {
 		return 0, errRetired
 	case shardlink.OutcomeClosed:
 		return 0, ErrClosed
+	case shardlink.OutcomeDeadline:
+		return 0, errDeadline
 	default:
 		return 0, fmt.Errorf("%s", rep.Err)
 	}
@@ -141,6 +147,9 @@ func (sh *shard) extractJobs(args shardlink.ExtractArgs) shardlink.ExtractReply 
 			Remaining: copyRat(remaining),
 			Databanks: rec.databanks,
 			Counted:   rec.counted,
+			Deadline:  copyRat(rec.deadline),
+			Tenant:    rec.tenant,
+			SLAClass:  rec.slaClass,
 		})
 	}
 	// Re-plan immediately: the extraction invalidated the plan cache, and the
@@ -169,6 +178,7 @@ func (sh *shard) admitMigrated(args shardlink.AdmitArgs) shardlink.AdmitReply {
 	}
 	rep := shardlink.AdmitReply{Accepted: true}
 	added := new(big.Rat)
+	addedTenants := make(map[string]*big.Rat)
 	for _, mj := range args.Jobs {
 		nrec := &jobRecord{
 			id:        len(sh.records),
@@ -180,6 +190,9 @@ func (sh *shard) admitMigrated(args shardlink.AdmitArgs) shardlink.AdmitReply {
 			state:     StateQueued,
 			release:   copyRat(mj.Release), // flow origin: still the first submission
 			remaining: copyRat(mj.Remaining),
+			deadline:  copyRat(mj.Deadline),
+			tenant:    mj.Tenant,
+			slaClass:  mj.SLAClass,
 			stolen:    true,
 			counted:   mj.Counted,
 		}
@@ -196,12 +209,21 @@ func (sh *shard) admitMigrated(args shardlink.AdmitArgs) shardlink.AdmitReply {
 			sh.stolenIn++
 		}
 		added.Add(added, nrec.size)
+		if nrec.tenant != "" {
+			if addedTenants[nrec.tenant] == nil {
+				addedTenants[nrec.tenant] = new(big.Rat)
+			}
+			addedTenants[nrec.tenant].Add(addedTenants[nrec.tenant], nrec.size)
+		}
 		rep.Locals = append(rep.Locals, nrec.id)
 		sh.obs.event(obs.EventMigrate, nrec.gid, nil, fmt.Sprintf("%s migration admitted", args.Reason))
 	}
 	if added.Sign() > 0 {
 		sh.backlogMu.Lock()
 		sh.backlog.Add(sh.backlog, added)
+		for t, v := range addedTenants {
+			sh.tenantBacklogAdd(t, v)
+		}
 		sh.backlogMu.Unlock()
 		sh.obs.event(obs.EventSteal, -1, sh.eng.Now(),
 			fmt.Sprintf("%d jobs admitted by %s migration", len(args.Jobs), args.Reason))
@@ -220,6 +242,7 @@ func (sh *shard) commitExtract(args shardlink.CommitArgs) {
 		return
 	}
 	moved := new(big.Rat)
+	movedTenants := make(map[string]*big.Rat)
 	for _, local := range args.Locals {
 		if local < 0 || local >= len(sh.records) || sh.records[local] == nil {
 			continue
@@ -231,12 +254,21 @@ func (sh *shard) commitExtract(args shardlink.CommitArgs) {
 		sh.orphanRecord(rec)
 		sh.migratedOut++
 		moved.Add(moved, rec.size)
+		if rec.tenant != "" {
+			if movedTenants[rec.tenant] == nil {
+				movedTenants[rec.tenant] = new(big.Rat)
+			}
+			movedTenants[rec.tenant].Add(movedTenants[rec.tenant], rec.size)
+		}
 	}
 	if moved.Sign() == 0 {
 		return
 	}
 	sh.backlogMu.Lock()
 	sh.backlog.Sub(sh.backlog, moved)
+	for t, v := range movedTenants {
+		sh.tenantBacklogSub(t, v)
+	}
 	sh.backlogMu.Unlock()
 }
 
@@ -305,6 +337,11 @@ func (l *localLink) Submit(args shardlink.SubmitArgs) (shardlink.SubmitReply, er
 	return l.sh.submitOp(args), nil
 }
 
+func (l *localLink) CheckDeadline(args shardlink.CheckDeadlineArgs) (shardlink.CheckDeadlineReply, error) {
+	l.calls[opCheckDeadline].Inc()
+	return l.sh.checkDeadline(args), nil
+}
+
 func (l *localLink) JobStatus(args shardlink.JobStatusArgs) (shardlink.JobStatusReply, error) {
 	l.calls[opJobStatus].Inc()
 	st, known, migrated := l.sh.jobStatus(args.Local, args.GID)
@@ -324,8 +361,8 @@ func (l *localLink) Stats(shardlink.StatsArgs) (shardlink.StatsSnapshot, error) 
 
 func (l *localLink) RouteInfo(shardlink.RouteInfoArgs) (shardlink.RouteInfoReply, error) {
 	l.calls[opRouteInfo].Inc()
-	backlog, routeErr := l.sh.routeInfo()
-	return shardlink.RouteInfoReply{Backlog: backlog, Err: routeErr}, nil
+	backlog, routeErr, tenants := l.sh.routeInfo()
+	return shardlink.RouteInfoReply{Backlog: backlog, Err: routeErr, TenantBacklog: tenants}, nil
 }
 
 func (l *localLink) Poke(shardlink.PokeArgs) error {
@@ -376,6 +413,12 @@ func (r *shardRPC) Submit(args *shardlink.SubmitArgs, reply *shardlink.SubmitRep
 }
 
 //divflow:locks boundary=shardlink
+func (r *shardRPC) CheckDeadline(args *shardlink.CheckDeadlineArgs, reply *shardlink.CheckDeadlineReply) error {
+	*reply = r.sh.checkDeadline(*args)
+	return nil
+}
+
+//divflow:locks boundary=shardlink
 func (r *shardRPC) JobStatus(args *shardlink.JobStatusArgs, reply *shardlink.JobStatusReply) error {
 	st, known, migrated := r.sh.jobStatus(args.Local, args.GID)
 	*reply = shardlink.JobStatusReply{Status: st, Known: known, Migrated: migrated}
@@ -397,8 +440,8 @@ func (r *shardRPC) Stats(_ *shardlink.StatsArgs, reply *shardlink.StatsSnapshot)
 
 //divflow:locks boundary=shardlink
 func (r *shardRPC) RouteInfo(_ *shardlink.RouteInfoArgs, reply *shardlink.RouteInfoReply) error {
-	backlog, routeErr := r.sh.routeInfo()
-	*reply = shardlink.RouteInfoReply{Backlog: backlog, Err: routeErr}
+	backlog, routeErr, tenants := r.sh.routeInfo()
+	*reply = shardlink.RouteInfoReply{Backlog: backlog, Err: routeErr, TenantBacklog: tenants}
 	return nil
 }
 
@@ -474,6 +517,12 @@ func (l *rpcLink) call(op, method string, args, reply any) error {
 func (l *rpcLink) Submit(args shardlink.SubmitArgs) (shardlink.SubmitReply, error) {
 	var rep shardlink.SubmitReply
 	err := l.call(opSubmit, "Submit", &args, &rep)
+	return rep, err
+}
+
+func (l *rpcLink) CheckDeadline(args shardlink.CheckDeadlineArgs) (shardlink.CheckDeadlineReply, error) {
+	var rep shardlink.CheckDeadlineReply
+	err := l.call(opCheckDeadline, "CheckDeadline", &args, &rep)
 	return rep, err
 }
 

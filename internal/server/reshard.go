@@ -157,6 +157,12 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 	if closed {
 		return resp, ErrClosed
 	}
+	if err := s.dur.latchedErr(); err != nil {
+		// Freeze-and-serve: scheduling continues on a latched WAL, but a
+		// topology change the log cannot record would make the next restore
+		// replay onto the wrong topology.
+		return resp, fmt.Errorf("%w: %v", errWALDegraded, err)
+	}
 
 	// A platform without its own "shards" field inherits the server's
 	// standing override (Config.Shards, or the last explicit reshard
@@ -347,7 +353,7 @@ func (s *Server) Reshard(p *model.Platform) (model.ReshardResponse, error) {
 			continue
 		}
 		nsh := s.wireShard(newShard(nextIdx, gi, newStride, base, s.clock,
-			groupMachines[gi], append([]int(nil), groups[gi]...), policies[gi], s.retention))
+			groupMachines[gi], append([]int(nil), groups[gi]...), policies[gi], s.retention, s.admission))
 		nextIdx++
 		nsh.mu.Lock()
 		locked = append(locked, nsh)

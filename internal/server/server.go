@@ -26,6 +26,7 @@ import (
 	"math/big"
 	"net"
 	"net/rpc"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,6 +46,37 @@ var ErrReshardDisabled = errors.New("server: live re-sharding is disabled")
 // between its retirement by a reshard and the router observing the new
 // topology; the router re-routes against the fresh active set.
 var errRetired = errors.New("server: shard retired by re-sharding")
+
+// errDeadline is the strict-admission reject: the submitted deadline is
+// infeasible against the routed shard's residual workload. The submit
+// response still carries the exact certificate, counter-offer included.
+var errDeadline = errors.New("server: deadline infeasible against the shard's residual workload")
+
+// errTenantQuota is the weighted-fairness reject: the submission would push
+// its tenant past its weight share of the active-tenant fleet backlog.
+var errTenantQuota = errors.New("server: tenant over its weighted share of the fleet backlog")
+
+// errWALDegraded refuses topology changes once durability has latched: the
+// on-disk state is frozen at a consistent prefix, and a reshard it cannot
+// record would make the next restore replay onto the wrong topology.
+var errWALDegraded = errors.New("server: durability latched; refusing topology change")
+
+// shardStalledError is a submission failure tied to one shard — the chosen
+// shard's transport failed mid-submit, or routing kept racing reshards. It
+// maps to the shard_stalled wire code with a Retry-After hint.
+type shardStalledError struct {
+	shard int // creation index, -1 when no single shard is to blame
+	err   error
+}
+
+func (e *shardStalledError) Error() string {
+	if e.shard >= 0 {
+		return fmt.Sprintf("server: shard %d unreachable: %v", e.shard, e.err)
+	}
+	return e.err.Error()
+}
+
+func (e *shardStalledError) Unwrap() error { return e.err }
 
 // Job lifecycle states reported by the API.
 const (
@@ -151,7 +183,28 @@ type Config struct {
 	// Incompatible with WALDir (two-phase migrations are not write-ahead
 	// logged, so a replay would diverge) and with live re-sharding.
 	Workers map[int]string
+	// Admission selects the deadline-admission mode every shard runs
+	// (the -admission flag): shardlink.AdmissionStrict (the default, "" too)
+	// rejects infeasible deadlines with the exact certificate and counter-
+	// offer, AdmissionAdvisory admits them but still reports the certificate,
+	// AdmissionOff skips the feasibility LP entirely. Deadline-free
+	// submissions never run the check in any mode.
+	Admission string
+	// Tenants, when non-nil, arms weighted-fairness admission control (the
+	// -tenants flag): a non-premium submission whose tenant backlog would
+	// exceed its weight share of the active-tenant fleet backlog is shed
+	// with a tenant_over_quota reject before reaching any shard. Nil admits
+	// every tenant unconditionally; per-tenant accounting is kept either way.
+	Tenants *model.TenantConfig
 }
+
+// Admission mode names for Config.Admission, re-exported so callers (the
+// divflowd -admission flag) need not import the transport package.
+const (
+	AdmissionStrict   = shardlink.AdmissionStrict
+	AdmissionAdvisory = shardlink.AdmissionAdvisory
+	AdmissionOff      = shardlink.AdmissionOff
+)
 
 // generation is one epoch of the shard topology: the shards active between
 // two reshards, together with the global-ID encoding they issued under.
@@ -182,6 +235,15 @@ type Server struct {
 	noReshard    bool
 	dropForward  func(gid int)
 	tel          *telemetry
+	admission    string              // normalized Config.Admission
+	tenants      *model.TenantConfig // nil: no quota enforcement
+
+	// shedMu guards shed, the per-tenant tenant_over_quota reject counts.
+	// Shed submissions never reach a shard, so the router is the only place
+	// they can be counted; GET /v1/tenants merges them into the rows.
+	//divflow:locks name=shed
+	shedMu sync.Mutex
+	shed   map[string]int
 
 	// dur is the durability layer (nil without Config.WALDir); restoredNow
 	// the virtual time startup restored the fleet at (nil on a fresh start).
@@ -285,6 +347,15 @@ func New(cfg Config) (*Server, error) {
 				pos, len(groups))
 		}
 	}
+	admission := cfg.Admission
+	switch admission {
+	case "", shardlink.AdmissionStrict:
+		admission = shardlink.AdmissionStrict
+	case shardlink.AdmissionAdvisory, shardlink.AdmissionOff:
+	default:
+		return nil, fmt.Errorf("server: unknown admission mode %q (want %q, %q or %q)",
+			cfg.Admission, shardlink.AdmissionStrict, shardlink.AdmissionAdvisory, shardlink.AdmissionOff)
+	}
 	s := &Server{
 		policyName:     pol.Name(),
 		policyCfg:      cfg.Policy,
@@ -297,6 +368,9 @@ func New(cfg Config) (*Server, error) {
 		transport:      transport,
 		workers:        cfg.Workers,
 		stealStop:      make(chan struct{}),
+		admission:      admission,
+		tenants:        cfg.Tenants,
+		shed:           make(map[string]int),
 	}
 	if transport == shardlink.TransportRPC {
 		// One loopback pipe serves every colocated shard: wireShard registers
@@ -368,7 +442,7 @@ func New(cfg Config) (*Server, error) {
 					return nil, err
 				}
 			}
-			sh := newShard(idx, idx, stride, 0, clock, machines, group, shardPol, s.retention)
+			sh := newShard(idx, idx, stride, 0, clock, machines, group, shardPol, s.retention, s.admission)
 			if addr, ok := cfg.Workers[idx]; ok {
 				// Worker-hosted shard: the real engine lives in the worker
 				// process; this struct stays behind as the router-side handle
@@ -718,13 +792,34 @@ func (s *Server) Submit(req *model.SubmitRequest) (model.SubmitResponse, error) 
 		}
 		return resp, err
 	}
-	return model.SubmitResponse{}, fmt.Errorf("server: submission kept racing re-sharding; retry")
+	return model.SubmitResponse{}, &shardStalledError{
+		shard: -1, err: errors.New("server: submission kept racing re-sharding; retry")}
 }
 
 // submitRouted is one routing attempt of Submit against a snapshot of the
 // active topology.
 func (s *Server) submitRouted(job model.Job) (model.SubmitResponse, error) {
 	shards := s.active()
+	// The weighted-fairness quota reads every shard's per-tenant backlog off
+	// the same RouteInfo replies routing consumes anyway; only shards that
+	// cannot host the job cost an extra call, and only while quota is armed.
+	quota := s.tenants != nil && job.Tenant != "" && job.SLAClass != model.SLAPremium
+	var tenantBack map[string]*big.Rat
+	addBacklogs := func(m map[string]*big.Rat) {
+		for t, b := range m {
+			if b == nil || b.Sign() == 0 {
+				continue
+			}
+			if cur, ok := tenantBack[t]; ok {
+				cur.Add(cur, b)
+			} else {
+				tenantBack[t] = new(big.Rat).Set(b)
+			}
+		}
+	}
+	if quota {
+		tenantBack = make(map[string]*big.Rat)
+	}
 	var best, bestStalled *shard
 	var bestWork, bestStalledWork *big.Rat
 	var stalledErr string
@@ -733,11 +828,19 @@ func (s *Server) submitRouted(job model.Job) (model.SubmitResponse, error) {
 	for _, sh := range shards {
 		if !sh.hosts(job.Databanks) {
 			nonHosts = append(nonHosts, sh)
+			if quota {
+				if ri, lerr := sh.link.RouteInfo(shardlink.RouteInfoArgs{}); lerr == nil {
+					addBacklogs(ri.TenantBacklog)
+				}
+			}
 			continue
 		}
 		ri, lerr := sh.link.RouteInfo(shardlink.RouteInfoArgs{})
 		if lerr != nil {
 			continue // transport failure: route around the unreachable shard
+		}
+		if quota {
+			addBacklogs(ri.TenantBacklog)
 		}
 		work, routeErr := ri.Backlog, ri.Err
 		if routeErr != "" {
@@ -753,6 +856,17 @@ func (s *Server) submitRouted(job model.Job) (model.SubmitResponse, error) {
 			best, bestWork = sh, work
 		}
 	}
+	if quota {
+		if err := s.tenantOverQuota(job, tenantBack); err != nil {
+			s.shedMu.Lock()
+			s.shed[job.Tenant]++
+			s.shedMu.Unlock()
+			s.tel.tenantShed.With(job.Tenant).Inc()
+			s.tel.rejections.Inc()
+			s.tel.event(obs.EventReject, s.Generation(), -1, err.Error())
+			return model.SubmitResponse{}, err
+		}
+	}
 	resp := model.SubmitResponse{State: StateQueued}
 	if best == nil {
 		if bestStalled == nil {
@@ -766,13 +880,20 @@ func (s *Server) submitRouted(job model.Job) (model.SubmitResponse, error) {
 	}
 	rep, lerr := best.link.Submit(shardlink.SubmitArgs{Job: job})
 	if lerr != nil {
-		return model.SubmitResponse{}, lerr
+		return model.SubmitResponse{}, &shardStalledError{shard: best.idx, err: lerr}
 	}
 	gid, err := submitErr(rep)
 	if err != nil {
+		if errors.Is(err, errDeadline) {
+			// The strict reject carries the exact certificate (with the
+			// counter-offer deadline, when one exists) back to the client.
+			s.tel.rejections.Inc()
+			return model.SubmitResponse{Admission: rep.Admission}, err
+		}
 		return model.SubmitResponse{}, err
 	}
 	resp.ID = gid
+	resp.Admission = rep.Admission
 	// New work on one shard is a steal opportunity for every idle one: poke
 	// every zero-backlog shard so its loop re-runs the steal check instead
 	// of sleeping until the next direct submission. Shards that cannot host
@@ -793,6 +914,126 @@ func (s *Server) submitRouted(job model.Job) (model.SubmitResponse, error) {
 		}
 	}
 	return resp, nil
+}
+
+// tenantOverQuota applies the weighted-fairness rule to one submission:
+// with backlogs the fleet-wide per-tenant residual work (zero entries
+// absent), the active tenants are those with positive backlog plus the
+// submitter, and the submission is shed iff admitting it would leave its
+// tenant above its weight share of the active-tenant backlog —
+// exactly, (B_T + W) · Σ_active w  >  w_T · (B_total + W). A lone active
+// tenant owns the whole share and is never shed, so quota only ever bites
+// under actual contention.
+func (s *Server) tenantOverQuota(job model.Job, backlogs map[string]*big.Rat) error {
+	mine := backlogs[job.Tenant]
+	if mine == nil {
+		mine = new(big.Rat)
+	}
+	myWeight := s.tenants.Weight(job.Tenant)
+	sumW := new(big.Rat).Set(myWeight)
+	total := new(big.Rat).Set(mine)
+	for t, b := range backlogs {
+		if t == job.Tenant || b.Sign() <= 0 {
+			continue
+		}
+		total.Add(total, b)
+		sumW.Add(sumW, s.tenants.Weight(t))
+	}
+	after := new(big.Rat).Add(mine, job.Size)
+	totalAfter := new(big.Rat).Add(total, job.Size)
+	lhs := new(big.Rat).Mul(after, sumW)
+	rhs := new(big.Rat).Mul(myWeight, totalAfter)
+	if lhs.Cmp(rhs) > 0 {
+		share := new(big.Rat).Quo(myWeight, sumW)
+		return fmt.Errorf("%w: tenant %q backlog %s + size %s exceeds share %s of fleet backlog %s",
+			errTenantQuota, job.Tenant, mine.RatString(), job.Size.RatString(),
+			share.RatString(), totalAfter.RatString())
+	}
+	return nil
+}
+
+// TenantStats merges the per-shard tenant accounting into the GET
+// /v1/tenants rows, sorted by tenant name. Retired shards contribute their
+// history like every other read; router-side shed counts (quota rejects
+// never reach a shard) are folded in last.
+func (s *Server) TenantStats() model.TenantsResponse {
+	type agg struct {
+		submitted, completed, shed int
+		backlog, flowSum           *big.Rat
+		maxWF                      *big.Rat
+		byClass                    map[string]int
+		wflow                      obs.HistogramSnapshot
+	}
+	tenants := make(map[string]*agg)
+	at := func(name string) *agg {
+		a := tenants[name]
+		if a == nil {
+			a = &agg{backlog: new(big.Rat), flowSum: new(big.Rat), byClass: make(map[string]int)}
+			tenants[name] = a
+		}
+		return a
+	}
+	for _, sh := range s.allShards() {
+		snap, err := sh.link.Stats(shardlink.StatsArgs{})
+		if err != nil {
+			continue
+		}
+		for name, ts := range snap.Tenants {
+			a := at(name)
+			a.submitted += ts.Submitted
+			a.completed += ts.Completed
+			// Nil-guard the exact fields: gob drops zero big.Rat struct
+			// fields on the rpc transport.
+			if ts.Backlog != nil {
+				a.backlog.Add(a.backlog, ts.Backlog)
+			}
+			if ts.FlowSum != nil {
+				a.flowSum.Add(a.flowSum, ts.FlowSum)
+			}
+			if ts.MaxWF != nil && (a.maxWF == nil || ts.MaxWF.Cmp(a.maxWF) > 0) {
+				a.maxWF = new(big.Rat).Set(ts.MaxWF)
+			}
+			for c, n := range ts.ByClass {
+				a.byClass[c] += n
+			}
+			a.wflow.Merge(ts.WFlow)
+		}
+	}
+	s.shedMu.Lock()
+	for name, n := range s.shed {
+		at(name).shed = n
+	}
+	s.shedMu.Unlock()
+	names := make([]string, 0, len(tenants))
+	for name := range tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	resp := model.TenantsResponse{Tenants: make([]model.TenantStats, 0, len(names))}
+	for _, name := range names {
+		a := tenants[name]
+		row := model.TenantStats{
+			Tenant:    name,
+			Weight:    s.tenants.Weight(name).RatString(),
+			Submitted: a.submitted,
+			Completed: a.completed,
+			Shed:      a.shed,
+			Backlog:   a.backlog.RatString(),
+		}
+		if len(a.byClass) > 0 {
+			row.ByClass = a.byClass
+		}
+		if a.completed > 0 {
+			row.MaxWeightedFlow = a.maxWF.RatString()
+			mean := new(big.Rat).Quo(a.flowSum, big.NewRat(int64(a.completed), 1))
+			row.MeanFlow, _ = mean.Float64()
+			// Same buckets, same estimator as /metrics: the two surfaces
+			// agree on the per-tenant P95.
+			row.P95WeightedFlow = a.wflow.Quantile(95)
+		}
+		resp.Tenants = append(resp.Tenants, row)
+	}
+	return resp
 }
 
 // locate resolves a global job ID to the shard that currently owns it and

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"divflow/internal/core"
 	"divflow/internal/faults"
 	"divflow/internal/model"
 	"divflow/internal/obs"
@@ -34,6 +35,14 @@ type jobRecord struct {
 	// remaining, when non-nil, is the unprocessed fraction the job arrived
 	// with (a stolen job admitted mid-execution); nil means a whole job.
 	remaining *big.Rat
+	// deadline, when non-nil, is the job's absolute completion deadline:
+	// admission control certified (or waved through) it, completed reads
+	// report whether it was met, and it rides migrations and the WAL.
+	deadline *big.Rat
+	// tenant and slaClass are the job's service-level accounting labels
+	// ("" = untracked traffic / default class).
+	tenant   string
+	slaClass string
 	// stolen marks records created by a migration rather than a submission,
 	// so accepted-job counts and merged validations see each job once.
 	stolen bool
@@ -71,6 +80,10 @@ type shard struct {
 	machines []model.Machine // this shard's machines, in fleet order
 	policy   sim.Policy
 	mwf      *sim.OnlineMWF // non-nil when policy is an OnlineMWF variant
+	// admission is the deadline-admission mode (shardlink.AdmissionStrict,
+	// Advisory, or Off) Submit runs deadline checks under; immutable after
+	// construction.
+	admission string
 
 	//divflow:locks name=shard before=topo
 	mu      sync.Mutex
@@ -118,6 +131,10 @@ type shard struct {
 	//divflow:locks name=backlog before=dmu
 	backlogMu sync.Mutex
 	backlog   *big.Rat
+	// tenantBacklog splits backlog by tenant (untracked traffic absent, zero
+	// entries pruned): the router sums it across shards for the weighted-
+	// fairness quota check. Same lock, same conservation rules as backlog.
+	tenantBacklog map[string]*big.Rat
 	// routeErr mirrors lastErr's text under backlogMu so the router can skip
 	// poisoned shards without contending on mu (empty while healthy).
 	routeErr string
@@ -166,10 +183,14 @@ type shard struct {
 	// Completed-job statistics are accumulated at completion time, not
 	// recomputed from records, so compaction can forget the records without
 	// losing the all-time aggregates.
-	doneCount     int
-	flowSum       *big.Rat
-	maxWF         *big.Rat
-	maxStretch    *big.Rat
+	doneCount  int
+	flowSum    *big.Rat
+	maxWF      *big.Rat
+	maxStretch *big.Rat
+	// tenants accumulates per-tenant statistics the same way (at submission
+	// and completion time, so compaction loses nothing). Keyed by tenant
+	// name; untracked traffic is absent.
+	tenants       map[string]*tenantAgg
 	retention     *big.Rat
 	lastCompact   *big.Rat // horizon of the last compaction
 	compactedJobs int
@@ -212,11 +233,82 @@ func copyRat(r *big.Rat) *big.Rat {
 	return new(big.Rat).Set(r)
 }
 
+// tenantAgg is one tenant's all-time accounting on this shard, folded in at
+// submission and completion time like the shard-level aggregates above it in
+// the struct — compaction can forget records without losing it.
+type tenantAgg struct {
+	submitted int // birth submissions (migrations excluded)
+	completed int
+	flowSum   *big.Rat
+	maxWF     *big.Rat
+	byClass   map[string]int // birth submissions per SLA class
+}
+
+// tenantFor returns (creating on first use) the tenant's aggregate slot.
+// Callers hold sh.mu.
+//
+//divflow:locks requires=shard
+func (sh *shard) tenantFor(tenant string) *tenantAgg {
+	if sh.tenants == nil {
+		sh.tenants = make(map[string]*tenantAgg)
+	}
+	ta := sh.tenants[tenant]
+	if ta == nil {
+		ta = &tenantAgg{flowSum: new(big.Rat), byClass: make(map[string]int)}
+		sh.tenants[tenant] = ta
+	}
+	return ta
+}
+
+// tenantBacklogAdd folds size into the tenant's residual-work entry;
+// untracked traffic (empty tenant) is not split. Callers hold backlogMu.
+//
+//divflow:locks requires=backlog
+func (sh *shard) tenantBacklogAdd(tenant string, size *big.Rat) {
+	if tenant == "" || size.Sign() == 0 {
+		return
+	}
+	if sh.tenantBacklog == nil {
+		sh.tenantBacklog = make(map[string]*big.Rat)
+	}
+	cur := sh.tenantBacklog[tenant]
+	if cur == nil {
+		cur = new(big.Rat)
+		sh.tenantBacklog[tenant] = cur
+	}
+	cur.Add(cur, size)
+	if cur.Sign() == 0 {
+		delete(sh.tenantBacklog, tenant)
+	}
+}
+
+// tenantBacklogSub takes size back out of the tenant's residual-work entry,
+// pruning it at zero. Callers hold backlogMu.
+//
+//divflow:locks requires=backlog
+func (sh *shard) tenantBacklogSub(tenant string, size *big.Rat) {
+	if tenant == "" || size.Sign() == 0 {
+		return
+	}
+	cur := sh.tenantBacklog[tenant]
+	if cur == nil {
+		return
+	}
+	cur.Sub(cur, size)
+	if cur.Sign() == 0 {
+		delete(sh.tenantBacklog, tenant)
+	}
+}
+
 // newShard builds one scheduling shard over the given slice of the fleet.
 // idx is the immutable creation index; (gidBase, stride, pos) is the shard's
 // global-ID encoding within its birth generation; machineIdx maps local
-// machine indices to global fleet indices.
-func newShard(idx, pos, stride, gidBase int, clock Clock, machines []model.Machine, machineIdx []int, pol sim.Policy, retention *big.Rat) *shard {
+// machine indices to global fleet indices; admission is the deadline-
+// admission mode ("" defaults to strict).
+func newShard(idx, pos, stride, gidBase int, clock Clock, machines []model.Machine, machineIdx []int, pol sim.Policy, retention *big.Rat, admission string) *shard {
+	if admission == "" {
+		admission = shardlink.AdmissionStrict
+	}
 	sh := &shard{
 		idx:        idx,
 		pos:        pos,
@@ -226,6 +318,7 @@ func newShard(idx, pos, stride, gidBase int, clock Clock, machines []model.Machi
 		machines:   machines,
 		machineIdx: machineIdx,
 		policy:     pol,
+		admission:  admission,
 		backlog:    new(big.Rat),
 		flowSum:    new(big.Rat),
 		wake:       make(chan struct{}, 1),
@@ -316,9 +409,16 @@ func (sh *shard) close() {
 		return
 	}
 	stranded := new(big.Rat)
+	strandedTenants := make(map[string]*big.Rat)
 	for _, rec := range sh.pending {
 		rec.state = StateRejected
 		stranded.Add(stranded, rec.size)
+		if rec.tenant != "" {
+			if strandedTenants[rec.tenant] == nil {
+				strandedTenants[rec.tenant] = new(big.Rat)
+			}
+			strandedTenants[rec.tenant].Add(strandedTenants[rec.tenant], rec.size)
+		}
 		for i := range sh.eligible {
 			delete(sh.eligible[i], rec.id)
 		}
@@ -327,6 +427,9 @@ func (sh *shard) close() {
 	sh.pending = nil
 	sh.backlogMu.Lock()
 	sh.backlog.Sub(sh.backlog, stranded)
+	for t, v := range strandedTenants {
+		sh.tenantBacklogSub(t, v)
+	}
 	sh.backlogMu.Unlock()
 }
 
@@ -336,14 +439,21 @@ func (sh *shard) close() {
 // the job at its next wake-up, so submissions racing one re-solve share it.
 // A shard retired by a racing reshard answers errRetired: the router re-reads
 // the active topology and routes again.
-func (sh *shard) submit(job model.Job) (int, error) {
+//
+// A job carrying a deadline is first run through the deadline-feasibility LP
+// against the shard's residual workload (unless the shard was installed with
+// AdmissionOff): the returned certificate is exact, and under AdmissionStrict
+// an infeasible deadline is refused with errDeadline — the certificate then
+// names the best achievable counter-offer deadline — before any state (WAL
+// included) is touched by this submission.
+func (sh *shard) submit(job model.Job) (int, *model.AdmissionCertificate, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.retired {
-		return 0, errRetired
+		return 0, nil, errRetired
 	}
 	if sh.closed {
-		return 0, ErrClosed
+		return 0, nil, ErrClosed
 	}
 	var hosts []int
 	for i := range sh.machines {
@@ -352,7 +462,24 @@ func (sh *shard) submit(job model.Job) (int, error) {
 		}
 	}
 	if len(hosts) == 0 {
-		return 0, fmt.Errorf("server: no machine hosts databanks %v", job.Databanks)
+		return 0, nil, fmt.Errorf("server: no machine hosts databanks %v", job.Databanks)
+	}
+	// The flow origin is the submission time: queueing delay before the loop
+	// admits the job counts against its flow, exactly like the paper's online
+	// adaptation measures flows from submission.
+	release := sh.clock.Now()
+	var cert *model.AdmissionCertificate
+	if job.Deadline != nil && sh.admission != shardlink.AdmissionOff {
+		var err error
+		cert, _, err = sh.admissionCheck(job, release)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !cert.Feasible && sh.admission == shardlink.AdmissionStrict {
+			sh.obs.event(obs.EventReject, -1, release,
+				fmt.Sprintf("deadline %s infeasible against %d residual jobs", job.Deadline.RatString(), cert.ResidualJobs))
+			return 0, cert, errDeadline
+		}
 	}
 	rec := &jobRecord{
 		id:        len(sh.records),
@@ -362,10 +489,10 @@ func (sh *shard) submit(job model.Job) (int, error) {
 		size:      copyRat(job.Size),
 		databanks: job.Databanks,
 		state:     StateQueued,
-		// The flow origin is the submission time: queueing delay before
-		// the loop admits the job counts against its flow, exactly like
-		// the paper's online adaptation measures flows from submission.
-		release: sh.clock.Now(),
+		release:   release,
+		deadline:  copyRat(job.Deadline),
+		tenant:    job.Tenant,
+		slaClass:  job.SLAClass,
 	}
 	if rec.name == "" {
 		rec.name = fmt.Sprintf("job-%d", sh.globalID(rec.id))
@@ -377,15 +504,158 @@ func (sh *shard) submit(job model.Job) (int, error) {
 	rec.submittedWall = sh.obs.now()
 	sh.records = append(sh.records, rec)
 	sh.pending = append(sh.pending, rec)
+	if rec.tenant != "" {
+		ta := sh.tenantFor(rec.tenant)
+		ta.submitted++
+		ta.byClass[rec.slaClass]++
+	}
 	sh.backlogMu.Lock()
 	sh.backlog.Add(sh.backlog, rec.size)
+	sh.tenantBacklogAdd(rec.tenant, rec.size)
 	sh.backlogMu.Unlock()
 	for _, i := range hosts {
 		sh.eligible[i][rec.id] = true
 	}
 	sh.obs.event(obs.EventSubmit, rec.gid, rec.release, "")
 	sh.poke()
-	return rec.gid, nil
+	return rec.gid, cert, nil
+}
+
+// admissionCheck runs the deadline-feasibility LP for one candidate job
+// against the shard's residual workload — everything live or queued, at its
+// exact remaining work, released at now, with every stored deadline kept —
+// and returns the exact certificate plus, when infeasible, the best
+// achievable counter-offer deadline as a rational. A stalled shard cannot
+// answer: the check degrades to an uncertified acceptance rather than
+// wedging submissions on a poisoned engine. Callers hold sh.mu.
+//
+//divflow:locks requires=shard
+func (sh *shard) admissionCheck(job model.Job, now *big.Rat) (*model.AdmissionCertificate, *big.Rat, error) {
+	// Catch the engine up first: remaining fractions at a stale time would
+	// overstate the residual workload. This is the same catch-up the loop
+	// would run at its next wake-up, so no-deadline traffic (which never
+	// reaches this function) keeps its trace bit-for-bit.
+	if _, ok := sh.catchUp(); !ok {
+		return &model.AdmissionCertificate{Mode: sh.admission, Feasible: true}, nil, nil
+	}
+	jobs, deadlines := sh.residualJobs(now)
+	weight := job.Weight
+	if weight == nil {
+		weight = big.NewRat(1, 1)
+	}
+	// The candidate goes last: NewInstance sorts stably by release, every
+	// release equals now, so the candidate keeps the last index.
+	jobs = append(jobs, model.Job{
+		Name:      job.Name,
+		Release:   new(big.Rat).Set(now),
+		Weight:    copyRat(weight),
+		Size:      copyRat(job.Size),
+		Databanks: job.Databanks,
+	})
+	deadlines = append(deadlines, copyRat(job.Deadline))
+	k := len(jobs) - 1
+	inst, err := model.NewInstance(jobs, sh.machines)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: shard %d: admission instance: %w", sh.idx, err)
+	}
+	mode := schedule.Divisible
+	if sh.mwf != nil {
+		mode = sh.mwf.Mode
+	}
+	cert := &model.AdmissionCertificate{
+		Mode:         sh.admission,
+		Deadline:     job.Deadline.RatString(),
+		ResidualJobs: len(jobs),
+	}
+	feasible, _, err := core.DeadlineFeasible(inst, deadlines, mode)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: shard %d: deadline feasibility: %w", sh.idx, err)
+	}
+	cert.Feasible = feasible
+	if feasible {
+		return cert, nil, nil
+	}
+	counter, err := core.BestDeadline(inst, deadlines, k, mode)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: shard %d: counter-offer search: %w", sh.idx, err)
+	}
+	if counter != nil {
+		cert.CounterOffer = counter.RatString()
+	}
+	return cert, counter, nil
+}
+
+// residualJobs extracts the shard's residual workload as instance jobs for
+// the admission LP: every live engine job at its exact remaining work plus
+// every pending submission, all released at now, each carrying its stored
+// deadline (nil for none). Callers hold sh.mu with the engine caught up.
+//
+//divflow:locks requires=shard
+func (sh *shard) residualJobs(now *big.Rat) ([]model.Job, []*big.Rat) {
+	var jobs []model.Job
+	var deadlines []*big.Rat
+	add := func(rec *jobRecord, size, remaining *big.Rat) {
+		work := new(big.Rat).Set(size)
+		if remaining != nil {
+			work.Mul(work, remaining)
+		}
+		if work.Sign() <= 0 {
+			return
+		}
+		jobs = append(jobs, model.Job{
+			Name:      rec.name,
+			Release:   new(big.Rat).Set(now),
+			Weight:    copyRat(rec.weight),
+			Size:      work,
+			Databanks: rec.databanks,
+		})
+		deadlines = append(deadlines, copyRat(rec.deadline))
+	}
+	for _, rj := range sh.eng.Residual() {
+		add(sh.records[rj.ID], rj.Size, rj.Remaining)
+	}
+	for _, rec := range sh.pending {
+		add(rec, rec.size, rec.remaining)
+	}
+	return jobs, deadlines
+}
+
+// checkDeadline answers the standalone feasibility probe (shardlink op
+// check_deadline): the same exact certificate a Submit would compute, with
+// nothing mutated beyond the engine catch-up. The probe runs even under
+// AdmissionOff — asking explicitly overrides the mode.
+func (sh *shard) checkDeadline(args shardlink.CheckDeadlineArgs) shardlink.CheckDeadlineReply {
+	job := args.Job
+	if job.Deadline == nil {
+		return shardlink.CheckDeadlineReply{Err: "job carries no deadline"}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.retired || sh.closed || sh.freed {
+		return shardlink.CheckDeadlineReply{Err: "shard retired or closed"}
+	}
+	if sh.lastErr != nil {
+		return shardlink.CheckDeadlineReply{Err: sh.lastErr.Error()}
+	}
+	var hosted bool
+	for i := range sh.machines {
+		if sh.machines[i].Hosts(job.Databanks) {
+			hosted = true
+			break
+		}
+	}
+	if !hosted {
+		return shardlink.CheckDeadlineReply{Err: fmt.Sprintf("no machine hosts databanks %v", job.Databanks)}
+	}
+	cert, counter, err := sh.admissionCheck(job, sh.clock.Now())
+	if err != nil {
+		return shardlink.CheckDeadlineReply{Err: err.Error()}
+	}
+	return shardlink.CheckDeadlineReply{
+		Feasible:     cert.Feasible,
+		CounterOffer: counter,
+		ResidualJobs: cert.ResidualJobs,
+	}
 }
 
 // orphanRecord flips a donor-side record to the migrated state after its job
@@ -422,6 +692,9 @@ func (sh *shard) adoptRecord(rec *jobRecord, remaining *big.Rat) *jobRecord {
 		state:     StateQueued,
 		release:   copyRat(rec.release), // flow origin: still the first submission
 		remaining: copyRat(remaining),
+		deadline:  copyRat(rec.deadline),
+		tenant:    rec.tenant,
+		slaClass:  rec.slaClass,
 		stolen:    true,
 		counted:   rec.counted,
 	}
@@ -444,13 +717,21 @@ func (sh *shard) residualWork() *big.Rat {
 	return new(big.Rat).Set(sh.backlog)
 }
 
-// routeInfo returns the backlog (a copy) together with the shard's latched
-// error text ("" while healthy) — everything the router needs, again without
-// touching mu.
-func (sh *shard) routeInfo() (*big.Rat, string) {
+// routeInfo returns the backlog (a copy), the shard's latched error text
+// ("" while healthy), and the per-tenant backlog split (nil when no tracked
+// tenant has residual work here) — everything the router's placement and
+// quota decisions need, again without touching mu.
+func (sh *shard) routeInfo() (*big.Rat, string, map[string]*big.Rat) {
 	sh.backlogMu.Lock()
 	defer sh.backlogMu.Unlock()
-	return new(big.Rat).Set(sh.backlog), sh.routeErr
+	var tb map[string]*big.Rat
+	if len(sh.tenantBacklog) > 0 {
+		tb = make(map[string]*big.Rat, len(sh.tenantBacklog))
+		for t, v := range sh.tenantBacklog {
+			tb[t] = new(big.Rat).Set(v)
+		}
+	}
+	return new(big.Rat).Set(sh.backlog), sh.routeErr, tb
 }
 
 // poke wakes the shard's loop if it is sleeping; a no-op when a wake-up is
@@ -773,6 +1054,7 @@ func (sh *shard) recordCompletion(rec *jobRecord) {
 	sh.doneCount++
 	sh.backlogMu.Lock()
 	sh.backlog.Sub(sh.backlog, rec.size)
+	sh.tenantBacklogSub(rec.tenant, rec.size)
 	sh.backlogMu.Unlock()
 	flow := new(big.Rat).Sub(rec.completed, rec.release)
 	sh.flowSum.Add(sh.flowSum, flow)
@@ -783,6 +1065,18 @@ func (sh *shard) recordCompletion(rec *jobRecord) {
 	st := new(big.Rat).Quo(flow, rec.size)
 	if sh.maxStretch == nil || st.Cmp(sh.maxStretch) > 0 {
 		sh.maxStretch = st
+	}
+	if rec.tenant != "" {
+		ta := sh.tenantFor(rec.tenant)
+		ta.completed++
+		ta.flowSum.Add(ta.flowSum, flow)
+		if ta.maxWF == nil || wf.Cmp(ta.maxWF) > 0 {
+			ta.maxWF = new(big.Rat).Set(wf)
+		}
+		// The per-tenant weighted-flow histogram backs the /v1/tenants P95,
+		// like the shard flow histogram backs the /v1/stats one.
+		wff, _ := wf.Float64()
+		sh.obs.tenantWFlow(rec.tenant).Observe(wff)
 	}
 	// The flow histogram is observed unconditionally — it is the backing
 	// store of the /v1/stats P95 estimate, not just an exported metric.
@@ -956,6 +1250,11 @@ func (sh *shard) jobStatus(local, gid int) (st model.JobStatus, known, migrated 
 		Weight:    rec.weight.RatString(),
 		Size:      rec.size.RatString(),
 		Databanks: rec.databanks,
+		Tenant:    rec.tenant,
+		SLAClass:  rec.slaClass,
+	}
+	if rec.deadline != nil {
+		st.Deadline = rec.deadline.RatString()
 	}
 	if rec.release != nil {
 		st.Release = rec.release.RatString()
@@ -971,6 +1270,10 @@ func (sh *shard) jobStatus(local, gid int) (st model.JobStatus, known, migrated 
 		st.Flow = flow.RatString()
 		st.WeightedFlow = new(big.Rat).Mul(rec.weight, flow).RatString()
 		st.Stretch = new(big.Rat).Quo(flow, rec.size).RatString()
+		if rec.deadline != nil {
+			met := rec.completed.Cmp(rec.deadline) <= 0
+			st.DeadlineMet = &met
+		}
 	}
 	return st, true, false
 }
@@ -1069,6 +1372,42 @@ func (sh *shard) statsSnapshot() shardlink.StatsSnapshot {
 		MaxStretch: copyRat(sh.maxStretch),
 		Flow:       sh.obs.flow.Snapshot(),
 	}
+	// Per-tenant accounting: union of the aggregate slots (birth submissions,
+	// completions) and the backlog split (which may name tenants that only
+	// ever migrated work here).
+	sh.backlogMu.Lock()
+	tenantNames := make(map[string]bool, len(sh.tenants)+len(sh.tenantBacklog))
+	for t := range sh.tenants {
+		tenantNames[t] = true
+	}
+	for t := range sh.tenantBacklog {
+		tenantNames[t] = true
+	}
+	if len(tenantNames) > 0 {
+		snap.Tenants = make(map[string]shardlink.TenantShardSnapshot, len(tenantNames))
+		for t := range tenantNames {
+			ts := shardlink.TenantShardSnapshot{
+				Backlog: new(big.Rat),
+				FlowSum: new(big.Rat),
+				WFlow:   sh.obs.tenantWFlow(t).Snapshot(),
+			}
+			if tb := sh.tenantBacklog[t]; tb != nil {
+				ts.Backlog.Set(tb)
+			}
+			if ta := sh.tenants[t]; ta != nil {
+				ts.Submitted = ta.submitted
+				ts.Completed = ta.completed
+				ts.FlowSum.Set(ta.flowSum)
+				ts.MaxWF = copyRat(ta.maxWF)
+				ts.ByClass = make(map[string]int, len(ta.byClass))
+				for c, n := range ta.byClass {
+					ts.ByClass[c] = n
+				}
+			}
+			snap.Tenants[t] = ts
+		}
+	}
+	sh.backlogMu.Unlock()
 	snap.BacklogF, _ = sh.backlog.Float64()
 	if sh.mwf != nil {
 		snap.Wire.LPSolves = sh.mwf.Solves()

@@ -163,6 +163,7 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 
 	out := &stealOutcome{}
 	movedSize := new(big.Rat)
+	movedTenants := make(map[string]*big.Rat)
 	type movedJob struct {
 		fromLocal, toLocal, gid int
 		remaining               *big.Rat
@@ -201,6 +202,12 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 		movedJobs = append(movedJobs, movedJob{fromLocal: fromLocal, toLocal: nrec.id, gid: rec.gid, remaining: copyRat(remaining)})
 		thief.obs.event(obs.EventMigrate, rec.gid, nil, fmt.Sprintf("stolen from shard %d", donor.idx))
 		movedSize.Add(movedSize, rec.size)
+		if rec.tenant != "" {
+			if movedTenants[rec.tenant] == nil {
+				movedTenants[rec.tenant] = new(big.Rat)
+			}
+			movedTenants[rec.tenant].Add(movedTenants[rec.tenant], rec.size)
+		}
 	}
 	if movedSize.Sign() == 0 {
 		return nil
@@ -223,6 +230,10 @@ func (s *Server) stealLocked(thief, donor *shard) *stealOutcome {
 	b.backlogMu.Lock()
 	donor.backlog.Sub(donor.backlog, movedSize)
 	thief.backlog.Add(thief.backlog, movedSize)
+	for t, v := range movedTenants {
+		donor.tenantBacklogSub(t, v)
+		thief.tenantBacklogAdd(t, v)
+	}
 	b.backlogMu.Unlock()
 	a.backlogMu.Unlock()
 	// Journaled under both mus: the thief's generation read is stable and

@@ -35,7 +35,7 @@ func submitTo(t *testing.T, sh *shard, size string, databanks ...string) int {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gid, err := sh.submit(job)
+	gid, _, err := sh.submit(job)
 	if err != nil {
 		t.Fatal(err)
 	}

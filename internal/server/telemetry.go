@@ -72,6 +72,8 @@ type telemetry struct {
 	recoverySecs   *obs.Histogram    // snapshot-load + WAL-replay and shard-restart durations
 	linkCalls      *obs.CounterVec   // {transport,op}: shardlink operations issued
 	rpcSeconds     *obs.HistogramVec // {op}: shardlink RPC round-trip wall seconds
+	tenantShed     *obs.CounterVec   // {tenant}: submissions shed by the fairness quota
+	tenantWFlow    *obs.HistogramVec // {shard,tenant}: completed weighted flows, virtual time
 
 	// Scrape-time families (Server.collectMetrics).
 	submissions     *obs.CounterVec
@@ -95,6 +97,9 @@ type telemetry struct {
 	walReplayed     *obs.Counter
 	reshardEvents   *obs.Counter
 	journalEvents   *obs.Counter
+	tenantSubmits   *obs.CounterVec
+	tenantDone      *obs.CounterVec
+	tenantBacklog   *obs.GaugeVec
 	backlog         *obs.GaugeVec
 	jobsLive        *obs.GaugeVec
 	jobsQueued      *obs.GaugeVec
@@ -142,6 +147,11 @@ func newTelemetry(enabled bool, sink io.Writer, bufSize int) *telemetry {
 		rpcSeconds: r.Histogram("divflow_shardlink_rpc_seconds",
 			"Round-trip wall time of one shardlink RPC (loopback pipe or worker socket), by operation.",
 			obs.DefLatencyBuckets, "op"),
+		tenantShed: r.Counter("divflow_tenant_shed_total",
+			"Submissions shed by the weighted-fairness quota (tenant_over_quota), by tenant.", "tenant"),
+		tenantWFlow: r.Histogram("divflow_tenant_weighted_flow",
+			"Completed jobs' weighted flows (virtual time units), by shard and tenant; backs the /v1/tenants P95.",
+			obs.DefFlowBuckets, "shard", "tenant"),
 
 		submissions: r.Counter("divflow_submissions_total",
 			"Jobs accepted, by birth shard.", "shard"),
@@ -186,6 +196,12 @@ func newTelemetry(enabled bool, sink io.Writer, bufSize int) *telemetry {
 		journalEvents: r.Counter("divflow_journal_events_total",
 			"Events appended to the journal (GET /v1/events).").With(),
 
+		tenantSubmits: r.Counter("divflow_tenant_submissions_total",
+			"Jobs accepted, by tenant (fleet-wide; untracked traffic absent).", "tenant"),
+		tenantDone: r.Counter("divflow_tenant_completed_total",
+			"Jobs completed, by tenant (fleet-wide; untracked traffic absent).", "tenant"),
+		tenantBacklog: r.Gauge("divflow_tenant_backlog_work",
+			"Residual work, by tenant (fleet-wide float approximation of the exact rational).", "tenant"),
 		backlog: r.Gauge("divflow_backlog_work",
 			"Residual work routed to the shard (float approximation of the exact rational).", "shard"),
 		jobsLive: r.Gauge("divflow_jobs_live",
@@ -247,6 +263,30 @@ type shardObs struct {
 	flow        *obs.Histogram
 	submitAdmit *obs.Histogram
 	steal       *obs.Histogram
+	// tenantWF caches per-tenant weighted-flow histogram children, built
+	// lazily on a tenant's first completion. Accessed under the shard's mu.
+	tenantWF map[string]*obs.Histogram
+}
+
+// tenantWFlow returns (creating on first use) the tenant's weighted-flow
+// histogram child; detached bundles get a free-standing histogram so the
+// snapshot path works in unit tests too. Callers hold the shard's mu.
+//
+//divflow:locks requires=shard
+func (o *shardObs) tenantWFlow(tenant string) *obs.Histogram {
+	if o.tenantWF == nil {
+		o.tenantWF = make(map[string]*obs.Histogram)
+	}
+	h := o.tenantWF[tenant]
+	if h == nil {
+		if o.tel != nil {
+			h = o.tel.tenantWFlow.With(o.label, tenant)
+		} else {
+			h = obs.NewHistogram(obs.DefFlowBuckets)
+		}
+		o.tenantWF[tenant] = h
+	}
+	return h
 }
 
 // detachedShardObs is the bundle newShard installs before the server wires
@@ -346,6 +386,9 @@ func (s *Server) collectMetrics() {
 		t.walSnapshots.Set(uint64(snapshots))
 		t.walReplayed.Set(uint64(replayed))
 	}
+	tenantSub := make(map[string]int)
+	tenantDone := make(map[string]int)
+	tenantBack := make(map[string]float64)
 	for _, sh := range s.allShards() {
 		// Through the shardlink boundary, like every router-side read: for a
 		// worker-hosted shard this is the only source of truth, and a shard
@@ -353,6 +396,14 @@ func (s *Server) collectMetrics() {
 		snap, err := sh.link.Stats(shardlink.StatsArgs{})
 		if err != nil {
 			continue
+		}
+		for name, ts := range snap.Tenants {
+			tenantSub[name] += ts.Submitted
+			tenantDone[name] += ts.Completed
+			if ts.Backlog != nil {
+				bf, _ := ts.Backlog.Float64()
+				tenantBack[name] += bf
+			}
 		}
 		w := &snap.Wire
 		l := strconv.Itoa(w.Shard)
@@ -381,6 +432,15 @@ func (s *Server) collectMetrics() {
 		t.shardGen.With(l).Set(float64(w.Generation))
 		t.shardPanics.With(l).Set(uint64(w.Panics))
 		t.shardRestarts.With(l).Set(uint64(w.Restarts))
+	}
+	for name, n := range tenantSub {
+		t.tenantSubmits.With(name).Set(uint64(n))
+	}
+	for name, n := range tenantDone {
+		t.tenantDone.With(name).Set(uint64(n))
+	}
+	for name, b := range tenantBack {
+		t.tenantBacklog.With(name).Set(b)
 	}
 }
 

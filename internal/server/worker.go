@@ -40,6 +40,7 @@ func (s *Server) dialWorker(sh *shard, addr, policy string) error {
 		Policy:     policy,
 		Retention:  copyRat(s.retention),
 		Now:        s.clock.Now(),
+		Admission:  s.admission,
 	}
 	if err := client.Call("Worker.Install", &args, &shardlink.InstallReply{}); err != nil {
 		client.Close()
@@ -79,7 +80,7 @@ func (w *workerRPC) Install(args *shardlink.InstallArgs, _ *shardlink.InstallRep
 	// real network latency — exactly what a distributed deployment means).
 	clock := NewRealClockAt(args.Now)
 	sh := newShard(args.Idx, args.Pos, args.Stride, args.GidBase, clock,
-		args.Machines, args.MachineIdx, pol, args.Retention)
+		args.Machines, args.MachineIdx, pol, args.Retention, args.Admission)
 	if err := w.srv.RegisterName(fmt.Sprintf("Shard%d", args.Idx), &shardRPC{sh: sh}); err != nil {
 		return err
 	}

@@ -37,24 +37,60 @@ const (
 // control flow (retry on retired, propagate closed, reject no-host) keys on
 // a closed outcome enum instead of error identity.
 const (
-	OutcomeOK      = "ok"      // accepted; GID carries the global ID
-	OutcomeRetired = "retired" // shard retired by a racing reshard: re-route
-	OutcomeClosed  = "closed"  // server shutting down
-	OutcomeNoHost  = "nohost"  // no machine of the shard hosts the databanks
+	OutcomeOK       = "ok"       // accepted; GID carries the global ID
+	OutcomeRetired  = "retired"  // shard retired by a racing reshard: re-route
+	OutcomeClosed   = "closed"   // server shutting down
+	OutcomeNoHost   = "nohost"   // no machine of the shard hosts the databanks
+	OutcomeDeadline = "deadline" // strict admission: the deadline is infeasible
+)
+
+// Admission modes a shard runs deadline checks under (InstallArgs.Admission
+// and the server's -admission flag). Strict rejects infeasible deadlines
+// with the exact certificate; advisory admits them but still reports the
+// certificate; off skips the feasibility LP entirely (deadlines are carried
+// but never checked).
+const (
+	AdmissionStrict   = "strict"
+	AdmissionAdvisory = "advisory"
+	AdmissionOff      = "off"
 )
 
 // SubmitArgs asks the shard to accept one job, stamping its flow origin
-// (release) at the shard's current clock reading.
+// (release) at the shard's current clock reading. A job carrying a deadline
+// is first run through the deadline-feasibility LP against the shard's
+// residual workload (unless the shard was installed with AdmissionOff).
 type SubmitArgs struct {
 	Job model.Job
 }
 
 // SubmitReply reports the accepted job's wire-visible global ID, or why the
-// submission was refused.
+// submission was refused. Admission carries the exact feasibility
+// certificate whenever the check ran — on accepts and on OutcomeDeadline
+// rejects (where it names the counter-offer deadline).
 type SubmitReply struct {
-	GID     int
-	Outcome string
-	Err     string // detail for OutcomeNoHost
+	GID       int
+	Outcome   string
+	Err       string // detail for OutcomeNoHost
+	Admission *model.AdmissionCertificate
+}
+
+// CheckDeadlineArgs is the standalone feasibility probe: would this job,
+// with Job.Deadline, be admissible against the shard's residual workload
+// right now? Nothing is mutated; the reply is the same exact certificate a
+// Submit would produce. Worker fleets answer it over RPC like every other
+// shard-side operation.
+type CheckDeadlineArgs struct {
+	Job model.Job
+}
+
+// CheckDeadlineReply is the probe's certificate. Err reports a refusal to
+// answer (no machine hosts the databanks, shard retired/closed) rather than
+// a transport failure.
+type CheckDeadlineReply struct {
+	Feasible     bool
+	CounterOffer *big.Rat // minimum feasible deadline when infeasible
+	ResidualJobs int      // jobs the feasibility LP covered (candidate included)
+	Err          string
 }
 
 // JobStatusArgs reads one shard-local record by its local slot and the
@@ -110,6 +146,29 @@ type StatsSnapshot struct {
 	// BacklogF is the float approximation of the exact backlog, for the
 	// divflow_backlog_work gauge.
 	BacklogF float64
+	// Tenants is the shard's per-tenant accounting, keyed by tenant name
+	// (untracked traffic is absent). The router merges these into
+	// GET /v1/tenants and the per-tenant metric families.
+	Tenants map[string]TenantShardSnapshot
+}
+
+// TenantShardSnapshot is one tenant's exact accounting on one shard.
+type TenantShardSnapshot struct {
+	// Submitted counts birth submissions (like ShardStats.JobsAccepted,
+	// migrations excluded), Completed completions on this shard.
+	Submitted int
+	Completed int
+	// Backlog is the tenant's exact residual work on this shard.
+	Backlog *big.Rat
+	// FlowSum and MaxWF aggregate the tenant's completed jobs: Σ (C_j − r_j)
+	// and max w_j (C_j − r_j).
+	FlowSum *big.Rat
+	MaxWF   *big.Rat
+	// ByClass counts birth submissions per SLA class.
+	ByClass map[string]int
+	// WFlow is the tenant's weighted-flow histogram snapshot; the router
+	// merges shards and estimates the per-tenant P95 from it.
+	WFlow obs.HistogramSnapshot
 }
 
 // RouteInfoArgs requests the routing key.
@@ -122,6 +181,10 @@ type RouteInfoArgs struct{}
 type RouteInfoReply struct {
 	Backlog *big.Rat
 	Err     string
+	// TenantBacklog is the shard's exact residual work per tenant (zero
+	// backlogs omitted): the router sums it across shards for the
+	// weighted-fairness quota check on the submit path.
+	TenantBacklog map[string]*big.Rat
 }
 
 // PokeArgs wakes the shard's loop if it is sleeping (steal re-check,
@@ -145,6 +208,11 @@ type MigratedJob struct {
 	Remaining *big.Rat // exact unprocessed fraction at extraction
 	Databanks []string
 	Counted   bool // arrival statistics already counted this job somewhere
+	// SLA fields travel with the job: a migrated deadline still binds, and
+	// tenant accounting follows the work.
+	Deadline *big.Rat // nil when none
+	Tenant   string
+	SLAClass string
 }
 
 // ExtractArgs opens a two-phase steal against a donor shard: extract up to
@@ -221,6 +289,9 @@ type InstallArgs struct {
 	Policy     string
 	Retention  *big.Rat
 	Now        *big.Rat // router clock reading at install: the shared epoch
+	// Admission is the deadline-admission mode the shard runs Submit and
+	// CheckDeadline under ("" defaults to strict).
+	Admission string
 }
 
 // InstallReply is empty; installation errors travel as RPC errors.
@@ -237,6 +308,7 @@ type Link interface {
 	Transport() string
 
 	Submit(SubmitArgs) (SubmitReply, error)
+	CheckDeadline(CheckDeadlineArgs) (CheckDeadlineReply, error)
 	JobStatus(JobStatusArgs) (JobStatusReply, error)
 	Schedule(ScheduleArgs) (ScheduleReply, error)
 	Stats(StatsArgs) (StatsSnapshot, error)

@@ -346,6 +346,41 @@ func (e *Engine) Migrations() int { return e.migrations }
 // (release, ID) order).
 func (e *Engine) LiveIDs() []int { return append([]int(nil), e.order...) }
 
+// ResidualJob is one live job's exact residual state: the inputs an
+// admission-control feasibility check needs to reconstruct the engine's
+// outstanding workload as a fresh model.Instance. All rationals are copies.
+type ResidualJob struct {
+	ID        int
+	Release   *big.Rat
+	Weight    *big.Rat
+	Size      *big.Rat // nil when unsized
+	Remaining *big.Rat // unprocessed fraction in (0, 1]
+}
+
+// Residual extracts the live jobs' residual state in (release, ID) order —
+// the read-only sibling of Remove/RemoveAll: nothing leaves the engine, the
+// caller just learns exactly how much of each live job is still unprocessed
+// at the current time. Callers that need the post-allocation remainders
+// should advance the engine to the present first (the shard's catch-up does
+// this); Residual itself reads whatever state the engine is at.
+func (e *Engine) Residual() []ResidualJob {
+	out := make([]ResidualJob, 0, len(e.order))
+	for _, id := range e.order {
+		j := e.jobs[id]
+		rj := ResidualJob{
+			ID:        id,
+			Release:   new(big.Rat).Set(j.release),
+			Weight:    new(big.Rat).Set(j.weight),
+			Remaining: new(big.Rat).Set(j.remaining),
+		}
+		if j.size != nil {
+			rj.Size = new(big.Rat).Set(j.size)
+		}
+		out = append(out, rj)
+	}
+	return out
+}
+
 // Snapshot builds the policy-visible view of the current state.
 func (e *Engine) Snapshot() *Snapshot {
 	snap := &Snapshot{Now: e.Now(), M: e.m, Cost: e.cost}

@@ -9,8 +9,9 @@
 #                      scaling claim), the imbalanced-workload steal on/off
 #                      pair (the work-stealing claim), the mid-burst
 #                      reshard vs static pair (the live re-sharding claim),
-#                      and the obs on/off pair (the telemetry-overhead
-#                      bound)
+#                      the obs on/off pair (the telemetry-overhead bound),
+#                      and the deadline-admission strict/off pair (the
+#                      per-submit cost of the exact feasibility certificate)
 #
 # All suites run into staging files first and are installed together only
 # when every `go test -bench` invocation succeeded: a failed bench exits
@@ -37,7 +38,7 @@ cp BENCH_server.json "$STAGE_SERVER" 2>/dev/null || true
 
 go run ./cmd/benchjson -benchtime "$BENCHTIME" -label "$LABEL" -out "$STAGE_LP"
 go run ./cmd/benchjson -pkg ./internal/server \
-  -bench 'BenchmarkServerThroughput|BenchmarkServerStealImbalance|BenchmarkServerReshard' \
+  -bench 'BenchmarkServerThroughput|BenchmarkServerStealImbalance|BenchmarkServerReshard|BenchmarkServerAdmissionDeadline' \
   -benchtime "$BENCHTIME" -label "$LABEL" -out "$STAGE_SERVER"
 
 # Every suite succeeded: install both atomically. mktemp creates files
